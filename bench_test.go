@@ -1,0 +1,375 @@
+// Package scalegnn's root benchmark suite: one testing.B benchmark per
+// experiment table in DESIGN.md (F1, E1–E20), each exercising that
+// experiment's computational kernel at a fixed mid scale. The full
+// parameter sweeps and comparison tables are produced by cmd/gnnbench;
+// these benchmarks give stable per-kernel numbers for regression tracking.
+package scalegnn
+
+import (
+	"testing"
+
+	"scalegnn/internal/coarsen"
+	"scalegnn/internal/core"
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/dynamic"
+	"scalegnn/internal/graph"
+	"scalegnn/internal/hublabel"
+	"scalegnn/internal/implicit"
+	"scalegnn/internal/models"
+	"scalegnn/internal/partition"
+	"scalegnn/internal/ppr"
+	"scalegnn/internal/rewire"
+	"scalegnn/internal/sampling"
+	"scalegnn/internal/simrank"
+	"scalegnn/internal/sparsify"
+	"scalegnn/internal/spectral"
+	"scalegnn/internal/subgraph"
+	"scalegnn/internal/tensor"
+)
+
+// benchGraph returns the shared BA benchmark graph (memoized).
+func benchGraph() *graph.CSR {
+	benchOnce.g = graph.BarabasiAlbert(20000, 8, tensor.NewRand(1))
+	return benchOnce.g
+}
+
+var benchOnce struct{ g *graph.CSR }
+
+func benchDataset(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Nodes: 5000, Classes: 5, AvgDegree: 10, Homophily: 0.8,
+		FeatureDim: 32, NoiseStd: 1.0, TrainFrac: 0.5, ValFrac: 0.2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func quickTrain() models.TrainConfig {
+	cfg := models.DefaultTrainConfig()
+	cfg.Epochs = 10
+	cfg.Patience = 0
+	return cfg
+}
+
+// BenchmarkF1RegistryVerify covers table F1: taxonomy self-check.
+func BenchmarkF1RegistryVerify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := core.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1ReceptiveField covers E1: 3-hop exact receptive field.
+func BenchmarkE1ReceptiveField(b *testing.B) {
+	g := benchGraph()
+	batch := make([]int32, 256)
+	for i := range batch {
+		batch[i] = int32(i * 70)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sampling.ReceptiveField(g, batch, 3)
+	}
+}
+
+// BenchmarkE2GCNEpoch and BenchmarkE2SGCEpoch cover E2: per-epoch cost of
+// full-batch iterative vs decoupled training.
+func BenchmarkE2GCNEpoch(b *testing.B) {
+	ds := benchDataset(b)
+	cfg := quickTrain()
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := models.NewGCN(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Fit(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2SGCEpoch(b *testing.B) {
+	ds := benchDataset(b)
+	cfg := quickTrain()
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := models.NewSGC(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Fit(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3Fennel covers E3: streaming partitioning throughput.
+func BenchmarkE3Fennel(b *testing.B) {
+	g := benchGraph()
+	rng := tensor.NewRand(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Fennel(g, 8, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4LaborBlock covers E4: dependent-sampling block construction.
+func BenchmarkE4LaborBlock(b *testing.B) {
+	g := benchGraph()
+	s, err := sampling.NewLaborSampler(g, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsts := make([]int32, 512)
+	for i := range dsts {
+		dsts[i] = int32(i * 39)
+	}
+	rng := tensor.NewRand(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleBlock(dsts, rng)
+	}
+}
+
+// BenchmarkE5MultiFilter covers E5: the three-channel spectral embedding.
+func BenchmarkE5MultiFilter(b *testing.B) {
+	g := benchGraph()
+	op := graph.NewOperator(g, graph.NormSymmetric, true)
+	x := tensor.RandNormal(g.N, 32, 1, tensor.NewRand(4))
+	channels := []spectral.ChannelSpec{
+		{Kind: spectral.ChannelIdentity},
+		{Kind: spectral.ChannelAdjPower, Hops: 2},
+		{Kind: spectral.ChannelLapPower, Hops: 2},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectral.MultiFilter(op, x, channels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6SimrankTopK covers E6: Monte Carlo top-k similarity queries.
+func BenchmarkE6SimrankTopK(b *testing.B) {
+	g := benchGraph()
+	rng := tensor.NewRand(5)
+	ix, err := simrank.BuildIndex(g, simrank.DefaultIndexConfig(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.TopK(i%g.N, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7HubLabelQuery covers E7: SPD queries over the hub-label index.
+func BenchmarkE7HubLabelQuery(b *testing.B) {
+	g := benchGraph()
+	ix, err := hublabel.Build(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Query(i%g.N, (i*7919+13)%g.N); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8PicardSolve covers E8: the implicit-GNN equilibrium solve.
+func BenchmarkE8PicardSolve(b *testing.B) {
+	g := benchGraph()
+	op := graph.NewOperator(g, graph.NormSymmetric, true)
+	rng := tensor.NewRand(6)
+	bm := tensor.RandNormal(g.N, 16, 1, rng)
+	w := tensor.RandNormal(16, 16, 0.1, rng)
+	wt := w.T()
+	w.Add(wt)
+	w.Scale(0.5)
+	implicit.ProjectSpectralNorm(w, 0.9)
+	s, err := implicit.NewSolver(op, 0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Solve(bm, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9EffectiveResistance covers E9: spectral sparsification.
+func BenchmarkE9EffectiveResistance(b *testing.B) {
+	g := benchGraph()
+	rng := tensor.NewRand(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparsify.EffectiveResistance(g, 4*g.N, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10WalkJoin covers E10: pair-query assembly from stored walks.
+func BenchmarkE10WalkJoin(b *testing.B) {
+	g := benchGraph()
+	rng := tensor.NewRand(8)
+	ws, err := subgraph.NewWalkStore(g, subgraph.WalkStoreConfig{Walks: 50, Length: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := make([]int, 256)
+	for i := range seeds {
+		seeds[i] = i * 78
+	}
+	if err := ws.Preprocess(seeds, rng); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.Join(seeds[i%256], seeds[(i+13)%256]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11Coarsen covers E11: multilevel coarsening to 1/8 size.
+func BenchmarkE11Coarsen(b *testing.B) {
+	g := benchGraph()
+	rng := tensor.NewRand(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coarsen.Coarsen(g, g.N/8, coarsen.NormalizedHeavyEdge, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12SGCFit covers E12: one full decoupled model fit (10 epochs).
+func BenchmarkE12SGCFit(b *testing.B) {
+	ds := benchDataset(b)
+	cfg := quickTrain()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := models.NewSGC(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Fit(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13ForwardPush covers E13: the local PPR estimator.
+func BenchmarkE13ForwardPush(b *testing.B) {
+	g := benchGraph()
+	cfg := ppr.Config{Alpha: 0.15, Epsilon: 1e-5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ppr.ForwardPush(g, i%g.N, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE14CosineRewire covers E14: similarity rewiring throughput.
+func BenchmarkE14CosineRewire(b *testing.B) {
+	ds, err := dataset.Generate(dataset.Config{
+		Nodes: 3000, Classes: 4, AvgDegree: 10, Homophily: 0.1,
+		FeatureDim: 24, NoiseStd: 0.8, TrainFrac: 0.5, ValFrac: 0.2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := rewire.NewCosineSimilarity(ds.G, ds.X)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rewire.Rewire(ds.G, sim, rewire.Config{AddK: 3, PruneBelow: 0.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE15EdgeEvent covers E15: incremental walk maintenance per event.
+func BenchmarkE15EdgeEvent(b *testing.B) {
+	rng := tensor.NewRand(1)
+	d, err := dynamic.FromCSR(benchGraph())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := make([]int, 100)
+	for i := range seeds {
+		seeds[i] = i * 199
+	}
+	m, err := dynamic.NewWalkMaintainer(d, seeds, 50, 4, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := rng.IntN(d.N()), rng.IntN(d.N())
+		if d.AddEdge(u, v) {
+			m.OnEdgeEvent(u, v)
+		}
+	}
+}
+
+// BenchmarkE16NAIPredict covers E16: node-adaptive inference over 4 hops.
+func BenchmarkE16NAIPredict(b *testing.B) {
+	ds := benchDataset(b)
+	m, err := models.NewSGC(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Fit(ds, quickTrain()); err != nil {
+		b.Fatal(err)
+	}
+	hops := models.HopEmbeddings(ds, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := models.NAIPredict(m, hops, 0.9, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE17TransformerFit covers E17: SPD-biased attention training
+// (small task, few epochs).
+func BenchmarkE17TransformerFit(b *testing.B) {
+	ds, err := dataset.Generate(dataset.Config{
+		Nodes: 600, Classes: 3, AvgDegree: 10, Homophily: 0.85,
+		FeatureDim: 16, NoiseStd: 1.0, TrainFrac: 0.5, ValFrac: 0.2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := quickTrain()
+	cfg.Epochs = 5
+	cfg.Hidden = 32
+	cfg.BatchSize = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := models.NewGraphTransformer(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Fit(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command gnnbench runs the reproduction experiments (F1, E1–E13 from
+// DESIGN.md) and prints their tables.
+//
+// Usage:
+//
+//	gnnbench                  # run everything at full scale
+//	gnnbench -run E5,E12      # run selected experiments
+//	gnnbench -quick           # shrunken workloads (~seconds each)
+//	gnnbench -list            # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"scalegnn/internal/bench"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick   = flag.Bool("quick", false, "run shrunken workloads")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		seed    = flag.Uint64("seed", 42, "base random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s §%-6s %s\n", e.ID, e.Anchor, e.Title)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *runList == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.Get(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gnnbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gnnbench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		tbl.Render(os.Stdout)
+		fmt.Printf("  (%s in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// Condense: shrink the training graph two ways (§3.3.4) — multilevel
+// coarsening at 2-8x, and GDEM-style spectral condensation — train a GCN
+// on the small graph, and lift predictions back, with honest evaluation on
+// the original graph via the core.Pipeline API.
+//
+//	go run ./examples/condense
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalegnn/internal/coarsen"
+	"scalegnn/internal/core"
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/models"
+	"scalegnn/internal/tensor"
+)
+
+func main() {
+	ds, err := dataset.Generate(dataset.Config{
+		Nodes: 10000, Classes: 5, AvgDegree: 12, Homophily: 0.85,
+		FeatureDim: 32, NoiseStd: 1.0, TrainFrac: 0.5, ValFrac: 0.2, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := models.DefaultTrainConfig()
+	cfg.Epochs = 60
+
+	// Baseline: GCN on the full graph.
+	full, err := models.NewGCN(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullRep, err := full.Fit(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full graph:  n=%d  acc=%.4f  train=%v\n",
+		ds.G.N, fullRep.TestAcc, fullRep.TrainTime)
+
+	// Pipeline: coarsen (spectral-aware) -> GCN -> lift -> evaluate on the
+	// ORIGINAL graph's test split.
+	for _, ratio := range []float64{2, 4, 8} {
+		m, err := models.NewGCN(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := &core.Pipeline{
+			Transforms: []core.Transform{
+				&core.CoarsenTransform{Ratio: ratio, Strategy: coarsen.NormalizedHeavyEdge},
+			},
+			Model: m,
+		}
+		rep, err := p.Run(ds, cfg, tensor.NewRand(uint64(ratio)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("coarsen %2.0fx: n=%d  acc=%.4f  train=%v  (%.1fx faster)\n",
+			ratio, rep.NodesAfter, rep.OrigTestAcc,
+			rep.Fit.TrainTime,
+			float64(fullRep.TrainTime)/float64(rep.Fit.TrainTime))
+	}
+	// Spectral condensation (GDEM-style): cluster in the bottom-k
+	// eigenbasis instead of contracting matched pairs.
+	m, err := models.NewGCN(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := &core.Pipeline{
+		Transforms: []core.Transform{&core.CondenseTransform{Ratio: 4}},
+		Model:      m,
+	}
+	rep, err := p.Run(ds, cfg, tensor.NewRand(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("condense 4x: n=%d  acc=%.4f  train=%v  (spectral, GDEM-style)\n",
+		rep.NodesAfter, rep.OrigTestAcc, rep.Fit.TrainTime)
+
+	fmt.Println("\ncoarse supervision uses train labels only; test accuracy is measured")
+	fmt.Println("on the original nodes through the prediction lift. On modular graphs")
+	fmt.Println("the eigenbasis-matched condensation preserves nearly full accuracy.")
+}

@@ -1,0 +1,57 @@
+// Heterophily: sweep the graph's homophily level and watch the pure
+// low-pass model (SGC) collapse while the multi-filter model (LD2-style,
+// §3.2.1) holds — the motivating scenario for spectral embeddings in
+// scalable GNNs.
+//
+//	go run ./examples/heterophily
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/models"
+)
+
+func main() {
+	fmt.Println("homophily  SGC(low-pass)  LD2(multi-filter)")
+	for _, h := range []float64{0.05, 0.25, 0.50, 0.75, 0.95} {
+		ds, err := dataset.Generate(dataset.Config{
+			Nodes: 3000, Classes: 3, AvgDegree: 16, Homophily: h,
+			FeatureDim: 24, NoiseStd: 1.5, // noisy features force reliance on structure
+			TrainFrac: 0.5, ValFrac: 0.2, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := models.DefaultTrainConfig()
+		cfg.Epochs = 80
+
+		sgc, err := models.NewSGC(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sgcRep, err := sgc.Fit(ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		ld2, err := models.NewLD2(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ld2Rep, err := ld2.Fit(ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		marker := ""
+		if ld2Rep.TestAcc > sgcRep.TestAcc+0.05 {
+			marker = "  <- multi-filter wins"
+		}
+		fmt.Printf("   %.2f       %.4f          %.4f%s\n", h, sgcRep.TestAcc, ld2Rep.TestAcc, marker)
+	}
+	fmt.Println("\nLD2's high-pass channel carries the heterophilous signal that")
+	fmt.Println("low-pass smoothing destroys; both models remain mini-batch trainable.")
+}

@@ -1,0 +1,58 @@
+// Linkprediction: predict held-out edges with SUREL-style stored-walk
+// features (§3.3.3). The walk store is the only component that touches the
+// graph; per-pair features are assembled by joining two stored walk sets,
+// and a small MLP ranks true pairs above sampled non-edges.
+//
+//	go run ./examples/linkprediction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalegnn/internal/graph"
+	"scalegnn/internal/linkpred"
+	"scalegnn/internal/metrics"
+	"scalegnn/internal/tensor"
+)
+
+func main() {
+	// A community-structured graph: communities create the triadic closure
+	// that makes missing links predictable.
+	g, _, err := graph.SBM(graph.SBMConfig{
+		Nodes: 3000, Blocks: 8, AvgDegree: 16, Homophily: 0.9,
+	}, tensor.NewRand(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Hide 15% of edges for testing and 30% as training supervision; both
+	// are invisible to the walk store (no direct-edge shortcut).
+	task, err := linkpred.NewTask(g, 0.15, 0.3, tensor.NewRand(43))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: n=%d, observed edges %d, train pairs %d, test pairs %d\n",
+		g.N, task.Observed.NumEdges()/2, len(task.TrainPairs), len(task.TestPairs))
+
+	// Heuristic baseline.
+	cn := metrics.AUC(linkpred.CommonNeighbors(task.Observed, task.TestPairs), task.TestLabels)
+	fmt.Printf("common neighbors:  test AUC %.4f\n", cn)
+
+	// SUREL-style walk-join model.
+	cfg := linkpred.DefaultConfig()
+	model, err := linkpred.NewWalkFeatureModel(task, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainAUC, err := model.Fit(task, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	testAUC, err := model.Evaluate(task, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("walk-join + MLP:   test AUC %.4f (train %.4f)\n", testAUC, trainAUC)
+	fmt.Println("\nevery query reuses the endpoints' stored walk sets; the graph is")
+	fmt.Println("never re-traversed per pair — the SUREL storage/compute trade.")
+}

@@ -1,0 +1,74 @@
+// Minibatch: demonstrate neighborhood explosion (§3.1.3) on a large
+// power-law graph and how neighbor sampling caps it, then train GraphSAGE
+// with sampled mini-batches and compare against full-batch GCN memory.
+//
+//	go run ./examples/minibatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/models"
+	"scalegnn/internal/sampling"
+	"scalegnn/internal/tensor"
+)
+
+func main() {
+	ds, err := dataset.Generate(dataset.Config{
+		Nodes: 20000, Classes: 5, AvgDegree: 12, Homophily: 0.8,
+		FeatureDim: 32, NoiseStd: 1.0, TrainFrac: 0.5, ValFrac: 0.2, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Part 1: the explosion. How many nodes does a 256-node batch touch?
+	batch := make([]int32, 256)
+	for i := range batch {
+		batch[i] = int32(i * (ds.G.N / len(batch)))
+	}
+	rng := tensor.NewRand(3)
+	sampler, err := sampling.NewNeighborSampler(ds.G, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("layers  full receptive field  sampled (fanout 5)")
+	for l := 1; l <= 4; l++ {
+		full := sampling.ReceptiveField(ds.G, batch, l)
+		samp := sampling.SampledFieldSize(sampler, batch, l, rng)
+		fmt.Printf("  %d        %6d (%4.1f%%)         %6d\n",
+			l, full, 100*float64(full)/float64(ds.G.N), samp)
+	}
+
+	// Part 2: sampled training vs full-batch training.
+	cfg := models.DefaultTrainConfig()
+	cfg.Epochs = 40
+	cfg.BatchSize = 512
+
+	sage, err := models.NewGraphSAGE(2, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sageRep, err := sage.Fit(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gcn, err := models.NewGCN(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gcnRep, err := gcn.Fit(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-14s acc=%.4f  peak resident floats=%.1fM\n",
+		gcnRep.Model, gcnRep.TestAcc, float64(gcnRep.PeakFloats)/1e6)
+	fmt.Printf("%-14s acc=%.4f  peak resident floats=%.1fM  (%.0fx smaller)\n",
+		sageRep.Model, sageRep.TestAcc, float64(sageRep.PeakFloats)/1e6,
+		float64(gcnRep.PeakFloats)/float64(sageRep.PeakFloats))
+	fmt.Println("\nsampling bounds the computation graph per batch, so memory no longer")
+	fmt.Println("scales with the graph — the GPU-memory fix of §3.1.2.")
+}

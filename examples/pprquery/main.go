@@ -1,0 +1,77 @@
+// PPRQuery: compare the three Personalized PageRank estimators (§3.1.2's
+// decoupled-propagation substrate) on a large power-law graph, then show a
+// top-k proximity query — the building block of APPNP/SCARA-style models.
+//
+//	go run ./examples/pprquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"scalegnn/internal/graph"
+	"scalegnn/internal/ppr"
+	"scalegnn/internal/tensor"
+)
+
+func main() {
+	rng := tensor.NewRand(42)
+	g := graph.BarabasiAlbert(200000, 6, rng)
+	fmt.Printf("graph: n=%d arcs=%d\n\n", g.N, g.NumEdges())
+	src := 12345
+
+	// Exact (tightly converged power iteration) — O(m) per round.
+	start := time.Now()
+	exact, iters, err := ppr.PowerIteration(g, src, ppr.Config{Alpha: 0.15, MaxIter: 200, Tol: 1e-10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("power iteration: %v (%d rounds over all %d arcs)\n",
+		time.Since(start).Round(time.Millisecond), iters, g.NumEdges())
+
+	// Forward push — local, touches only high-residual nodes.
+	start = time.Now()
+	res, err := ppr.ForwardPush(g, src, ppr.Config{Alpha: 0.15, Epsilon: 1e-6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nonzero := 0
+	var worst float64
+	for v, p := range res.Estimate {
+		if p > 0 {
+			nonzero++
+		}
+		if d := exact[v] - p; d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("forward push:    %v (%d pushes, %d/%d nodes touched, max err %.2g)\n",
+		time.Since(start).Round(time.Millisecond), res.Pushes, nonzero, g.N, worst)
+
+	// Monte Carlo — unbiased, O(1/√w) error.
+	start = time.Now()
+	mc, err := ppr.MonteCarlo(g, src, 20000, 0.15, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst = 0
+	for v := range mc {
+		if d := exact[v] - mc[v]; d > worst {
+			worst = d
+		} else if -d > worst {
+			worst = -d
+		}
+	}
+	fmt.Printf("monte carlo:     %v (20000 walks, max err %.2g)\n\n",
+		time.Since(start).Round(time.Millisecond), worst)
+
+	// The query a PPR-based GNN issues: which nodes matter most to src?
+	top := ppr.TopK(res.Estimate, 8)
+	fmt.Printf("top-8 PPR neighbors of node %d:\n", src)
+	for _, e := range top {
+		fmt.Printf("  node %-8d score %.5f  degree %d\n", e.Node, e.Score, g.Degree(e.Node))
+	}
+	fmt.Println("\nforward push gives APPNP/SCARA-class models their scalability: the")
+	fmt.Println("work is proportional to pushed mass, independent of graph size.")
+}

@@ -1,0 +1,60 @@
+// Quickstart: generate a synthetic node-classification task, train the
+// decoupled SGC model, and evaluate — the minimal end-to-end path through
+// the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/models"
+)
+
+func main() {
+	// 1. A graph learning task: stochastic block model graph with
+	//    class-conditional features, 50/20/30 train/val/test split.
+	ds, err := dataset.Generate(dataset.Config{
+		Nodes:      5000,
+		Classes:    5,
+		AvgDegree:  10,
+		Homophily:  0.8, // homophilous: neighbors tend to share labels
+		FeatureDim: 32,
+		NoiseStd:   1.2,
+		TrainFrac:  0.5,
+		ValFrac:    0.2,
+		Seed:       42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("task: %d nodes, %d arcs, %d classes, measured homophily %.2f\n",
+		ds.G.N, ds.G.NumEdges(), ds.NumClasses, dataset.EdgeHomophily(ds.G, ds.Labels))
+
+	// 2. A scalable model: SGC precomputes Â²X once, then trains a linear
+	//    head with mini-batches — no graph access during training.
+	model, err := models.NewSGC(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := models.DefaultTrainConfig()
+	cfg.Epochs = 100
+
+	// 3. Train and report.
+	rep, err := model.Fit(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+	fmt.Printf("graph precompute: %v, then %d epochs at %v/epoch\n",
+		rep.Precompute, rep.Epochs, rep.EpochTime)
+
+	// 4. Predictions for downstream use.
+	pred, err := model.Predict(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first 10 predictions: %v\n", pred[:10])
+}

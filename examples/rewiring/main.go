@@ -1,0 +1,57 @@
+// Rewiring: make a heterophilous graph fit a low-pass GNN (DHGR, §3.2.2).
+// Similar 2-hop pairs get new edges, dissimilar existing edges are pruned;
+// edge homophily rises and the same SGC model recovers accuracy.
+//
+//	go run ./examples/rewiring
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/models"
+	"scalegnn/internal/rewire"
+)
+
+func main() {
+	ds, err := dataset.Generate(dataset.Config{
+		Nodes: 3000, Classes: 4, AvgDegree: 10, Homophily: 0.1, // heterophilous
+		FeatureDim: 24, NoiseStd: 0.8, TrainFrac: 0.5, ValFrac: 0.2, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := models.DefaultTrainConfig()
+	cfg.Epochs = 60
+
+	trainSGC := func(d *dataset.Dataset) float64 {
+		m, err := models.NewSGC(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := m.Fit(d, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep.TestAcc
+	}
+
+	h0 := dataset.EdgeHomophily(ds.G, ds.Labels)
+	fmt.Printf("original graph:  %6d edges, homophily %.3f, SGC acc %.4f\n",
+		ds.G.NumEdges()/2, h0, trainSGC(ds))
+
+	sim := rewire.NewCosineSimilarity(ds.G, ds.X)
+	res, err := rewire.Rewire(ds.G, sim, rewire.Config{AddK: 3, PruneBelow: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds2 := *ds
+	ds2.G = res.G
+	_, h1 := rewire.HomophilyGain(ds.G, res.G, ds.Labels)
+	fmt.Printf("rewired graph:   %6d edges, homophily %.3f, SGC acc %.4f\n",
+		res.G.NumEdges()/2, h1, trainSGC(&ds2))
+	fmt.Printf("(added %d similar edges, pruned %d dissimilar ones)\n", res.Added, res.Pruned)
+	fmt.Println("\nthe GNN itself is unchanged — the data-management step made the")
+	fmt.Println("graph fit the model, the central move of tutorial §3.3.")
+}

@@ -1,0 +1,3 @@
+module scalegnn
+
+go 1.22

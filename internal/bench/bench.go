@@ -1,0 +1,140 @@
+// Package bench implements the experiment harness: one runner per
+// experiment in DESIGN.md's index (F1, E1–E20), each reproducing the
+// scalability claim of one tutorial section on synthetic workloads and
+// printing a table. cmd/gnnbench drives it from the command line and the
+// root-level benchmarks reuse its kernels.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the tutorial claim the table tests
+	Header  []string
+	Rows    [][]string
+	Notes   []string
+	Verdict string // one-line "does the shape hold" summary
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render pretty-prints the table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n=== %s: %s ===\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	if t.Verdict != "" {
+		fmt.Fprintf(w, "  verdict: %s\n", t.Verdict)
+	}
+}
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks workloads for CI/tests; full scale is the default.
+	Quick bool
+	Seed  uint64
+}
+
+// Experiment is one reproducible claim test.
+type Experiment struct {
+	ID     string
+	Anchor string // tutorial section
+	Title  string
+	Run    func(cfg Config) (*Table, error)
+}
+
+// registry of experiments, populated by init() in per-experiment files.
+var experiments = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := experiments[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	experiments[e.ID] = e
+}
+
+// All returns experiments sorted by ID (F1 first, then E1..E13 in numeric
+// order).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(experiments))
+	for _, e := range experiments {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return expLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// Get returns one experiment by ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := experiments[id]
+	return e, ok
+}
+
+// expLess orders F* before E*, and E-numbers numerically.
+func expLess(a, b string) bool {
+	pa, pb := a[0], b[0]
+	if pa != pb {
+		return pa == 'F'
+	}
+	var na, nb int
+	fmt.Sscanf(a[1:], "%d", &na)
+	fmt.Sscanf(b[1:], "%d", &nb)
+	return na < nb
+}
+
+// fnum formats a float compactly for tables.
+func fnum(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 1 || v <= -1:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllRegisteredAndOrdered(t *testing.T) {
+	all := All()
+	if len(all) != 21 { // F1 + E1..E20
+		t.Fatalf("registered %d experiments, want 21", len(all))
+	}
+	if all[0].ID != "F1" {
+		t.Errorf("first experiment = %s, want F1", all[0].ID)
+	}
+	want := []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("position %d: %s, want %s", i, e.ID, want[i])
+		}
+		if e.Anchor == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	if _, ok := Get("E1"); !ok {
+		t.Error("E1 should exist")
+	}
+	if _, ok := Get("E99"); ok {
+		t.Error("E99 should not exist")
+	}
+}
+
+// TestEveryExperimentRunsQuick executes all experiments in quick mode and
+// sanity-checks their tables. This is the integration test of the whole
+// reproduction: every claim's harness must produce a well-formed result.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep still takes ~minutes")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(Config{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Header) == 0 || len(tbl.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("%s row %d: %d cells for %d columns", e.ID, i, len(row), len(tbl.Header))
+				}
+			}
+			var buf bytes.Buffer
+			tbl.Render(&buf)
+			if !strings.Contains(buf.String(), tbl.ID) {
+				t.Errorf("%s: render missing ID", e.ID)
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID: "X1", Title: "test", Claim: "c",
+		Header:  []string{"a", "bb"},
+		Notes:   []string{"a note"},
+		Verdict: "fine",
+	}
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"X1", "claim: c", "a note", "verdict: fine", "bb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFnum(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		1234:   "1.23e+03",
+		2.5:    "2.500",
+		0.1234: "0.1234",
+	}
+	for in, want := range cases {
+		if got := fnum(in); got != want {
+			t.Errorf("fnum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Package coarsen implements graph coarsening — tutorial §3.3.4. Coarsening
+// contracts nodes into supernodes, producing a smaller graph that shares
+// structural (and, for the spectral-aware variants, spectral) properties
+// with the original, so a GNN can train on the coarse graph at a fraction
+// of the time and memory cost.
+//
+// The package provides multilevel matching-based coarsening with three
+// matching strategies (random, heavy-edge, normalized heavy-edge — the
+// structure-/spectral-based split of the tutorial), feature/label
+// projection and prediction lifting operators, and the SEIGNN-style
+// supernode augmentation that keeps inter-subgraph propagation alive during
+// mini-batch training of implicit GNNs.
+package coarsen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"scalegnn/internal/graph"
+	"scalegnn/internal/spectral"
+	"scalegnn/internal/tensor"
+)
+
+// Strategy selects how contraction pairs are chosen at each level.
+type Strategy int
+
+const (
+	// RandomMatching contracts uniformly random adjacent pairs (baseline).
+	RandomMatching Strategy = iota
+	// HeavyEdge contracts pairs connected by the heaviest edges first —
+	// the classic structure-preserving multilevel heuristic (METIS-style).
+	HeavyEdge
+	// NormalizedHeavyEdge ranks edges by w/√(deg u · deg v), approximately
+	// preserving the normalized Laplacian (spectral-aware coarsening).
+	NormalizedHeavyEdge
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case RandomMatching:
+		return "random"
+	case HeavyEdge:
+		return "heavy-edge"
+	case NormalizedHeavyEdge:
+		return "normalized-heavy-edge"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Result is a completed coarsening.
+type Result struct {
+	// Coarse is the contracted graph; edge weights accumulate the original
+	// inter-cluster edge weights.
+	Coarse *graph.CSR
+	// Assign maps each original node to its coarse node.
+	Assign []int
+	// Levels is the number of matching rounds performed.
+	Levels int
+	// ClusterSize[c] is the number of original nodes inside coarse node c.
+	ClusterSize []int
+}
+
+// Ratio returns n_original / n_coarse.
+func (r *Result) Ratio() float64 {
+	if r.Coarse.N == 0 {
+		return 0
+	}
+	return float64(len(r.Assign)) / float64(r.Coarse.N)
+}
+
+// Coarsen contracts g until it has at most targetNodes nodes (or no further
+// matching is possible), using the given strategy. Each level performs one
+// maximal matching and contracts every matched pair.
+func Coarsen(g *graph.CSR, targetNodes int, strategy Strategy, rng *rand.Rand) (*Result, error) {
+	if targetNodes < 1 {
+		return nil, fmt.Errorf("coarsen: target %d < 1", targetNodes)
+	}
+	if !g.Undirected() {
+		return nil, fmt.Errorf("coarsen: requires an undirected graph")
+	}
+	cur := g
+	assign := make([]int, g.N)
+	for i := range assign {
+		assign[i] = i
+	}
+	levels := 0
+	for cur.N > targetNodes {
+		match := matchLevel(cur, strategy, rng)
+		next, mapping, contracted := contract(cur, match)
+		if contracted == 0 {
+			break // no adjacent pairs left to merge
+		}
+		for i := range assign {
+			assign[i] = mapping[assign[i]]
+		}
+		cur = next
+		levels++
+	}
+	sizes := make([]int, cur.N)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	return &Result{Coarse: cur, Assign: assign, Levels: levels, ClusterSize: sizes}, nil
+}
+
+// matchLevel computes a maximal matching: match[u] = v means u and v merge
+// (match[u] == u means unmatched this round).
+func matchLevel(g *graph.CSR, strategy Strategy, rng *rand.Rand) []int32 {
+	match := make([]int32, g.N)
+	for i := range match {
+		match[i] = int32(i)
+	}
+	order := tensor.Perm(g.N, rng)
+	deg := g.Degrees()
+	for _, u := range order {
+		if match[u] != int32(u) {
+			continue
+		}
+		ns := g.Neighbors(u)
+		ws := g.NeighborWeights(u)
+		best := int32(-1)
+		var bestScore float64
+		for i, v := range ns {
+			if int(v) == u || match[v] != v {
+				continue
+			}
+			w := 1.0
+			if ws != nil {
+				w = ws[i]
+			}
+			var score float64
+			switch strategy {
+			case RandomMatching:
+				score = rng.Float64()
+			case HeavyEdge:
+				score = w
+			case NormalizedHeavyEdge:
+				score = w / math.Sqrt(float64(deg[u])*float64(deg[v]))
+			}
+			if best == -1 || score > bestScore {
+				best, bestScore = v, score
+			}
+		}
+		if best >= 0 {
+			match[u] = best
+			match[best] = int32(u)
+		}
+	}
+	return match
+}
+
+// contract merges matched pairs into single nodes, returning the coarse
+// graph, the fine→coarse mapping, and the number of contractions.
+func contract(g *graph.CSR, match []int32) (*graph.CSR, []int, int) {
+	mapping := make([]int, g.N)
+	next := 0
+	contracted := 0
+	for u := 0; u < g.N; u++ {
+		v := int(match[u])
+		if v < u {
+			mapping[u] = mapping[v] // partner already numbered
+			continue
+		}
+		mapping[u] = next
+		if v != u {
+			contracted++
+		}
+		next++
+	}
+	b := graph.NewBuilder(next)
+	for _, e := range g.UndirectedEdges() {
+		cu, cv := mapping[e.U], mapping[e.V]
+		if cu == cv {
+			continue // internal edge disappears
+		}
+		b.AddWeightedEdge(cu, cv, e.W)
+	}
+	coarse := b.MustBuild()
+	return coarse, mapping, contracted
+}
+
+// ProjectFeatures mean-pools fine node features into coarse nodes.
+func ProjectFeatures(x *tensor.Matrix, assign []int, nCoarse int) *tensor.Matrix {
+	out := tensor.New(nCoarse, x.Cols)
+	counts := make([]float64, nCoarse)
+	for u, c := range assign {
+		counts[c]++
+		row := out.Row(c)
+		for j, v := range x.Row(u) {
+			row[j] += v
+		}
+	}
+	for c := 0; c < nCoarse; c++ {
+		if counts[c] > 0 {
+			inv := 1 / counts[c]
+			row := out.Row(c)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
+	return out
+}
+
+// ProjectLabels assigns each coarse node the majority label of its members
+// (ties go to the smaller label). Unlabeled members (label < 0) are
+// ignored; a cluster with no labeled member gets -1.
+func ProjectLabels(labels []int, assign []int, nCoarse, numClasses int) []int {
+	counts := make([][]int, nCoarse)
+	for i := range counts {
+		counts[i] = make([]int, numClasses)
+	}
+	hasAny := make([]bool, nCoarse)
+	for u, c := range assign {
+		if labels[u] >= 0 && labels[u] < numClasses {
+			counts[c][labels[u]]++
+			hasAny[c] = true
+		}
+	}
+	out := make([]int, nCoarse)
+	for c := range out {
+		if !hasAny[c] {
+			out[c] = -1
+			continue
+		}
+		best := 0
+		for k := 1; k < numClasses; k++ {
+			if counts[c][k] > counts[c][best] {
+				best = k
+			}
+		}
+		out[c] = best
+	}
+	return out
+}
+
+// Lift broadcasts coarse predictions (rows = coarse nodes) back to the
+// original nodes.
+func Lift(coarse *tensor.Matrix, assign []int) *tensor.Matrix {
+	out := tensor.New(len(assign), coarse.Cols)
+	for u, c := range assign {
+		copy(out.Row(u), coarse.Row(c))
+	}
+	return out
+}
+
+// LiftLabels broadcasts coarse integer predictions back to fine nodes.
+func LiftLabels(coarse []int, assign []int) []int {
+	out := make([]int, len(assign))
+	for u, c := range assign {
+		out[u] = coarse[c]
+	}
+	return out
+}
+
+// AugmentWithSupernodes implements the SEIGNN construction: given a node
+// partition (assign: node → part, nParts parts), build a graph of
+// n + nParts nodes where the original edges are kept, each original node
+// links to its part's supernode, and supernodes of parts joined by an
+// original edge are linked. Mini-batches drawn from one part plus the
+// supernode layer retain a path for inter-part propagation.
+//
+// Returned supernode IDs are n .. n+nParts-1.
+func AugmentWithSupernodes(g *graph.CSR, assign []int, nParts int) (*graph.CSR, error) {
+	if len(assign) != g.N {
+		return nil, fmt.Errorf("coarsen: assign length %d != n %d", len(assign), g.N)
+	}
+	for u, p := range assign {
+		if p < 0 || p >= nParts {
+			return nil, fmt.Errorf("coarsen: node %d assigned to invalid part %d", u, p)
+		}
+	}
+	b := graph.NewBuilder(g.N + nParts)
+	for _, e := range g.UndirectedEdges() {
+		b.AddWeightedEdge(e.U, e.V, e.W)
+		pu, pv := assign[e.U], assign[e.V]
+		if pu != pv {
+			b.AddWeightedEdge(g.N+pu, g.N+pv, e.W)
+		}
+	}
+	for u, p := range assign {
+		b.AddEdge(u, g.N+p)
+	}
+	return b.Build()
+}
+
+// LiftedQuadraticError verifies the contraction invariant: for any coarse
+// vector x_c and its lift x_f, x_cᵀ L_c x_c must equal x_fᵀ L_f x_f exactly,
+// because coarse edge weights accumulate inter-cluster fine weights and
+// intra-cluster edges vanish on lifted (cluster-constant) vectors. A
+// nonzero return indicates a contraction bug.
+func LiftedQuadraticError(g *graph.CSR, r *Result, trials int, rng *rand.Rand) float64 {
+	var worst float64
+	for t := 0; t < trials; t++ {
+		xc := make([]float64, r.Coarse.N)
+		for i := range xc {
+			xc[i] = rng.NormFloat64()
+		}
+		xf := make([]float64, g.N)
+		for u, c := range r.Assign {
+			xf[u] = xc[c]
+		}
+		qc := quadratic(r.Coarse, xc)
+		qf := quadratic(g, xf)
+		if qf == 0 {
+			continue
+		}
+		if e := math.Abs(qc-qf) / qf; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func quadratic(g *graph.CSR, x []float64) float64 {
+	var s float64
+	for _, e := range g.UndirectedEdges() {
+		d := x[e.U] - x[e.V]
+		s += e.W * d * d
+	}
+	return s
+}
+
+// EigenvalueError measures spectral preservation: the mean relative error
+// between the k smallest nonzero combinatorial-Laplacian eigenvalues of the
+// fine and coarse graphs. The spectral-aware matching strategies aim to
+// keep this small (the GDEM/GC-SNTK objective, §3.3.4). O(n³) — use on
+// graphs small enough to diagonalize densely.
+func EigenvalueError(g *graph.CSR, r *Result, k int) float64 {
+	fine := laplacianEigenvalues(g)
+	coarse := laplacianEigenvalues(r.Coarse)
+	fi := firstNonzero(fine)
+	ci := firstNonzero(coarse)
+	var sum float64
+	count := 0
+	for i := 0; i < k && fi+i < len(fine) && ci+i < len(coarse); i++ {
+		f, c := fine[fi+i], coarse[ci+i]
+		if f == 0 {
+			continue
+		}
+		sum += math.Abs(f-c) / f
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+func firstNonzero(vals []float64) int {
+	for i, v := range vals {
+		if v > 1e-9 {
+			return i
+		}
+	}
+	return len(vals)
+}
+
+// laplacianEigenvalues densely diagonalizes the combinatorial Laplacian.
+func laplacianEigenvalues(g *graph.CSR) []float64 {
+	n := g.N
+	l := tensor.New(n, n)
+	for _, e := range g.UndirectedEdges() {
+		l.Set(e.U, e.U, l.At(e.U, e.U)+e.W)
+		l.Set(e.V, e.V, l.At(e.V, e.V)+e.W)
+		l.Set(e.U, e.V, l.At(e.U, e.V)-e.W)
+		l.Set(e.V, e.U, l.At(e.V, e.U)-e.W)
+	}
+	vals, _ := spectral.JacobiEigen(l, 100)
+	return vals
+}

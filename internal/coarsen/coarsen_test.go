@@ -1,0 +1,242 @@
+package coarsen
+
+import (
+	"math"
+	"testing"
+
+	"scalegnn/internal/graph"
+	"scalegnn/internal/tensor"
+)
+
+func testGraph(t *testing.T, seed uint64) *graph.CSR {
+	t.Helper()
+	return graph.BarabasiAlbert(200, 4, tensor.NewRand(seed))
+}
+
+func TestCoarsenReachesTarget(t *testing.T) {
+	g := testGraph(t, 1)
+	rng := tensor.NewRand(2)
+	for _, s := range []Strategy{RandomMatching, HeavyEdge, NormalizedHeavyEdge} {
+		r, err := Coarsen(g, 50, s, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Coarse.N > 60 {
+			t.Errorf("%v: coarse n = %d, want <= ~50", s, r.Coarse.N)
+		}
+		if r.Levels == 0 {
+			t.Errorf("%v: no levels performed", s)
+		}
+		if r.Ratio() < 3 {
+			t.Errorf("%v: ratio = %v", s, r.Ratio())
+		}
+	}
+}
+
+func TestAssignConsistency(t *testing.T) {
+	g := testGraph(t, 3)
+	rng := tensor.NewRand(4)
+	r, err := Coarsen(g, 40, HeavyEdge, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Assign) != g.N {
+		t.Fatalf("assign length %d", len(r.Assign))
+	}
+	total := 0
+	for c, s := range r.ClusterSize {
+		if s == 0 {
+			t.Errorf("empty cluster %d", c)
+		}
+		total += s
+	}
+	if total != g.N {
+		t.Errorf("cluster sizes sum to %d, want %d", total, g.N)
+	}
+	for _, c := range r.Assign {
+		if c < 0 || c >= r.Coarse.N {
+			t.Fatalf("assign out of range: %d", c)
+		}
+	}
+}
+
+// TestLiftedQuadraticInvariant checks the exact contraction invariant:
+// quadratic forms of lifted vectors are preserved to machine precision.
+func TestLiftedQuadraticInvariant(t *testing.T) {
+	g := testGraph(t, 5)
+	rng := tensor.NewRand(6)
+	for _, s := range []Strategy{RandomMatching, HeavyEdge, NormalizedHeavyEdge} {
+		r, err := Coarsen(g, 30, s, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := LiftedQuadraticError(g, r, 10, rng); e > 1e-10 {
+			t.Errorf("%v: lifted quadratic error %v (contraction weights wrong)", s, e)
+		}
+	}
+}
+
+func TestConnectivityPreserved(t *testing.T) {
+	// Contracting a connected graph must stay connected.
+	g := testGraph(t, 7)
+	rng := tensor.NewRand(8)
+	r, err := Coarsen(g, 20, HeavyEdge, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, k := r.Coarse.ConnectedComponents(); k != 1 {
+		t.Errorf("coarse graph has %d components", k)
+	}
+}
+
+func TestCoarsenValidation(t *testing.T) {
+	g := testGraph(t, 9)
+	rng := tensor.NewRand(10)
+	if _, err := Coarsen(g, 0, HeavyEdge, rng); err == nil {
+		t.Error("target 0 should error")
+	}
+	b := graph.NewBuilder(2)
+	b.Directed = true
+	b.AddEdge(0, 1)
+	if _, err := Coarsen(b.MustBuild(), 1, HeavyEdge, rng); err == nil {
+		t.Error("directed graph should error")
+	}
+}
+
+func TestCoarsenStopsOnDisconnected(t *testing.T) {
+	// A graph with no edges cannot be contracted below n; Coarsen must
+	// terminate rather than loop.
+	g, err := graph.FromEdges(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Coarsen(g, 2, HeavyEdge, tensor.NewRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Coarse.N != 10 {
+		t.Errorf("edgeless graph contracted to %d", r.Coarse.N)
+	}
+}
+
+func TestProjectFeaturesMeanPooling(t *testing.T) {
+	x := tensor.FromRows([][]float64{{1, 2}, {3, 4}, {10, 20}})
+	assign := []int{0, 0, 1}
+	out := ProjectFeatures(x, assign, 2)
+	if out.At(0, 0) != 2 || out.At(0, 1) != 3 {
+		t.Errorf("cluster 0 = %v", out.Row(0))
+	}
+	if out.At(1, 0) != 10 || out.At(1, 1) != 20 {
+		t.Errorf("cluster 1 = %v", out.Row(1))
+	}
+}
+
+func TestProjectLabelsMajority(t *testing.T) {
+	labels := []int{0, 0, 1, 2, -1}
+	assign := []int{0, 0, 0, 1, 2}
+	out := ProjectLabels(labels, assign, 3, 3)
+	if out[0] != 0 {
+		t.Errorf("cluster 0 majority = %d, want 0", out[0])
+	}
+	if out[1] != 2 {
+		t.Errorf("cluster 1 = %d, want 2", out[1])
+	}
+	if out[2] != -1 {
+		t.Errorf("unlabeled cluster = %d, want -1", out[2])
+	}
+}
+
+func TestLiftRoundTrip(t *testing.T) {
+	coarse := tensor.FromRows([][]float64{{1, 2}, {3, 4}})
+	assign := []int{1, 0, 1}
+	out := Lift(coarse, assign)
+	if out.At(0, 0) != 3 || out.At(1, 0) != 1 || out.At(2, 1) != 4 {
+		t.Errorf("lift = %v", out.Data)
+	}
+	lbl := LiftLabels([]int{7, 9}, assign)
+	if lbl[0] != 9 || lbl[1] != 7 || lbl[2] != 9 {
+		t.Errorf("lift labels = %v", lbl)
+	}
+}
+
+func TestAugmentWithSupernodes(t *testing.T) {
+	g := testGraph(t, 12)
+	rng := tensor.NewRand(13)
+	r, err := Coarsen(g, 10, HeavyEdge, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := AugmentWithSupernodes(g, r.Assign, r.Coarse.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aug.N != g.N+r.Coarse.N {
+		t.Fatalf("augmented n = %d, want %d", aug.N, g.N+r.Coarse.N)
+	}
+	// Every original node is linked to its supernode.
+	for u, p := range r.Assign {
+		if !aug.HasEdge(u, g.N+p) {
+			t.Fatalf("node %d missing supernode link", u)
+		}
+	}
+	// Original edges intact.
+	for _, e := range g.UndirectedEdges() {
+		if !aug.HasEdge(e.U, e.V) {
+			t.Fatal("original edge lost in augmentation")
+		}
+	}
+}
+
+func TestAugmentValidation(t *testing.T) {
+	g := testGraph(t, 14)
+	if _, err := AugmentWithSupernodes(g, []int{0}, 1); err == nil {
+		t.Error("wrong assign length should error")
+	}
+	bad := make([]int, g.N)
+	bad[0] = 99
+	if _, err := AugmentWithSupernodes(g, bad, 2); err == nil {
+		t.Error("out-of-range part should error")
+	}
+}
+
+func TestEigenvalueErrorSpectralAwareBeatsRandomOnAverage(t *testing.T) {
+	// Average over seeds: spectral-aware matching should preserve the low
+	// Laplacian spectrum at least as well as random matching on a modular
+	// graph. Averaging keeps the test stable.
+	var randErr, spectErr float64
+	const reps = 5
+	for seed := uint64(0); seed < reps; seed++ {
+		rng := tensor.NewRand(100 + seed)
+		g, _, err := graph.SBM(graph.SBMConfig{Nodes: 80, Blocks: 4, AvgDegree: 8, Homophily: 0.9}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := Coarsen(g, 20, RandomMatching, tensor.NewRand(seed*7+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Coarsen(g, 20, NormalizedHeavyEdge, tensor.NewRand(seed*7+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		randErr += EigenvalueError(g, rr, 5)
+		spectErr += EigenvalueError(g, rs, 5)
+	}
+	if math.IsNaN(randErr) || math.IsNaN(spectErr) {
+		t.Fatal("NaN eigenvalue error")
+	}
+	if spectErr > randErr*1.5 {
+		t.Errorf("spectral-aware error %v far above random %v", spectErr/reps, randErr/reps)
+	}
+}
+
+func BenchmarkCoarsen(b *testing.B) {
+	g := graph.BarabasiAlbert(20000, 5, tensor.NewRand(1))
+	rng := tensor.NewRand(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Coarsen(g, g.N/8, HeavyEdge, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

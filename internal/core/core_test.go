@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+
+	"scalegnn/internal/coarsen"
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/models"
+	"scalegnn/internal/tensor"
+)
+
+func TestRegistryVerify(t *testing.T) {
+	if err := Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryCoversAllSections(t *testing.T) {
+	want := map[string]bool{
+		"3.1.2": false, "3.2.1": false, "3.2.2": false, "3.2.3": false,
+		"3.3.1": false, "3.3.2": false, "3.3.3": false, "3.3.4": false,
+	}
+	for _, tech := range Registry() {
+		if _, ok := want[tech.Section]; ok {
+			want[tech.Section] = true
+		}
+	}
+	for sec, covered := range want {
+		if !covered {
+			t.Errorf("tutorial section %s has no registry entry", sec)
+		}
+	}
+}
+
+func task(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Nodes: 500, Classes: 3, AvgDegree: 12, Homophily: 0.85,
+		FeatureDim: 16, NoiseStd: 1.0, TrainFrac: 0.5, ValFrac: 0.2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func quickCfg() models.TrainConfig {
+	cfg := models.DefaultTrainConfig()
+	cfg.Epochs = 50
+	cfg.Patience = 15
+	return cfg
+}
+
+func TestPipelinePlainModel(t *testing.T) {
+	ds := task(t)
+	m, err := models.NewSGC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{Model: m}
+	rep, err := p.Run(ds, quickCfg(), tensor.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OrigTestAcc < 0.7 {
+		t.Errorf("plain pipeline test acc %.3f", rep.OrigTestAcc)
+	}
+	if rep.EdgesBefore != rep.EdgesAfter || rep.NodesBefore != rep.NodesAfter {
+		t.Error("no-transform pipeline changed the graph")
+	}
+	// With no transforms, the original-graph eval must equal the fit eval.
+	if rep.OrigTestAcc != rep.Fit.TestAcc {
+		t.Errorf("identity pipeline: orig %.4f != fit %.4f", rep.OrigTestAcc, rep.Fit.TestAcc)
+	}
+}
+
+func TestPipelineSparsify(t *testing.T) {
+	ds := task(t)
+	m, err := models.NewSGC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{
+		Transforms: []Transform{&SparsifyTransform{Keep: 0.5}},
+		Model:      m,
+	}
+	rep, err := p.Run(ds, quickCfg(), tensor.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EdgesAfter >= rep.EdgesBefore {
+		t.Error("sparsify did not reduce edges")
+	}
+	if rep.OrigTestAcc < 0.6 {
+		t.Errorf("sparsified pipeline collapsed: %.3f", rep.OrigTestAcc)
+	}
+	if len(rep.Stages) != 1 || rep.Stages[0] != "sparsify-p0.50" {
+		t.Errorf("stages = %v", rep.Stages)
+	}
+}
+
+func TestPipelineCoarsen(t *testing.T) {
+	ds := task(t)
+	m, err := models.NewSGC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{
+		Transforms: []Transform{&CoarsenTransform{Ratio: 4, Strategy: coarsen.HeavyEdge}},
+		Model:      m,
+	}
+	rep, err := p.Run(ds, quickCfg(), tensor.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NodesAfter >= rep.NodesBefore/2 {
+		t.Errorf("coarsening left %d of %d nodes", rep.NodesAfter, rep.NodesBefore)
+	}
+	// Coarse training on a homophilous SBM should still substantially beat
+	// chance (1/3) on the original test set.
+	if rep.OrigTestAcc < 0.55 {
+		t.Errorf("coarse pipeline test acc %.3f", rep.OrigTestAcc)
+	}
+}
+
+func TestPipelineChainedTransforms(t *testing.T) {
+	ds := task(t)
+	m, err := models.NewSGC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{
+		Transforms: []Transform{
+			&SparsifyTransform{TopK: 8},
+			&CoarsenTransform{Ratio: 2, Strategy: coarsen.NormalizedHeavyEdge},
+		},
+		Model: m,
+	}
+	rep, err := p.Run(ds, quickCfg(), tensor.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) != 2 {
+		t.Errorf("stages = %v", rep.Stages)
+	}
+	if rep.OrigTestAcc < 0.5 {
+		t.Errorf("chained pipeline acc %.3f", rep.OrigTestAcc)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	ds := task(t)
+	p := &Pipeline{}
+	if _, err := p.Run(ds, quickCfg(), tensor.NewRand(1)); err == nil {
+		t.Error("pipeline without model should error")
+	}
+	m, _ := models.NewSGC(2)
+	bad := &Pipeline{
+		Transforms: []Transform{&CoarsenTransform{Ratio: 0.5, Strategy: coarsen.HeavyEdge}},
+		Model:      m,
+	}
+	if _, err := bad.Run(ds, quickCfg(), tensor.NewRand(1)); err == nil {
+		t.Error("ratio < 1 should error")
+	}
+}
+
+func TestCoarsenTransformNoTestLeakage(t *testing.T) {
+	// All coarse training labels must be derivable from original TRAIN
+	// nodes only: flipping every non-train label must not change the
+	// coarse dataset's supervision.
+	ds := task(t)
+	ds2 := *ds
+	ds2.Labels = append([]int(nil), ds.Labels...)
+	isTrain := make([]bool, ds.G.N)
+	for _, v := range ds.TrainIdx {
+		isTrain[v] = true
+	}
+	for i := range ds2.Labels {
+		if !isTrain[i] {
+			ds2.Labels[i] = (ds2.Labels[i] + 1) % ds.NumClasses
+		}
+	}
+	tr := &CoarsenTransform{Ratio: 3, Strategy: coarsen.HeavyEdge}
+	a, _, err := tr.Apply(ds, tensor.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := tr.Apply(&ds2, tensor.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Labels) != len(b.Labels) {
+		t.Fatal("nondeterministic coarsening")
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("coarse label %d depends on non-train labels", i)
+		}
+	}
+}
+
+func TestPipelineRewireOnHeterophilousGraph(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{
+		Nodes: 500, Classes: 3, AvgDegree: 10, Homophily: 0.1,
+		FeatureDim: 16, NoiseStd: 0.5, TrainFrac: 0.5, ValFrac: 0.2, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := models.NewSGC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRep, err := (&Pipeline{Model: plain}).Run(ds, quickCfg(), tensor.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewired, err := models.NewSGC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{
+		Transforms: []Transform{&RewireTransform{AddK: 4, PruneBelow: 0.2}},
+		Model:      rewired,
+	}
+	rep, err := p.Run(ds, quickCfg(), tensor.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DHGR claim: rewiring lifts a low-pass model on a heterophilous graph.
+	if rep.OrigTestAcc <= plainRep.OrigTestAcc {
+		t.Errorf("rewired SGC %.3f not above plain %.3f", rep.OrigTestAcc, plainRep.OrigTestAcc)
+	}
+}
+
+func TestPipelineCondense(t *testing.T) {
+	ds := task(t)
+	m, err := models.NewSGC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{
+		Transforms: []Transform{&CondenseTransform{Ratio: 4}},
+		Model:      m,
+	}
+	rep, err := p.Run(ds, quickCfg(), tensor.NewRand(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NodesAfter >= ds.G.N/3 {
+		t.Errorf("condensation left %d of %d nodes", rep.NodesAfter, ds.G.N)
+	}
+	if rep.OrigTestAcc < 0.6 {
+		t.Errorf("condensed pipeline acc %.3f", rep.OrigTestAcc)
+	}
+	// Ratio < 1 must error.
+	bad := &Pipeline{Transforms: []Transform{&CondenseTransform{Ratio: 0.5}}, Model: m}
+	if _, err := bad.Run(ds, quickCfg(), tensor.NewRand(1)); err == nil {
+		t.Error("ratio < 1 should error")
+	}
+}

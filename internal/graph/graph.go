@@ -1,0 +1,375 @@
+// Package graph implements the graph storage substrate for scalegnn: an
+// immutable CSR (compressed sparse row) adjacency structure, builders,
+// normalized propagation operators, synthetic graph generators, and
+// edge-list serialization.
+//
+// Everything downstream — PPR, spectral filters, samplers, sparsifiers,
+// coarseners, partitioners, and the GNN models — operates on *graph.CSR.
+// The representation is the classic data-management layout for graph
+// analytics: two int32 slices (offsets + targets) and an optional parallel
+// weight slice, giving O(1) neighbor-range lookup and cache-friendly scans.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is an immutable graph in compressed sparse row form.
+//
+// For node u, its out-neighbors are Adj[Offsets[u]:Offsets[u+1]] with
+// parallel weights Weights[Offsets[u]:Offsets[u+1]] (Weights may be nil for
+// an unweighted graph, in which case every edge has weight 1). Undirected
+// graphs store each edge in both directions.
+type CSR struct {
+	N       int       // number of nodes
+	Offsets []int64   // length N+1, Offsets[0] == 0
+	Adj     []int32   // length M (directed edge count)
+	Weights []float64 // nil, or length M
+
+	undirected bool
+}
+
+// NumEdges returns the number of stored directed edges (arcs). For an
+// undirected graph this is twice the number of undirected edges.
+func (g *CSR) NumEdges() int { return len(g.Adj) }
+
+// Undirected reports whether the graph was built as undirected (every edge
+// stored in both directions).
+func (g *CSR) Undirected() bool { return g.undirected }
+
+// Degree returns the out-degree of node u.
+func (g *CSR) Degree(u int) int {
+	return int(g.Offsets[u+1] - g.Offsets[u])
+}
+
+// Neighbors returns the out-neighbor slice of node u. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *CSR) Neighbors(u int) []int32 {
+	return g.Adj[g.Offsets[u]:g.Offsets[u+1]]
+}
+
+// NeighborWeights returns the weights parallel to Neighbors(u), or nil for
+// an unweighted graph.
+func (g *CSR) NeighborWeights(u int) []float64 {
+	if g.Weights == nil {
+		return nil
+	}
+	return g.Weights[g.Offsets[u]:g.Offsets[u+1]]
+}
+
+// EdgeWeight returns the weight of the k-th arc (position in Adj).
+func (g *CSR) EdgeWeight(k int) float64 {
+	if g.Weights == nil {
+		return 1
+	}
+	return g.Weights[k]
+}
+
+// HasEdge reports whether the arc u->v exists, using binary search over the
+// sorted neighbor list.
+func (g *CSR) HasEdge(u, v int) bool {
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= int32(v) })
+	return i < len(ns) && ns[i] == int32(v)
+}
+
+// WeightedDegree returns the sum of edge weights out of u (the out-degree
+// for unweighted graphs).
+func (g *CSR) WeightedDegree(u int) float64 {
+	if g.Weights == nil {
+		return float64(g.Degree(u))
+	}
+	var s float64
+	for _, w := range g.NeighborWeights(u) {
+		s += w
+	}
+	return s
+}
+
+// Degrees returns the out-degree of every node.
+func (g *CSR) Degrees() []int {
+	d := make([]int, g.N)
+	for u := range d {
+		d[u] = g.Degree(u)
+	}
+	return d
+}
+
+// MaxDegree returns the largest out-degree in the graph, or 0 when empty.
+func (g *CSR) MaxDegree() int {
+	var max int
+	for u := 0; u < g.N; u++ {
+		if d := g.Degree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the mean out-degree.
+func (g *CSR) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(len(g.Adj)) / float64(g.N)
+}
+
+// Edge is a weighted arc used by builders and serialization.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Builder accumulates edges and produces a CSR. It deduplicates parallel
+// edges (summing their weights) and drops self-loops unless KeepSelfLoops
+// is set.
+type Builder struct {
+	N             int
+	Directed      bool
+	KeepSelfLoops bool
+	edges         []Edge
+}
+
+// NewBuilder returns a Builder for a graph with n nodes. By default the
+// graph is undirected and self-loops are dropped.
+func NewBuilder(n int) *Builder { return &Builder{N: n} }
+
+// AddEdge records an edge with weight 1.
+func (b *Builder) AddEdge(u, v int) { b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge records an edge with the given weight.
+func (b *Builder) AddWeightedEdge(u, v int, w float64) {
+	b.edges = append(b.edges, Edge{U: u, V: v, W: w})
+}
+
+// NumPending returns the number of edges recorded so far (before dedup).
+func (b *Builder) NumPending() int { return len(b.edges) }
+
+// Build validates and finalizes the CSR. Endpoints must lie in [0, N).
+// Parallel edges are merged by summing weights; the result is unweighted
+// (nil Weights) only if every merged weight is exactly 1.
+func (b *Builder) Build() (*CSR, error) {
+	for _, e := range b.edges {
+		if e.U < 0 || e.U >= b.N || e.V < 0 || e.V >= b.N {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, b.N)
+		}
+	}
+	// Materialize arcs: undirected graphs get both directions.
+	arcs := make([]Edge, 0, len(b.edges)*2)
+	for _, e := range b.edges {
+		if e.U == e.V && !b.KeepSelfLoops {
+			continue
+		}
+		arcs = append(arcs, e)
+		if !b.Directed && e.U != e.V {
+			arcs = append(arcs, Edge{U: e.V, V: e.U, W: e.W})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].U != arcs[j].U {
+			return arcs[i].U < arcs[j].U
+		}
+		return arcs[i].V < arcs[j].V
+	})
+	// Merge duplicates.
+	merged := arcs[:0]
+	for _, a := range arcs {
+		if n := len(merged); n > 0 && merged[n-1].U == a.U && merged[n-1].V == a.V {
+			merged[n-1].W += a.W
+			continue
+		}
+		merged = append(merged, a)
+	}
+
+	g := &CSR{
+		N:          b.N,
+		Offsets:    make([]int64, b.N+1),
+		Adj:        make([]int32, len(merged)),
+		undirected: !b.Directed,
+	}
+	weighted := false
+	for _, a := range merged {
+		if a.W != 1 {
+			weighted = true
+			break
+		}
+	}
+	if weighted {
+		g.Weights = make([]float64, len(merged))
+	}
+	for i, a := range merged {
+		g.Offsets[a.U+1]++
+		g.Adj[i] = int32(a.V)
+		if weighted {
+			g.Weights[i] = a.W
+		}
+	}
+	for u := 0; u < b.N; u++ {
+		g.Offsets[u+1] += g.Offsets[u]
+	}
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; intended for tests and generators
+// whose inputs are valid by construction.
+func (b *Builder) MustBuild() *CSR {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges builds an undirected unweighted CSR directly from an edge list.
+func FromEdges(n int, edges [][2]int) (*CSR, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Edges returns all stored arcs as an Edge slice (u, v, weight). For an
+// undirected graph each edge appears twice (both directions).
+func (g *CSR) Edges() []Edge {
+	out := make([]Edge, 0, len(g.Adj))
+	for u := 0; u < g.N; u++ {
+		ws := g.NeighborWeights(u)
+		for i, v := range g.Neighbors(u) {
+			w := 1.0
+			if ws != nil {
+				w = ws[i]
+			}
+			out = append(out, Edge{U: u, V: int(v), W: w})
+		}
+	}
+	return out
+}
+
+// UndirectedEdges returns each undirected edge once (u < v). It panics on a
+// directed graph.
+func (g *CSR) UndirectedEdges() []Edge {
+	if !g.undirected {
+		panic("graph: UndirectedEdges on directed graph")
+	}
+	out := make([]Edge, 0, len(g.Adj)/2)
+	for u := 0; u < g.N; u++ {
+		ws := g.NeighborWeights(u)
+		for i, v := range g.Neighbors(u) {
+			if int(v) > u {
+				w := 1.0
+				if ws != nil {
+					w = ws[i]
+				}
+				out = append(out, Edge{U: u, V: int(v), W: w})
+			}
+		}
+	}
+	return out
+}
+
+// Reverse returns the transpose graph (all arcs flipped). For an undirected
+// graph the transpose is structurally identical.
+func (g *CSR) Reverse() *CSR {
+	b := NewBuilder(g.N)
+	b.Directed = true
+	b.KeepSelfLoops = true
+	for _, e := range g.Edges() {
+		b.AddWeightedEdge(e.V, e.U, e.W)
+	}
+	r := b.MustBuild()
+	r.undirected = g.undirected
+	return r
+}
+
+// InducedSubgraph returns the subgraph induced by nodes (which need not be
+// sorted), plus the mapping from new index to original node ID. Edges with
+// both endpoints in the set are kept with their weights.
+func (g *CSR) InducedSubgraph(nodes []int) (*CSR, []int) {
+	inv := make(map[int]int, len(nodes))
+	ids := make([]int, len(nodes))
+	for i, u := range nodes {
+		inv[u] = i
+		ids[i] = u
+	}
+	b := NewBuilder(len(nodes))
+	b.Directed = !g.undirected
+	for i, u := range ids {
+		ws := g.NeighborWeights(u)
+		for k, v := range g.Neighbors(u) {
+			j, ok := inv[int(v)]
+			if !ok {
+				continue
+			}
+			// For undirected graphs, add each edge once to avoid doubling.
+			if g.undirected && j < i {
+				continue
+			}
+			w := 1.0
+			if ws != nil {
+				w = ws[k]
+			}
+			b.AddWeightedEdge(i, j, w)
+		}
+	}
+	return b.MustBuild(), ids
+}
+
+// ConnectedComponents labels each node with a component ID (0-based,
+// ordered by first-seen node) and returns the labels and component count.
+// Directed graphs are treated as undirected for this purpose only if they
+// were built undirected; otherwise this yields weakly-connected components
+// of the stored arcs' underlying adjacency.
+func (g *CSR) ConnectedComponents() ([]int, int) {
+	comp := make([]int, g.N)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	next := 0
+	for s := 0; s < g.N; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.Neighbors(int(u)) {
+				if comp[v] == -1 {
+					comp[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// BFSDistances returns hop distances from src to every node (-1 when
+// unreachable).
+func (g *CSR) BFSDistances(src int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int32{int32(src)}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, u := range frontier {
+			du := dist[u]
+			for _, v := range g.Neighbors(int(u)) {
+				if dist[v] == -1 {
+					dist[v] = du + 1
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}

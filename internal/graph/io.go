@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList serializes g in a plain-text edge-list format:
+//
+//	# scalegnn edgelist v1
+//	# nodes <N> directed <bool>
+//	u v [w]
+//
+// For undirected graphs each edge is written once (u < v). Weights are
+// omitted when the graph is unweighted.
+func WriteEdgeList(w io.Writer, g *CSR) error {
+	bw := bufio.NewWriter(w)
+	directed := !g.undirected
+	if _, err := fmt.Fprintf(bw, "# scalegnn edgelist v1\n# nodes %d directed %t\n", g.N, directed); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	var edges []Edge
+	if g.undirected {
+		edges = g.UndirectedEdges()
+	} else {
+		edges = g.Edges()
+	}
+	weighted := g.Weights != nil
+	for _, e := range edges {
+		var err error
+		if weighted {
+			_, err = fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.W)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+		}
+		if err != nil {
+			return fmt.Errorf("graph: write edge: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines beginning
+// with '#' other than the header are ignored, so hand-written edge lists
+// with comments also load; in that case the node count is inferred as
+// max(endpoint)+1 and the graph is undirected.
+func ReadEdgeList(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	n := -1
+	directed := false
+	var edges []Edge
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# nodes ") {
+				var d bool
+				var nn int
+				if _, err := fmt.Sscanf(line, "# nodes %d directed %t", &nn, &d); err == nil {
+					n, directed = nn, d
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v [w]', got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source: %w", lineNo, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target: %w", lineNo, err)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %w", lineNo, err)
+			}
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, Edge{U: u, V: v, W: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scan: %w", err)
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	b := NewBuilder(n)
+	b.Directed = directed
+	for _, e := range edges {
+		b.AddWeightedEdge(e.U, e.V, e.W)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graph: build from edge list: %w", err)
+	}
+	return g, nil
+}

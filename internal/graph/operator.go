@@ -1,0 +1,290 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"scalegnn/internal/tensor"
+)
+
+// Normalization selects how a graph's adjacency matrix is normalized before
+// being used as a propagation operator. These are the standard choices from
+// the GNN literature; Symmetric with self-loops is the GCN operator
+// Â = D̃^{-1/2} Ã D̃^{-1/2}.
+type Normalization int
+
+const (
+	// NormNone uses raw edge weights.
+	NormNone Normalization = iota
+	// NormSymmetric uses D^{-1/2} A D^{-1/2}.
+	NormSymmetric
+	// NormRandomWalk uses D^{-1} A (row-stochastic; the PPR operator).
+	NormRandomWalk
+	// NormColumn uses A D^{-1} (column-stochastic; PageRank convention).
+	NormColumn
+)
+
+func (n Normalization) String() string {
+	switch n {
+	case NormNone:
+		return "none"
+	case NormSymmetric:
+		return "sym"
+	case NormRandomWalk:
+		return "rw"
+	case NormColumn:
+		return "col"
+	default:
+		return fmt.Sprintf("Normalization(%d)", int(n))
+	}
+}
+
+// Operator is a sparse propagation operator P derived from a graph: the
+// (optionally self-looped, optionally normalized) adjacency matrix stored in
+// CSR form with explicit per-arc coefficients. Multiplying feature matrices
+// by P is the core graph computation of every GNN in this library.
+type Operator struct {
+	G      *CSR
+	Norm   Normalization
+	Coef   []float64 // per-arc coefficient, parallel to G.Adj
+	loopCo []float64 // per-node self-loop coefficient (nil if none)
+}
+
+// NewOperator builds a propagation operator from g.
+//
+// If addSelfLoops is true, the operator acts as if every node had one extra
+// self-loop of weight 1 (the Ã = A + I convention); the loop contribution is
+// stored separately so the graph itself is not modified.
+func NewOperator(g *CSR, norm Normalization, addSelfLoops bool) *Operator {
+	op := &Operator{G: g, Norm: norm, Coef: make([]float64, len(g.Adj))}
+	deg := make([]float64, g.N)
+	for u := 0; u < g.N; u++ {
+		deg[u] = g.WeightedDegree(u)
+		if addSelfLoops {
+			deg[u]++
+		}
+	}
+	if addSelfLoops {
+		op.loopCo = make([]float64, g.N)
+	}
+	invSqrt := func(d float64) float64 {
+		if d == 0 {
+			return 0
+		}
+		return 1 / math.Sqrt(d)
+	}
+	inv := func(d float64) float64 {
+		if d == 0 {
+			return 0
+		}
+		return 1 / d
+	}
+	for u := 0; u < g.N; u++ {
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		for k := lo; k < hi; k++ {
+			v := int(g.Adj[k])
+			w := g.EdgeWeight(int(k))
+			switch norm {
+			case NormNone:
+				op.Coef[k] = w
+			case NormSymmetric:
+				op.Coef[k] = w * invSqrt(deg[u]) * invSqrt(deg[v])
+			case NormRandomWalk:
+				op.Coef[k] = w * inv(deg[u])
+			case NormColumn:
+				op.Coef[k] = w * inv(deg[v])
+			}
+		}
+		if addSelfLoops {
+			switch norm {
+			case NormNone:
+				op.loopCo[u] = 1
+			case NormSymmetric:
+				op.loopCo[u] = inv(deg[u]) // invSqrt(d)*invSqrt(d)
+			case NormRandomWalk, NormColumn:
+				op.loopCo[u] = inv(deg[u])
+			}
+		}
+	}
+	return op
+}
+
+// HasSelfLoops reports whether the operator includes the A+I self-loop term.
+func (op *Operator) HasSelfLoops() bool { return op.loopCo != nil }
+
+// NNZ returns the number of nonzero coefficients in the operator, counting
+// self-loops.
+func (op *Operator) NNZ() int {
+	n := 0
+	for _, c := range op.Coef {
+		if c != 0 {
+			n++
+		}
+	}
+	if op.loopCo != nil {
+		for _, c := range op.loopCo {
+			if c != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Apply computes P*X for a dense feature matrix X (rows = nodes), i.e. one
+// round of message passing / graph propagation, parallelized over
+// destination nodes. The result is a new matrix.
+func (op *Operator) Apply(x *tensor.Matrix) *tensor.Matrix {
+	if x.Rows != op.G.N {
+		panic(fmt.Sprintf("graph: Operator.Apply rows %d != n %d", x.Rows, op.G.N))
+	}
+	out := tensor.New(x.Rows, x.Cols)
+	op.ApplyInto(x, out)
+	return out
+}
+
+// ApplyInto computes P*X into dst, which must have X's shape and must not
+// alias X (rows are read while others are written). dst is overwritten.
+func (op *Operator) ApplyInto(x, dst *tensor.Matrix) {
+	if len(x.Data) > 0 && len(dst.Data) > 0 && &x.Data[0] == &dst.Data[0] {
+		panic("graph: ApplyInto dst must not alias x")
+	}
+	g := op.G
+	parallelNodes(g.N, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			orow := dst.Row(u)
+			for j := range orow {
+				orow[j] = 0
+			}
+			if op.loopCo != nil && op.loopCo[u] != 0 {
+				c := op.loopCo[u]
+				xrow := x.Row(u)
+				for j, xv := range xrow {
+					orow[j] = c * xv
+				}
+			}
+			s, e := g.Offsets[u], g.Offsets[u+1]
+			for k := s; k < e; k++ {
+				c := op.Coef[k]
+				if c == 0 {
+					continue
+				}
+				xrow := x.Row(int(g.Adj[k]))
+				for j, xv := range xrow {
+					orow[j] += c * xv
+				}
+			}
+		}
+	})
+}
+
+// ApplyVec computes P*x for a vector x of length N.
+func (op *Operator) ApplyVec(x []float64) []float64 {
+	g := op.G
+	if len(x) != g.N {
+		panic(fmt.Sprintf("graph: Operator.ApplyVec len %d != n %d", len(x), g.N))
+	}
+	out := make([]float64, g.N)
+	parallelNodes(g.N, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			var s float64
+			if op.loopCo != nil {
+				s = op.loopCo[u] * x[u]
+			}
+			a, b := g.Offsets[u], g.Offsets[u+1]
+			for k := a; k < b; k++ {
+				s += op.Coef[k] * x[g.Adj[k]]
+			}
+			out[u] = s
+		}
+	})
+	return out
+}
+
+// PowerApply computes P^k * X by repeated application.
+func (op *Operator) PowerApply(x *tensor.Matrix, k int) *tensor.Matrix {
+	cur := x.Clone()
+	buf := tensor.New(x.Rows, x.Cols)
+	for i := 0; i < k; i++ {
+		op.ApplyInto(cur, buf)
+		cur, buf = buf, cur
+	}
+	return cur
+}
+
+// RowSums returns the row sums of the operator matrix; for NormRandomWalk
+// with self-loops these are all 1 on nodes with nonzero degree.
+func (op *Operator) RowSums() []float64 {
+	g := op.G
+	out := make([]float64, g.N)
+	for u := 0; u < g.N; u++ {
+		var s float64
+		if op.loopCo != nil {
+			s = op.loopCo[u]
+		}
+		a, b := g.Offsets[u], g.Offsets[u+1]
+		for k := a; k < b; k++ {
+			s += op.Coef[k]
+		}
+		out[u] = s
+	}
+	return out
+}
+
+// Dense materializes the operator as a dense N x N matrix. Intended for
+// tests and tiny graphs only.
+func (op *Operator) Dense() *tensor.Matrix {
+	g := op.G
+	m := tensor.New(g.N, g.N)
+	for u := 0; u < g.N; u++ {
+		if op.loopCo != nil {
+			m.Set(u, u, m.At(u, u)+op.loopCo[u])
+		}
+		a, b := g.Offsets[u], g.Offsets[u+1]
+		for k := a; k < b; k++ {
+			v := int(g.Adj[k])
+			m.Set(u, v, m.At(u, v)+op.Coef[k])
+		}
+	}
+	return m
+}
+
+// Laplacian returns the normalized Laplacian operator L = I - P applied as a
+// closure over this operator: y = x - P x. It is used by spectral filters.
+func (op *Operator) Laplacian(x *tensor.Matrix) *tensor.Matrix {
+	px := op.Apply(x)
+	out := x.Clone()
+	out.Sub(px)
+	return out
+}
+
+// parallelNodes partitions [0,n) deterministically across GOMAXPROCS
+// workers. Small inputs run inline to avoid goroutine overhead.
+func parallelNodes(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	const minChunk = 256
+	if workers > n/minChunk {
+		workers = n / minChunk
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

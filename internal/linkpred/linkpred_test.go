@@ -1,0 +1,187 @@
+package linkpred
+
+import (
+	"testing"
+
+	"scalegnn/internal/graph"
+	"scalegnn/internal/metrics"
+	"scalegnn/internal/tensor"
+)
+
+// testTask builds a link-prediction split on a community-structured SBM:
+// communities give edges the local structure (triadic closure) that makes
+// link prediction learnable — pure preferential-attachment graphs attach by
+// degree, not locality, and are near-chance for any structural predictor.
+func testTask(t *testing.T, seed uint64) *Task {
+	t.Helper()
+	g, _, err := graph.SBM(graph.SBMConfig{
+		Nodes: 800, Blocks: 8, AvgDegree: 16, Homophily: 0.9,
+	}, tensor.NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := NewTask(g, 0.15, 0.3, tensor.NewRand(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestNewTaskSplit(t *testing.T) {
+	g := graph.BarabasiAlbert(500, 3, tensor.NewRand(1))
+	task, err := NewTask(g, 0.2, 0.3, tensor.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observed graph lost both test and train positives.
+	m := g.NumEdges() / 2
+	wantObserved := m - int(0.2*float64(m)) - int(0.3*float64(m))
+	if got := task.Observed.NumEdges() / 2; got != wantObserved {
+		t.Errorf("observed edges = %d, want %d", got, wantObserved)
+	}
+	// Balanced labels in both splits.
+	countPos := func(labels []int) int {
+		c := 0
+		for _, y := range labels {
+			c += y
+		}
+		return c
+	}
+	if 2*countPos(task.TrainLabels) != len(task.TrainLabels) {
+		t.Error("train labels unbalanced")
+	}
+	if 2*countPos(task.TestLabels) != len(task.TestLabels) {
+		t.Error("test labels unbalanced")
+	}
+	// All positives must be absent from the observed graph but present in
+	// the original; negatives absent from the original.
+	check := func(pairs [][2]int, labels []int) {
+		t.Helper()
+		for i, p := range pairs {
+			if labels[i] == 1 {
+				if task.Observed.HasEdge(p[0], p[1]) {
+					t.Fatal("positive leaked into observed graph")
+				}
+				if !g.HasEdge(p[0], p[1]) {
+					t.Fatal("positive is not a real edge")
+				}
+			} else if g.HasEdge(p[0], p[1]) {
+				t.Fatal("negative sample is a real edge")
+			}
+		}
+	}
+	check(task.TestPairs, task.TestLabels)
+	check(task.TrainPairs, task.TrainLabels)
+}
+
+func TestNewTaskValidation(t *testing.T) {
+	g := graph.BarabasiAlbert(100, 3, tensor.NewRand(3))
+	rng := tensor.NewRand(4)
+	if _, err := NewTask(g, 0, 0.5, rng); err == nil {
+		t.Error("test frac 0 should error")
+	}
+	if _, err := NewTask(g, 0.5, 0, rng); err == nil {
+		t.Error("train frac 0 should error")
+	}
+	if _, err := NewTask(g, 0.6, 0.6, rng); err == nil {
+		t.Error("fractions summing above 1 should error")
+	}
+	b := graph.NewBuilder(3)
+	b.Directed = true
+	b.AddEdge(0, 1)
+	if _, err := NewTask(b.MustBuild(), 0.2, 0.3, rng); err == nil {
+		t.Error("directed graph should error")
+	}
+	tiny := graph.Path(4)
+	if _, err := NewTask(tiny, 0.2, 0.3, rng); err == nil {
+		t.Error("tiny graph should error")
+	}
+}
+
+func TestCommonNeighborsBeatsChance(t *testing.T) {
+	task := testTask(t, 5)
+	scores := CommonNeighbors(task.Observed, task.TestPairs)
+	auc := metrics.AUC(scores, task.TestLabels)
+	if auc < 0.6 {
+		t.Errorf("common-neighbors AUC %v; expected well above 0.5 on a modular SBM", auc)
+	}
+}
+
+func TestWalkFeatureModelBeatsChanceAndFitsTrain(t *testing.T) {
+	task := testTask(t, 7)
+	cfg := DefaultConfig()
+	m, err := NewWalkFeatureModel(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainAUC, err := m.Fit(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainAUC < 0.75 {
+		t.Errorf("train AUC %v; model failed to fit", trainAUC)
+	}
+	testAUC, err := m.Evaluate(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testAUC < 0.7 {
+		t.Errorf("test AUC %v", testAUC)
+	}
+}
+
+func TestWalkModelCompetitiveWithHeuristic(t *testing.T) {
+	task := testTask(t, 11)
+	cfg := DefaultConfig()
+	m, err := NewWalkFeatureModel(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fit(task, cfg); err != nil {
+		t.Fatal(err)
+	}
+	walkAUC, err := m.Evaluate(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnAUC := metrics.AUC(CommonNeighbors(task.Observed, task.TestPairs), task.TestLabels)
+	// The learned walk model must be at least competitive with the
+	// heuristic (it sees strictly more structure).
+	if walkAUC < cnAUC-0.05 {
+		t.Errorf("walk model AUC %.3f well below common-neighbors %.3f", walkAUC, cnAUC)
+	}
+}
+
+func TestEvaluateBeforeFitErrors(t *testing.T) {
+	task := testTask(t, 13)
+	m, err := NewWalkFeatureModel(task, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Evaluate(task, DefaultConfig()); err == nil {
+		t.Error("Evaluate before Fit should error")
+	}
+}
+
+func TestPairFeaturesSymmetricLayout(t *testing.T) {
+	task := testTask(t, 17)
+	cfg := DefaultConfig()
+	m, err := NewWalkFeatureModel(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRand(19)
+	f, err := m.pairFeatures(1, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != m.dim {
+		t.Fatalf("feature length %d, want %d", len(f), m.dim)
+	}
+	// Landing profiles are probabilities: all features non-negative.
+	for i, v := range f {
+		if v < 0 {
+			t.Fatalf("feature %d = %v < 0", i, v)
+		}
+	}
+}

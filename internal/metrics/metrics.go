@@ -1,0 +1,246 @@
+// Package metrics provides the evaluation harness shared by every
+// experiment: classification quality metrics, wall-clock timing sections,
+// and the resident-float accounting that substitutes for GPU memory
+// measurement (see DESIGN.md "Substitutions").
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Accuracy returns the fraction of predictions equal to the labels.
+func Accuracy(pred, labels []int) float64 {
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("metrics: %d predictions vs %d labels", len(pred), len(labels)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// Confusion builds the numClasses x numClasses confusion matrix
+// (rows = true class, cols = predicted class). Out-of-range entries are
+// ignored.
+func Confusion(pred, labels []int, numClasses int) [][]int {
+	m := make([][]int, numClasses)
+	for i := range m {
+		m[i] = make([]int, numClasses)
+	}
+	for i, p := range pred {
+		y := labels[i]
+		if y >= 0 && y < numClasses && p >= 0 && p < numClasses {
+			m[y][p]++
+		}
+	}
+	return m
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores. Classes with
+// no true or predicted instances contribute F1 = 0 (the strict convention).
+func MacroF1(pred, labels []int, numClasses int) float64 {
+	if numClasses == 0 {
+		return 0
+	}
+	cm := Confusion(pred, labels, numClasses)
+	var sum float64
+	for c := 0; c < numClasses; c++ {
+		tp := cm[c][c]
+		var fp, fn int
+		for k := 0; k < numClasses; k++ {
+			if k != c {
+				fp += cm[k][c]
+				fn += cm[c][k]
+			}
+		}
+		if tp == 0 {
+			continue // precision/recall both 0 → F1 0
+		}
+		precision := float64(tp) / float64(tp+fp)
+		recall := float64(tp) / float64(tp+fn)
+		sum += 2 * precision * recall / (precision + recall)
+	}
+	return sum / float64(numClasses)
+}
+
+// Timer accumulates named wall-clock sections; every experiment reports
+// through one so that "propagation time" vs "training time" splits (the
+// decoupled-GNN measurement of §3.1.3) are consistent.
+type Timer struct {
+	sections map[string]time.Duration
+	order    []string
+}
+
+// NewTimer returns an empty timer.
+func NewTimer() *Timer {
+	return &Timer{sections: make(map[string]time.Duration)}
+}
+
+// Section times fn under the given name, accumulating across calls.
+func (t *Timer) Section(name string, fn func()) {
+	start := time.Now()
+	fn()
+	t.Add(name, time.Since(start))
+}
+
+// Add accumulates an externally measured duration.
+func (t *Timer) Add(name string, d time.Duration) {
+	if _, ok := t.sections[name]; !ok {
+		t.order = append(t.order, name)
+	}
+	t.sections[name] += d
+}
+
+// Get returns the accumulated duration of a section (0 if absent).
+func (t *Timer) Get(name string) time.Duration { return t.sections[name] }
+
+// Names returns section names in first-use order.
+func (t *Timer) Names() []string { return append([]string(nil), t.order...) }
+
+// Total returns the sum over all sections.
+func (t *Timer) Total() time.Duration {
+	var total time.Duration
+	for _, d := range t.sections {
+		total += d
+	}
+	return total
+}
+
+// String formats all sections.
+func (t *Timer) String() string {
+	out := ""
+	for i, name := range t.order {
+		if i > 0 {
+			out += "  "
+		}
+		out += fmt.Sprintf("%s=%v", name, t.sections[name].Round(time.Microsecond))
+	}
+	return out
+}
+
+// FloatTracker is the resident-float accountant: models report the peak
+// number of float64 values simultaneously held during one training step.
+// This is the CPU-world proxy for the GPU-memory bottleneck of §3.1.3 —
+// full-batch models hold O(n·d·L) floats, mini-batch models O(batch·d·L).
+type FloatTracker struct {
+	current int
+	peak    int
+}
+
+// Alloc records acquiring n resident floats.
+func (ft *FloatTracker) Alloc(n int) {
+	ft.current += n
+	if ft.current > ft.peak {
+		ft.peak = ft.current
+	}
+}
+
+// Free records releasing n resident floats.
+func (ft *FloatTracker) Free(n int) {
+	ft.current -= n
+	if ft.current < 0 {
+		ft.current = 0
+	}
+}
+
+// Peak returns the high-water mark.
+func (ft *FloatTracker) Peak() int { return ft.peak }
+
+// Current returns the currently tracked count.
+func (ft *FloatTracker) Current() int { return ft.current }
+
+// Reset clears both counters.
+func (ft *FloatTracker) Reset() { ft.current, ft.peak = 0, 0 }
+
+// Quantiles returns the requested quantiles (e.g. 0.5, 0.99) of a sample
+// slice, by sorting a copy. Used for per-node accuracy breakdowns.
+func Quantiles(samples []float64, qs ...float64) []float64 {
+	if len(samples) == 0 {
+		return make([]float64, len(qs))
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		idx := int(q * float64(len(s)-1))
+		out[i] = s[idx]
+	}
+	return out
+}
+
+// MeanStd returns the mean and (population) standard deviation.
+func MeanStd(samples []float64) (mean, std float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= float64(len(samples))
+	for _, v := range samples {
+		d := v - mean
+		std += d * d
+	}
+	std /= float64(len(samples))
+	return mean, math.Sqrt(std)
+}
+
+// AUC computes the area under the ROC curve for binary labels (1 =
+// positive) given real-valued scores, handling score ties by the standard
+// midrank convention. Returns 0.5 when either class is empty — the
+// link-prediction metric of the subgraph-based systems (§3.3.3).
+func AUC(scores []float64, labels []int) float64 {
+	if len(scores) != len(labels) {
+		panic(fmt.Sprintf("metrics: %d scores vs %d labels", len(scores), len(labels)))
+	}
+	type pair struct {
+		s float64
+		y int
+	}
+	ps := make([]pair, len(scores))
+	nPos, nNeg := 0, 0
+	for i, s := range scores {
+		ps[i] = pair{s, labels[i]}
+		if labels[i] == 1 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+	// Midranks over tied scores.
+	var sumPosRank float64
+	i := 0
+	for i < len(ps) {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		midrank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			if ps[k].y == 1 {
+				sumPosRank += midrank
+			}
+		}
+		i = j
+	}
+	return (sumPosRank - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg))
+}

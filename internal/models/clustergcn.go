@@ -1,0 +1,215 @@
+package models
+
+import (
+	"fmt"
+	"time"
+
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/graph"
+	"scalegnn/internal/nn"
+	"scalegnn/internal/partition"
+	"scalegnn/internal/tensor"
+)
+
+// ClusterGCN trains a GCN with partition-based mini-batches (§3.1.2 graph
+// partition): the graph is split into clusters once; each step runs full
+// GCN forward/backward inside one cluster's induced subgraph. Memory scales
+// with the largest cluster, not the graph, at the cost of dropping
+// inter-cluster edges from the gradient.
+type ClusterGCN struct {
+	Layers   int
+	Clusters int
+
+	// trained state
+	lastPred []int // full-graph predictions cached by Fit
+}
+
+// NewClusterGCN constructs the trainer.
+func NewClusterGCN(layers, clusters int) (*ClusterGCN, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("models: ClusterGCN needs >= 1 layer, got %d", layers)
+	}
+	if clusters < 1 {
+		return nil, fmt.Errorf("models: ClusterGCN needs >= 1 cluster, got %d", clusters)
+	}
+	return &ClusterGCN{Layers: layers, Clusters: clusters}, nil
+}
+
+// Name implements Trainer.
+func (m *ClusterGCN) Name() string { return fmt.Sprintf("ClusterGCN-%dL-c%d", m.Layers, m.Clusters) }
+
+// clusterBatch holds one cluster's precomputed training context.
+type clusterBatch struct {
+	op       *graph.Operator
+	x        *tensor.Matrix
+	labels   []int
+	ids      []int // original node ID per cluster-local index
+	trainIdx []int // positions within the cluster that are training nodes
+}
+
+// Fit partitions the graph and cycles clusters as mini-batches.
+func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRand(cfg.Seed)
+	rep := &Report{Model: m.Name()}
+
+	preStart := time.Now()
+	assign, err := partition.Multilevel(ds.G, m.Clusters, maxInt(ds.G.N/20, m.Clusters), 3, rng)
+	if err != nil {
+		return nil, fmt.Errorf("models: ClusterGCN partition: %w", err)
+	}
+	subs, ids := partition.Subgraphs(ds.G, assign)
+	isTrain := make([]bool, ds.G.N)
+	for _, v := range ds.TrainIdx {
+		isTrain[v] = true
+	}
+	batches := make([]*clusterBatch, 0, m.Clusters)
+	maxCluster := 0
+	for p := range subs {
+		if subs[p].N == 0 {
+			continue
+		}
+		cb := &clusterBatch{
+			op:     graph.NewOperator(subs[p], graph.NormSymmetric, true),
+			x:      ds.X.SelectRows(ids[p]),
+			labels: dataset.LabelsAt(ds.Labels, ids[p]),
+			ids:    ids[p],
+		}
+		for i, orig := range ids[p] {
+			if isTrain[orig] {
+				cb.trainIdx = append(cb.trainIdx, i)
+			}
+		}
+		batches = append(batches, cb)
+		if subs[p].N > maxCluster {
+			maxCluster = subs[p].N
+		}
+	}
+	rep.Precompute = time.Since(preStart)
+
+	// Shared weights across clusters (the whole point): one Linear per
+	// layer applied inside whichever cluster is active.
+	lins := make([]*nn.Linear, m.Layers)
+	in := ds.X.Cols
+	for l := 0; l < m.Layers; l++ {
+		out := cfg.Hidden
+		if l == m.Layers-1 {
+			out = ds.NumClasses
+		}
+		lins[l] = nn.NewLinear(in, out, true, rng)
+		in = out
+	}
+	var params []*nn.Param
+	for _, l := range lins {
+		params = append(params, l.Params()...)
+	}
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+
+	forward := func(cb *clusterBatch, training bool) (*tensor.Matrix, []*nn.ReLU) {
+		h := cb.x
+		var relus []*nn.ReLU
+		for l := 0; l < m.Layers; l++ {
+			h = lins[l].Forward(cb.op.Apply(h), training)
+			if l != m.Layers-1 {
+				r := nn.NewReLU()
+				h = r.Forward(h, training)
+				relus = append(relus, r)
+			}
+		}
+		return h, relus
+	}
+
+	stopper := newEarlyStopper(cfg.Patience)
+	start := time.Now()
+	epochs := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochs++
+		for _, bi := range tensor.Perm(len(batches), rng) {
+			cb := batches[bi]
+			if len(cb.trainIdx) == 0 {
+				continue
+			}
+			logits, relus := forward(cb, true)
+			_, grad := maskedLoss(logits, cb.labels, cb.trainIdx)
+			for l := m.Layers - 1; l >= 0; l-- {
+				if l != m.Layers-1 {
+					grad = relus[l].Backward(grad)
+				}
+				grad = cb.op.Apply(lins[l].Backward(grad))
+			}
+			opt.Step(params)
+		}
+		val := m.valAccuracy(batches, ds, forward)
+		if stopper.update(epoch, val) {
+			break
+		}
+	}
+	rep.TrainTime = time.Since(start)
+	rep.Epochs = epochs
+	rep.EpochTime = rep.TrainTime / time.Duration(epochs)
+	nParams := 0
+	for _, p := range params {
+		nParams += p.NumValues()
+	}
+	rep.PeakFloats = 2*maxCluster*(ds.X.Cols+(m.Layers-1)*cfg.Hidden+ds.NumClasses) + nParams*3
+
+	pred := m.predictAll(batches, ds, forward)
+	fillAccuracies(func(idx []int) []int {
+		out := make([]int, len(idx))
+		for i, v := range idx {
+			out[i] = pred[v]
+		}
+		return out
+	}, ds, rep)
+	m.lastPred = pred
+	return rep, nil
+}
+
+func (m *ClusterGCN) valAccuracy(batches []*clusterBatch, ds *dataset.Dataset, forward func(*clusterBatch, bool) (*tensor.Matrix, []*nn.ReLU)) float64 {
+	pred := m.predictAll(batches, ds, forward)
+	correct, total := 0, 0
+	for _, v := range ds.ValIdx {
+		total++
+		if pred[v] == ds.Labels[v] {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// predictAll runs cluster-wise inference, mapping back to original IDs.
+func (m *ClusterGCN) predictAll(batches []*clusterBatch, ds *dataset.Dataset, forward func(*clusterBatch, bool) (*tensor.Matrix, []*nn.ReLU)) []int {
+	pred := make([]int, ds.G.N)
+	for _, cb := range batches {
+		logits, _ := forward(cb, false)
+		p := nn.Argmax(logits)
+		for i, orig := range cb.origIDs() {
+			pred[orig] = p[i]
+		}
+	}
+	return pred
+}
+
+// origIDs returns the original node IDs of the cluster's local indices.
+func (cb *clusterBatch) origIDs() []int { return cb.ids }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Predict implements Trainer.
+func (m *ClusterGCN) Predict(ds *dataset.Dataset) ([]int, error) {
+	if m.lastPred == nil {
+		return nil, fmt.Errorf("models: ClusterGCN.Predict before Fit")
+	}
+	return m.lastPred, nil
+}

@@ -1,0 +1,442 @@
+package models
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/graph"
+	"scalegnn/internal/nn"
+	"scalegnn/internal/spectral"
+	"scalegnn/internal/tensor"
+)
+
+// SGC is Simple Graph Convolution: precompute Â^K X once, then train a
+// plain linear (or shallow MLP) classifier. The prototypical decoupled
+// design — all graph work happens before training, so training is
+// mini-batch with zero graph access.
+type SGC struct {
+	K int // propagation hops
+
+	emb *tensor.Matrix
+	net *nn.Sequential
+}
+
+// NewSGC constructs SGC with K propagation hops.
+func NewSGC(k int) (*SGC, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("models: SGC needs K >= 1, got %d", k)
+	}
+	return &SGC{K: k}, nil
+}
+
+// Name implements Trainer.
+func (m *SGC) Name() string { return fmt.Sprintf("SGC-K%d", m.K) }
+
+// Fit precomputes the smoothed features and trains the head.
+func (m *SGC) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	rep := &Report{Model: m.Name()}
+	start := time.Now()
+	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
+	m.emb = op.PowerApply(ds.X, m.K)
+	rep.Precompute = time.Since(start)
+
+	net, err := decoupledHead(m.emb, ds, cfg, nil, rep) // linear head: no hidden
+	if err != nil {
+		return nil, err
+	}
+	m.net = net
+	return rep, nil
+}
+
+// Predict implements Trainer.
+func (m *SGC) Predict(ds *dataset.Dataset) ([]int, error) {
+	if m.net == nil {
+		return nil, fmt.Errorf("models: SGC.Predict before Fit")
+	}
+	return nn.Argmax(m.net.Forward(m.emb, false)), nil
+}
+
+// SIGN precomputes the multi-hop embedding [X | ÂX | Â²X | … | Â^K X] and
+// trains an MLP on the concatenation — multi-scale information without
+// per-epoch propagation.
+type SIGN struct {
+	K int
+
+	emb *tensor.Matrix
+	net *nn.Sequential
+}
+
+// NewSIGN constructs SIGN with hops 0..K.
+func NewSIGN(k int) (*SIGN, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("models: SIGN needs K >= 1, got %d", k)
+	}
+	return &SIGN{K: k}, nil
+}
+
+// Name implements Trainer.
+func (m *SIGN) Name() string { return fmt.Sprintf("SIGN-K%d", m.K) }
+
+// hopEmbeddings returns [X, ÂX, …, Â^K X].
+func hopEmbeddings(ds *dataset.Dataset, k int) []*tensor.Matrix {
+	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
+	hops := make([]*tensor.Matrix, 0, k+1)
+	hops = append(hops, ds.X.Clone())
+	cur := ds.X
+	for i := 1; i <= k; i++ {
+		cur = op.Apply(cur)
+		hops = append(hops, cur)
+	}
+	return hops
+}
+
+// Fit precomputes hop embeddings and trains the MLP head.
+func (m *SIGN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	rep := &Report{Model: m.Name()}
+	start := time.Now()
+	m.emb = spectral.ConcatColumns(hopEmbeddings(ds, m.K))
+	rep.Precompute = time.Since(start)
+
+	net, err := decoupledHead(m.emb, ds, cfg, []int{cfg.Hidden}, rep)
+	if err != nil {
+		return nil, err
+	}
+	m.net = net
+	return rep, nil
+}
+
+// Predict implements Trainer.
+func (m *SIGN) Predict(ds *dataset.Dataset) ([]int, error) {
+	if m.net == nil {
+		return nil, fmt.Errorf("models: SIGN.Predict before Fit")
+	}
+	return nn.Argmax(m.net.Forward(m.emb, false)), nil
+}
+
+// APPNP is predict-then-propagate: an MLP produces per-node logits, which
+// are then smoothed by a K-step truncated personalized-PageRank
+// propagation Z = Σ_k α(1−α)^k Â^k H. Training is full-batch;
+// backpropagation through the (symmetric) propagation is the same
+// propagation applied to the gradient.
+type APPNP struct {
+	K     int
+	Alpha float64
+
+	net *nn.Sequential
+	op  *graph.Operator
+}
+
+// NewAPPNP constructs APPNP with K propagation steps and restart α.
+func NewAPPNP(k int, alpha float64) (*APPNP, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("models: APPNP needs K >= 1, got %d", k)
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("models: APPNP alpha %v outside (0,1]", alpha)
+	}
+	return &APPNP{K: k, Alpha: alpha}, nil
+}
+
+// Name implements Trainer.
+func (m *APPNP) Name() string { return fmt.Sprintf("APPNP-K%d", m.K) }
+
+// propagate applies the truncated PPR diffusion to h.
+func (m *APPNP) propagate(h *tensor.Matrix) *tensor.Matrix {
+	z := h.Clone()
+	z.Scale(m.Alpha)
+	cur := h
+	w := m.Alpha
+	for k := 1; k <= m.K; k++ {
+		cur = m.op.Apply(cur)
+		w *= 1 - m.Alpha
+		// Final hop absorbs the geometric tail so the weights sum to 1
+		// (the standard iterate z ← (1-α)Âz + αh has the same effect).
+		coef := w
+		if k == m.K {
+			coef = w / m.Alpha
+		}
+		z.AddScaled(coef, cur)
+	}
+	return z
+}
+
+// Fit trains the MLP with propagation in the loss path.
+func (m *APPNP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRand(cfg.Seed)
+	m.op = graph.NewOperator(ds.G, graph.NormSymmetric, true)
+	m.net = nn.NewMLP(nn.MLPConfig{
+		In: ds.X.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
+		Dropout: cfg.Dropout, Bias: true,
+	}, rng)
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+
+	rep := &Report{Model: m.Name()}
+	stopper := newEarlyStopper(cfg.Patience)
+	start := time.Now()
+	epochs := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochs++
+		h := m.net.Forward(ds.X, true)
+		z := m.propagate(h)
+		_, gz := maskedLoss(z, ds.Labels, ds.TrainIdx)
+		gh := m.propagate(gz) // symmetric diffusion is self-adjoint
+		m.net.Backward(gh)
+		opt.Step(m.net.Params())
+		val := accuracyAt(m.propagate(m.net.Forward(ds.X, false)), ds.Labels, ds.ValIdx)
+		if stopper.update(epoch, val) {
+			break
+		}
+	}
+	rep.TrainTime = time.Since(start)
+	rep.Epochs = epochs
+	rep.EpochTime = rep.TrainTime / time.Duration(epochs)
+	n := ds.G.N
+	rep.PeakFloats = 2*n*(ds.X.Cols+cfg.Hidden+2*ds.NumClasses) + m.net.NumParams()*3
+
+	logits := m.propagate(m.net.Forward(ds.X, false))
+	fillAccuracies(func(idx []int) []int {
+		return nn.Argmax(logits.SelectRows(idx))
+	}, ds, rep)
+	return rep, nil
+}
+
+// Predict implements Trainer.
+func (m *APPNP) Predict(ds *dataset.Dataset) ([]int, error) {
+	if m.net == nil {
+		return nil, fmt.Errorf("models: APPNP.Predict before Fit")
+	}
+	return nn.Argmax(m.propagate(m.net.Forward(ds.X, false))), nil
+}
+
+// GAMLP is SIGN with learnable hop attention: per-hop embeddings are
+// combined with softmax-normalized learnable scalars before the MLP head,
+// so the model learns how far to look — the "adaptive combination"
+// distinguishing GAMLP-style models from fixed concatenation.
+type GAMLP struct {
+	K int
+
+	hops  []*tensor.Matrix
+	theta *nn.Param // raw attention logits, 1 x (K+1)
+	net   *nn.Sequential
+}
+
+// NewGAMLP constructs GAMLP with hops 0..K.
+func NewGAMLP(k int) (*GAMLP, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("models: GAMLP needs K >= 1, got %d", k)
+	}
+	return &GAMLP{K: k}, nil
+}
+
+// Name implements Trainer.
+func (m *GAMLP) Name() string { return fmt.Sprintf("GAMLP-K%d", m.K) }
+
+// attention returns softmax(θ).
+func (m *GAMLP) attention() []float64 {
+	raw := m.theta.Value.Row(0)
+	out := make([]float64, len(raw))
+	max := raw[0]
+	for _, v := range raw[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range raw {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// combine produces Σ_k a_k H_k restricted to the given rows.
+func (m *GAMLP) combine(att []float64, idx []int) *tensor.Matrix {
+	out := tensor.New(len(idx), m.hops[0].Cols)
+	for k, h := range m.hops {
+		sel := h.SelectRows(idx)
+		out.AddScaled(att[k], sel)
+	}
+	return out
+}
+
+// Fit precomputes hop embeddings and trains attention + MLP jointly.
+func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Model: m.Name()}
+	start := time.Now()
+	m.hops = hopEmbeddings(ds, m.K)
+	rep.Precompute = time.Since(start)
+
+	rng := tensor.NewRand(cfg.Seed)
+	m.theta = nn.NewParam("gamlp.theta", tensor.New(1, m.K+1))
+	m.net = nn.NewMLP(nn.MLPConfig{
+		In: ds.X.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
+		Dropout: cfg.Dropout, Bias: true,
+	}, rng)
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	params := append(m.net.Params(), m.theta)
+
+	batch := cfg.BatchSize
+	if batch <= 0 || batch > len(ds.TrainIdx) {
+		batch = len(ds.TrainIdx)
+	}
+	stopper := newEarlyStopper(cfg.Patience)
+	trainStart := time.Now()
+	epochs := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochs++
+		perm := tensor.Perm(len(ds.TrainIdx), rng)
+		for off := 0; off < len(perm); off += batch {
+			end := min(off+batch, len(perm))
+			idx := make([]int, end-off)
+			for i := range idx {
+				idx[i] = ds.TrainIdx[perm[off+i]]
+			}
+			att := m.attention()
+			x := m.combine(att, idx)
+			logits := m.net.Forward(x, true)
+			_, gLogits := nn.SoftmaxCrossEntropy(logits, dataset.LabelsAt(ds.Labels, idx))
+			gx := m.net.Backward(gLogits)
+			// Attention gradient: ∂L/∂a_k = <gx, H_k[idx]>, then softmax
+			// Jacobian back to θ.
+			ga := make([]float64, m.K+1)
+			for k, h := range m.hops {
+				sel := h.SelectRows(idx)
+				var dot float64
+				for i := range gx.Data {
+					dot += gx.Data[i] * sel.Data[i]
+				}
+				ga[k] = dot
+			}
+			var inner float64
+			for k := range ga {
+				inner += att[k] * ga[k]
+			}
+			for k := range ga {
+				m.theta.Grad.Data[k] += att[k] * (ga[k] - inner)
+			}
+			opt.Step(params)
+		}
+		att := m.attention()
+		valLogits := m.net.Forward(m.combine(att, ds.ValIdx), false)
+		val := accuracyAt(valLogits, dataset.LabelsAt(ds.Labels, ds.ValIdx), rangeIdx(len(ds.ValIdx)))
+		if stopper.update(epoch, val) {
+			break
+		}
+	}
+	rep.TrainTime = time.Since(trainStart)
+	rep.Epochs = epochs
+	rep.EpochTime = rep.TrainTime / time.Duration(epochs)
+	rep.PeakFloats = batch*(ds.X.Cols*(m.K+2)+cfg.Hidden+ds.NumClasses) + m.net.NumParams()*3
+
+	fillAccuracies(func(idx []int) []int {
+		att := m.attention()
+		return nn.Argmax(m.net.Forward(m.combine(att, idx), false))
+	}, ds, rep)
+	return rep, nil
+}
+
+// Predict implements Trainer.
+func (m *GAMLP) Predict(ds *dataset.Dataset) ([]int, error) {
+	if m.net == nil {
+		return nil, fmt.Errorf("models: GAMLP.Predict before Fit")
+	}
+	att := m.attention()
+	return nn.Argmax(m.net.Forward(m.combine(att, rangeIdx(ds.G.N)), false)), nil
+}
+
+// HopAttention exposes the learned softmax hop weights (for the ablation
+// benchmarks).
+func (m *GAMLP) HopAttention() []float64 { return m.attention() }
+
+// LD2 is the multi-filter heterophilous decoupled model: precompute
+// identity, low-pass, and high-pass spectral channels of the features,
+// concatenate, and train an MLP mini-batch. The high-pass channel carries
+// the heterophilous signal a pure low-pass model destroys — E5's subject.
+type LD2 struct {
+	Hops int
+
+	emb *tensor.Matrix
+	net *nn.Sequential
+}
+
+// NewLD2 constructs LD2 with K-hop low/high-pass channels.
+func NewLD2(hops int) (*LD2, error) {
+	if hops < 1 {
+		return nil, fmt.Errorf("models: LD2 needs hops >= 1, got %d", hops)
+	}
+	return &LD2{Hops: hops}, nil
+}
+
+// Name implements Trainer.
+func (m *LD2) Name() string { return fmt.Sprintf("LD2-K%d", m.Hops) }
+
+// Fit precomputes the multi-filter embedding and trains the head.
+func (m *LD2) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	rep := &Report{Model: m.Name()}
+	start := time.Now()
+	// Self-looped operator: the low-pass channel is then exactly Â^K (self
+	// signal diluted by degree normalization), and the high-pass channel is
+	// the complementary L̂^K neighbor-disagreement signal.
+	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
+	channels := []spectral.ChannelSpec{
+		{Kind: spectral.ChannelIdentity},
+		{Kind: spectral.ChannelAdjPower, Hops: m.Hops},
+		{Kind: spectral.ChannelLapPower, Hops: m.Hops},
+	}
+	mats := make([]*tensor.Matrix, len(channels))
+	for i, ch := range channels {
+		one, err := spectral.MultiFilter(op, ds.X, []spectral.ChannelSpec{ch})
+		if err != nil {
+			return nil, fmt.Errorf("models: LD2 embedding: %w", err)
+		}
+		normalizeChannel(one)
+		mats[i] = one
+	}
+	m.emb = spectral.ConcatColumns(mats)
+	rep.Precompute = time.Since(start)
+
+	net, err := decoupledHead(m.emb, ds, cfg, []int{cfg.Hidden}, rep)
+	if err != nil {
+		return nil, err
+	}
+	m.net = net
+	return rep, nil
+}
+
+// normalizeChannel rescales a channel matrix so its mean row L2 norm is 1
+// — the per-channel normalization LD2 applies so that no spectral view
+// dominates the head's input scale.
+func normalizeChannel(m *tensor.Matrix) {
+	if m.Rows == 0 {
+		return
+	}
+	var total float64
+	for i := 0; i < m.Rows; i++ {
+		total += tensor.Norm2(m.Row(i))
+	}
+	mean := total / float64(m.Rows)
+	if mean > 0 {
+		m.Scale(1 / mean)
+	}
+}
+
+// Predict implements Trainer.
+func (m *LD2) Predict(ds *dataset.Dataset) ([]int, error) {
+	if m.net == nil {
+		return nil, fmt.Errorf("models: LD2.Predict before Fit")
+	}
+	return nn.Argmax(m.net.Forward(m.emb, false)), nil
+}

@@ -1,0 +1,121 @@
+package models
+
+import (
+	"fmt"
+	"time"
+
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/graph"
+	"scalegnn/internal/nn"
+	"scalegnn/internal/tensor"
+)
+
+// GCNConv is one graph-convolution layer y = Lin(Â x): propagation followed
+// by a dense transform. Backward exploits the symmetry of Â (undirected
+// graphs): ∂L/∂x = Â · Lin.Backward(g).
+type GCNConv struct {
+	Op  *graph.Operator
+	Lin *nn.Linear
+}
+
+// Forward propagates then transforms.
+func (c *GCNConv) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+	return c.Lin.Forward(c.Op.Apply(x), training)
+}
+
+// Backward transforms the gradient then propagates it back through Â.
+func (c *GCNConv) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	return c.Op.Apply(c.Lin.Backward(gradOut))
+}
+
+// Params returns the dense transform's parameters.
+func (c *GCNConv) Params() []*nn.Param { return c.Lin.Params() }
+
+var _ nn.Layer = (*GCNConv)(nil)
+
+// GCN is the canonical full-batch graph convolutional network — the
+// baseline whose full-graph activations are the scalability bottleneck the
+// rest of the library works around.
+type GCN struct {
+	Layers int
+
+	net *nn.Sequential
+}
+
+// NewGCN constructs a GCN with the given number of convolution layers
+// (>= 1; 2 is the classic configuration).
+func NewGCN(layers int) (*GCN, error) {
+	if layers < 1 {
+		return nil, fmt.Errorf("models: GCN needs >= 1 layer, got %d", layers)
+	}
+	return &GCN{Layers: layers}, nil
+}
+
+// Name implements Trainer.
+func (m *GCN) Name() string { return fmt.Sprintf("GCN-%dL", m.Layers) }
+
+// Fit trains full-batch with Adam on the training mask.
+func (m *GCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRand(cfg.Seed)
+	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
+
+	var layers []nn.Layer
+	in := ds.X.Cols
+	for l := 0; l < m.Layers; l++ {
+		out := cfg.Hidden
+		if l == m.Layers-1 {
+			out = ds.NumClasses
+		}
+		if cfg.Dropout > 0 {
+			layers = append(layers, nn.NewDropout(cfg.Dropout, rng))
+		}
+		layers = append(layers, &GCNConv{Op: op, Lin: nn.NewLinear(in, out, true, rng)})
+		if l != m.Layers-1 {
+			layers = append(layers, nn.NewReLU())
+		}
+		in = out
+	}
+	m.net = nn.NewSequential(layers...)
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+
+	rep := &Report{Model: m.Name()}
+	stopper := newEarlyStopper(cfg.Patience)
+	start := time.Now()
+	epochs := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochs++
+		logits := m.net.Forward(ds.X, true)
+		_, grad := maskedLoss(logits, ds.Labels, ds.TrainIdx)
+		m.net.Backward(grad)
+		opt.Step(m.net.Params())
+		val := accuracyAt(m.net.Forward(ds.X, false), ds.Labels, ds.ValIdx)
+		if stopper.update(epoch, val) {
+			break
+		}
+	}
+	rep.TrainTime = time.Since(start)
+	rep.Epochs = epochs
+	rep.EpochTime = rep.TrainTime / time.Duration(epochs)
+	// Full-batch resident floats: every layer's activations plus gradients
+	// over all n nodes — the term that scales with graph size.
+	n := ds.G.N
+	rep.PeakFloats = 2*n*(ds.X.Cols+(m.Layers-1)*cfg.Hidden+ds.NumClasses) + m.net.NumParams()*3
+
+	logits := m.net.Forward(ds.X, false)
+	fillAccuracies(func(idx []int) []int {
+		return nn.Argmax(logits.SelectRows(idx))
+	}, ds, rep)
+	return rep, nil
+}
+
+// Predict implements Trainer.
+func (m *GCN) Predict(ds *dataset.Dataset) ([]int, error) {
+	if m.net == nil {
+		return nil, fmt.Errorf("models: GCN.Predict before Fit")
+	}
+	return nn.Argmax(m.net.Forward(ds.X, false)), nil
+}

@@ -1,0 +1,187 @@
+package models
+
+import (
+	"fmt"
+	"time"
+
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/graph"
+	"scalegnn/internal/implicit"
+	"scalegnn/internal/nn"
+	"scalegnn/internal/tensor"
+)
+
+// ImplicitNet is the EIGNN-style implicit GNN (§3.2.3): node states are the
+// equilibrium of Z = γ·ÂZW + XW_in, read out by a linear head. Gradients
+// are exact via the adjoint fixed point (implicit differentiation), and the
+// learnable W is projected back inside the contraction region after every
+// optimizer step.
+type ImplicitNet struct {
+	Gamma float64
+	// Scales lists the propagation scales (MGNNI); nil means single-scale {1}.
+	Scales []int
+
+	win    *nn.Param
+	wimp   []*nn.Param // one per scale
+	wout   *nn.Param
+	bout   *nn.Param
+	ds     *dataset.Dataset
+	hidden int
+}
+
+// NewImplicitNet constructs an implicit model with contraction factor γ.
+func NewImplicitNet(gamma float64, scales []int) (*ImplicitNet, error) {
+	if gamma <= 0 || gamma >= 1 {
+		return nil, fmt.Errorf("models: ImplicitNet gamma %v outside (0,1)", gamma)
+	}
+	if len(scales) == 0 {
+		scales = []int{1}
+	}
+	for _, s := range scales {
+		if s < 1 {
+			return nil, fmt.Errorf("models: ImplicitNet scale %d < 1", s)
+		}
+	}
+	return &ImplicitNet{Gamma: gamma, Scales: scales}, nil
+}
+
+// Name implements Trainer.
+func (m *ImplicitNet) Name() string {
+	if len(m.Scales) == 1 && m.Scales[0] == 1 {
+		return "ImplicitGNN"
+	}
+	return fmt.Sprintf("ImplicitGNN-ms%d", len(m.Scales))
+}
+
+// forward computes per-scale equilibria and the averaged logits.
+func (m *ImplicitNet) forward(op *graph.Operator, x *tensor.Matrix) (zs []*tensor.Matrix, logits *tensor.Matrix, err error) {
+	b := tensor.MatMul(x, m.win.Value)
+	zs = make([]*tensor.Matrix, len(m.Scales))
+	mean := tensor.New(x.Rows, m.hidden)
+	for i, sc := range m.Scales {
+		solver, serr := implicit.NewSolver(op, m.Gamma)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		solver.Scale = sc
+		solver.Tol = 1e-7
+		z, _, serr := solver.Solve(b, m.wimp[i].Value)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		zs[i] = z
+		mean.AddScaled(1/float64(len(m.Scales)), z)
+	}
+	logits = tensor.MatMul(mean, m.wout.Value)
+	logits.AddRowVector(m.bout.Value.Row(0))
+	return zs, logits, nil
+}
+
+// Fit trains full-batch with implicit differentiation.
+func (m *ImplicitNet) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m.ds = ds
+	m.hidden = cfg.Hidden
+	rng := tensor.NewRand(cfg.Seed)
+	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
+
+	m.win = nn.NewParam("implicit.win", tensor.GlorotUniform(ds.X.Cols, cfg.Hidden, rng))
+	m.wout = nn.NewParam("implicit.wout", tensor.GlorotUniform(cfg.Hidden, ds.NumClasses, rng))
+	m.bout = nn.NewParam("implicit.bout", tensor.New(1, ds.NumClasses))
+	m.wimp = make([]*nn.Param, len(m.Scales))
+	maxNorm := 0.95 / m.Gamma
+	for i := range m.Scales {
+		w := tensor.RandNormal(cfg.Hidden, cfg.Hidden, 0.1, rng)
+		implicit.ProjectSpectralNorm(w, maxNorm*0.5)
+		m.wimp[i] = nn.NewParam(fmt.Sprintf("implicit.w%d", i), w)
+	}
+	params := append([]*nn.Param{m.win, m.wout, m.bout}, m.wimp...)
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+
+	rep := &Report{Model: m.Name()}
+	stopper := newEarlyStopper(cfg.Patience)
+	start := time.Now()
+	epochs := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochs++
+		zs, logits, err := m.forward(op, ds.X)
+		if err != nil {
+			return nil, fmt.Errorf("models: implicit forward: %w", err)
+		}
+		_, gLogits := maskedLoss(logits, ds.Labels, ds.TrainIdx)
+		// Head gradients. mean = (1/S)Σ z_i.
+		mean := tensor.New(ds.G.N, m.hidden)
+		for _, z := range zs {
+			mean.AddScaled(1/float64(len(m.Scales)), z)
+		}
+		m.wout.Grad.Add(tensor.TMatMul(mean, gLogits))
+		bg := m.bout.Grad.Row(0)
+		for i := 0; i < gLogits.Rows; i++ {
+			for j, v := range gLogits.Row(i) {
+				bg[j] += v
+			}
+		}
+		gMean := tensor.MatMulT(gLogits, m.wout.Value)
+		gZ := gMean.Clone()
+		gZ.Scale(1 / float64(len(m.Scales)))
+		// Per-scale adjoint solves.
+		gB := tensor.New(ds.G.N, m.hidden)
+		for i, sc := range m.Scales {
+			solver, err := implicit.NewSolver(op, m.Gamma)
+			if err != nil {
+				return nil, err
+			}
+			solver.Scale = sc
+			solver.Tol = 1e-7
+			u, _, err := solver.SolveAdjoint(gZ, m.wimp[i].Value)
+			if err != nil {
+				return nil, fmt.Errorf("models: implicit adjoint: %w", err)
+			}
+			m.wimp[i].Grad.Add(solver.GradW(zs[i], u))
+			gB.Add(u)
+		}
+		m.win.Grad.Add(tensor.TMatMul(ds.X, gB))
+		nn.ClipGradNorm(params, 5)
+		opt.Step(params)
+		for i := range m.wimp {
+			implicit.ProjectSpectralNorm(m.wimp[i].Value, maxNorm)
+		}
+
+		_, valLogits, err := m.forward(op, ds.X)
+		if err != nil {
+			return nil, err
+		}
+		if stopper.update(epoch, accuracyAt(valLogits, ds.Labels, ds.ValIdx)) {
+			break
+		}
+	}
+	rep.TrainTime = time.Since(start)
+	rep.Epochs = epochs
+	rep.EpochTime = rep.TrainTime / time.Duration(epochs)
+	rep.PeakFloats = ds.G.N*cfg.Hidden*(2+2*len(m.Scales)) + ds.G.N*ds.NumClasses
+
+	_, logits, err := m.forward(op, ds.X)
+	if err != nil {
+		return nil, err
+	}
+	fillAccuracies(func(idx []int) []int {
+		return nn.Argmax(logits.SelectRows(idx))
+	}, ds, rep)
+	return rep, nil
+}
+
+// Predict implements Trainer.
+func (m *ImplicitNet) Predict(ds *dataset.Dataset) ([]int, error) {
+	if m.win == nil {
+		return nil, fmt.Errorf("models: ImplicitNet.Predict before Fit")
+	}
+	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
+	_, logits, err := m.forward(op, ds.X)
+	if err != nil {
+		return nil, err
+	}
+	return nn.Argmax(logits), nil
+}

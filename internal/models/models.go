@@ -1,0 +1,213 @@
+// Package models implements the scalable GNN model families surveyed in
+// tutorial §3.1.2 and the technique-specific variants of §3.2–§3.3, all on
+// top of the library's substrates:
+//
+//   - GCN: full-batch iterative message passing (the scalability baseline).
+//   - GraphSAGE: node-level sampled mini-batch training.
+//   - ClusterGCN: partition-based subgraph mini-batch training.
+//   - SGC: linear decoupled propagation (precompute Â^K X, train a linear
+//     head).
+//   - APPNP: predict-then-propagate with truncated personalized PageRank.
+//   - SIGN: multi-hop decoupled embeddings with an MLP head.
+//   - GAMLP: SIGN embeddings with learnable hop attention.
+//   - LD2: multi-filter (identity/low-pass/high-pass) spectral embeddings
+//     for heterophilous graphs, mini-batch trainable.
+//   - ImplicitNet: EIGNN-style equilibrium model with exact implicit
+//     differentiation.
+//
+// All models share TrainConfig/Report so the benchmark harness can compare
+// accuracy, epoch time, propagation/precompute time, and peak resident
+// floats (the GPU-memory proxy) across families.
+package models
+
+import (
+	"fmt"
+	"time"
+
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/metrics"
+	"scalegnn/internal/nn"
+	"scalegnn/internal/tensor"
+)
+
+// TrainConfig holds the optimizer and schedule settings shared by all
+// models.
+type TrainConfig struct {
+	Epochs      int
+	LR          float64
+	WeightDecay float64
+	Hidden      int
+	Dropout     float64
+	BatchSize   int // mini-batch models only; <= 0 means full batch
+	Seed        uint64
+	// Patience stops training after this many epochs without val-accuracy
+	// improvement; 0 disables early stopping.
+	Patience int
+}
+
+// DefaultTrainConfig returns the settings used across the benchmarks.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs: 100, LR: 0.01, WeightDecay: 5e-4, Hidden: 64,
+		Dropout: 0.5, BatchSize: 512, Seed: 1, Patience: 30,
+	}
+}
+
+func (c TrainConfig) validate() error {
+	if c.Epochs < 1 {
+		return fmt.Errorf("models: epochs %d < 1", c.Epochs)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("models: learning rate %v <= 0", c.LR)
+	}
+	if c.Hidden < 1 {
+		return fmt.Errorf("models: hidden width %d < 1", c.Hidden)
+	}
+	return nil
+}
+
+// Report summarizes one training run.
+type Report struct {
+	Model      string
+	TrainAcc   float64
+	ValAcc     float64
+	TestAcc    float64
+	TestF1     float64
+	Epochs     int           // epochs actually run (early stopping)
+	Precompute time.Duration // one-time graph work (decoupled models)
+	TrainTime  time.Duration // total optimization time
+	EpochTime  time.Duration // TrainTime / Epochs
+	PeakFloats int           // peak resident float64s in one training step
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%-12s test=%.4f val=%.4f f1=%.4f epochs=%d pre=%v epoch=%v peakMFloats=%.2f",
+		r.Model, r.TestAcc, r.ValAcc, r.TestF1, r.Epochs,
+		r.Precompute.Round(time.Millisecond), r.EpochTime.Round(time.Microsecond),
+		float64(r.PeakFloats)/1e6)
+}
+
+// Trainer is the interface every model in this package satisfies; the core
+// pipeline and the benchmark harness drive models through it.
+type Trainer interface {
+	// Name identifies the model family.
+	Name() string
+	// Fit trains on the dataset and returns the filled report.
+	Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error)
+	// Predict returns class predictions for every node; valid after Fit.
+	Predict(ds *dataset.Dataset) ([]int, error)
+}
+
+// maskedLoss computes softmax cross-entropy on the selected rows of the
+// full logits matrix and scatters the gradient back to full shape.
+func maskedLoss(logits *tensor.Matrix, labels []int, idx []int) (float64, *tensor.Matrix) {
+	sel := logits.SelectRows(idx)
+	loss, gSel := nn.SoftmaxCrossEntropy(sel, dataset.LabelsAt(labels, idx))
+	full := tensor.New(logits.Rows, logits.Cols)
+	full.ScatterAddRows(idx, gSel)
+	return loss, full
+}
+
+// accuracyAt computes accuracy of full-graph logits on an index set.
+func accuracyAt(logits *tensor.Matrix, labels []int, idx []int) float64 {
+	pred := nn.Argmax(logits.SelectRows(idx))
+	return metrics.Accuracy(pred, dataset.LabelsAt(labels, idx))
+}
+
+// earlyStopper tracks validation accuracy with patience.
+type earlyStopper struct {
+	best     float64
+	bestAt   int
+	patience int
+}
+
+func newEarlyStopper(patience int) *earlyStopper {
+	return &earlyStopper{best: -1, patience: patience}
+}
+
+// update records the epoch's val accuracy and reports whether to stop.
+func (e *earlyStopper) update(epoch int, valAcc float64) bool {
+	if valAcc > e.best {
+		e.best = valAcc
+		e.bestAt = epoch
+		return false
+	}
+	return e.patience > 0 && epoch-e.bestAt >= e.patience
+}
+
+// decoupledHead trains an MLP on fixed per-node embeddings with mini-batch
+// SGD — the shared training loop of every decoupled model (SGC, SIGN, LD2,
+// GAMLP all reduce to this after their precompute step). Returns the
+// trained network and fills the timing/accuracy parts of the report.
+func decoupledHead(emb *tensor.Matrix, ds *dataset.Dataset, cfg TrainConfig, hidden []int, rep *Report) (*nn.Sequential, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRand(cfg.Seed)
+	mlp := nn.NewMLP(nn.MLPConfig{
+		In: emb.Cols, Hidden: hidden, Out: ds.NumClasses,
+		Dropout: cfg.Dropout, Bias: true,
+	}, rng)
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+
+	batch := cfg.BatchSize
+	if batch <= 0 || batch > len(ds.TrainIdx) {
+		batch = len(ds.TrainIdx)
+	}
+	stopper := newEarlyStopper(cfg.Patience)
+	start := time.Now()
+	epochs := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochs++
+		perm := tensor.Perm(len(ds.TrainIdx), rng)
+		for off := 0; off < len(perm); off += batch {
+			end := min(off+batch, len(perm))
+			idx := make([]int, end-off)
+			for i := range idx {
+				idx[i] = ds.TrainIdx[perm[off+i]]
+			}
+			x := emb.SelectRows(idx)
+			logits := mlp.Forward(x, true)
+			_, grad := nn.SoftmaxCrossEntropy(logits, dataset.LabelsAt(ds.Labels, idx))
+			mlp.Backward(grad)
+			opt.Step(mlp.Params())
+		}
+		val := accuracyAt(mlp.Forward(emb.SelectRows(ds.ValIdx), false), dataset.LabelsAt(ds.Labels, ds.ValIdx), rangeIdx(len(ds.ValIdx)))
+		if stopper.update(epoch, val) {
+			break
+		}
+	}
+	rep.TrainTime = time.Since(start)
+	rep.Epochs = epochs
+	if epochs > 0 {
+		rep.EpochTime = rep.TrainTime / time.Duration(epochs)
+	}
+	// Peak resident floats in one step: batch activations through the MLP.
+	rep.PeakFloats = batch*(emb.Cols+2*cfg.Hidden+ds.NumClasses) + mlp.NumParams()*3
+
+	fillAccuracies(func(idx []int) []int {
+		return nn.Argmax(mlp.Forward(emb.SelectRows(idx), false))
+	}, ds, rep)
+	return mlp, nil
+}
+
+// rangeIdx returns [0, 1, ..., n-1].
+func rangeIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// fillAccuracies computes train/val/test accuracy and test macro-F1 given a
+// prediction function over node-index sets.
+func fillAccuracies(predict func(idx []int) []int, ds *dataset.Dataset, rep *Report) {
+	rep.TrainAcc = metrics.Accuracy(predict(ds.TrainIdx), dataset.LabelsAt(ds.Labels, ds.TrainIdx))
+	rep.ValAcc = metrics.Accuracy(predict(ds.ValIdx), dataset.LabelsAt(ds.Labels, ds.ValIdx))
+	testPred := predict(ds.TestIdx)
+	testLabels := dataset.LabelsAt(ds.Labels, ds.TestIdx)
+	rep.TestAcc = metrics.Accuracy(testPred, testLabels)
+	rep.TestF1 = metrics.MacroF1(testPred, testLabels, ds.NumClasses)
+}

@@ -1,0 +1,339 @@
+package models
+
+import (
+	"testing"
+
+	"scalegnn/internal/dataset"
+)
+
+// smallTask returns a small, easy homophilous task every model should ace.
+func smallTask(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Nodes: 600, Classes: 3, AvgDegree: 10, Homophily: 0.85,
+		FeatureDim: 16, NoiseStd: 1.0, TrainFrac: 0.5, ValFrac: 0.2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// heteroTask returns a heterophilous task (low-pass hostile).
+func heteroTask(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Nodes: 600, Classes: 3, AvgDegree: 10, Homophily: 0.1,
+		FeatureDim: 16, NoiseStd: 1.5, TrainFrac: 0.5, ValFrac: 0.2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func quickCfg() TrainConfig {
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 60
+	cfg.Patience = 20
+	return cfg
+}
+
+// fitAndCheck trains a model and asserts it clearly beats chance (1/3).
+func fitAndCheck(t *testing.T, m Trainer, ds *dataset.Dataset, minAcc float64) *Report {
+	t.Helper()
+	rep, err := m.Fit(ds, quickCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	if rep.TestAcc < minAcc {
+		t.Errorf("%s: test accuracy %.3f below %.3f", m.Name(), rep.TestAcc, minAcc)
+	}
+	if rep.Epochs == 0 || rep.EpochTime <= 0 {
+		t.Errorf("%s: bad timing report %+v", m.Name(), rep)
+	}
+	if rep.PeakFloats <= 0 {
+		t.Errorf("%s: peak floats not reported", m.Name())
+	}
+	pred, err := m.Predict(ds)
+	if err != nil {
+		t.Fatalf("%s: Predict: %v", m.Name(), err)
+	}
+	if len(pred) != ds.G.N {
+		t.Errorf("%s: Predict returned %d values", m.Name(), len(pred))
+	}
+	return rep
+}
+
+func TestGCNLearns(t *testing.T) {
+	ds := smallTask(t)
+	m, err := NewGCN(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitAndCheck(t, m, ds, 0.7)
+}
+
+func TestSGCLearns(t *testing.T) {
+	ds := smallTask(t)
+	m, err := NewSGC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fitAndCheck(t, m, ds, 0.7)
+	if rep.Precompute <= 0 {
+		t.Error("SGC should report precompute time")
+	}
+}
+
+func TestSIGNLearns(t *testing.T) {
+	ds := smallTask(t)
+	m, err := NewSIGN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitAndCheck(t, m, ds, 0.7)
+}
+
+func TestAPPNPLearns(t *testing.T) {
+	ds := smallTask(t)
+	m, err := NewAPPNP(8, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitAndCheck(t, m, ds, 0.7)
+}
+
+func TestGAMLPLearns(t *testing.T) {
+	ds := smallTask(t)
+	m, err := NewGAMLP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitAndCheck(t, m, ds, 0.7)
+	att := m.HopAttention()
+	var sum float64
+	for _, a := range att {
+		if a < 0 {
+			t.Error("negative attention weight")
+		}
+		sum += a
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("attention sums to %v", sum)
+	}
+}
+
+func TestLD2Learns(t *testing.T) {
+	ds := smallTask(t)
+	m, err := NewLD2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitAndCheck(t, m, ds, 0.7)
+}
+
+func TestSAGELearns(t *testing.T) {
+	ds := smallTask(t)
+	m, err := NewGraphSAGE(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitAndCheck(t, m, ds, 0.65)
+}
+
+func TestClusterGCNLearns(t *testing.T) {
+	ds := smallTask(t)
+	m, err := NewClusterGCN(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitAndCheck(t, m, ds, 0.65)
+}
+
+func TestImplicitLearns(t *testing.T) {
+	ds := smallTask(t)
+	m, err := NewImplicitNet(0.8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.Epochs = 40
+	rep, err := m.Fit(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TestAcc < 0.6 {
+		t.Errorf("implicit test accuracy %.3f", rep.TestAcc)
+	}
+}
+
+// TestLD2BeatsSGCOnHeterophily is E5's core claim at test scale: on a
+// heterophilous graph the multi-filter model must beat the pure low-pass
+// model.
+func TestLD2BeatsSGCOnHeterophily(t *testing.T) {
+	ds := heteroTask(t)
+	sgc, err := NewSGC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld2, err := NewLD2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSGC, err := sgc.Fit(ds, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repLD2, err := ld2.Fit(ds, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repLD2.TestAcc <= repSGC.TestAcc {
+		t.Errorf("LD2 %.3f not above SGC %.3f on heterophilous graph",
+			repLD2.TestAcc, repSGC.TestAcc)
+	}
+}
+
+// TestDecoupledPeakMemoryBelowGCN is E2's memory claim: mini-batch
+// decoupled training must hold far fewer resident floats than full-batch
+// GCN on the same task.
+func TestDecoupledPeakMemoryBelowGCN(t *testing.T) {
+	ds := smallTask(t)
+	gcn, _ := NewGCN(2)
+	sgc, _ := NewSGC(2)
+	cfg := quickCfg()
+	cfg.Epochs = 5
+	cfg.Patience = 0
+	cfg.BatchSize = 64
+	repG, err := gcn.Fit(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repS, err := sgc.Fit(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repS.PeakFloats >= repG.PeakFloats {
+		t.Errorf("SGC peak floats %d not below GCN %d", repS.PeakFloats, repG.PeakFloats)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewGCN(0); err == nil {
+		t.Error("GCN 0 layers")
+	}
+	if _, err := NewSGC(0); err == nil {
+		t.Error("SGC K=0")
+	}
+	if _, err := NewSIGN(0); err == nil {
+		t.Error("SIGN K=0")
+	}
+	if _, err := NewAPPNP(0, 0.1); err == nil {
+		t.Error("APPNP K=0")
+	}
+	if _, err := NewAPPNP(5, 0); err == nil {
+		t.Error("APPNP alpha=0")
+	}
+	if _, err := NewGAMLP(0); err == nil {
+		t.Error("GAMLP K=0")
+	}
+	if _, err := NewLD2(0); err == nil {
+		t.Error("LD2 hops=0")
+	}
+	if _, err := NewGraphSAGE(0, 3); err == nil {
+		t.Error("SAGE 0 layers")
+	}
+	if _, err := NewGraphSAGE(2, 0); err == nil {
+		t.Error("SAGE fanout 0")
+	}
+	if _, err := NewClusterGCN(0, 2); err == nil {
+		t.Error("ClusterGCN 0 layers")
+	}
+	if _, err := NewImplicitNet(0, nil); err == nil {
+		t.Error("ImplicitNet gamma=0")
+	}
+	if _, err := NewImplicitNet(0.5, []int{0}); err == nil {
+		t.Error("ImplicitNet scale 0")
+	}
+}
+
+func TestPredictBeforeFitErrors(t *testing.T) {
+	ds := smallTask(t)
+	for _, m := range []Trainer{
+		mustGCN(t), mustSGC(t), mustTrainer(NewSIGN(2)), mustTrainer(NewAPPNP(4, 0.2)),
+		mustTrainer(NewGAMLP(2)), mustTrainer(NewLD2(2)), mustTrainer(NewGraphSAGE(2, 3)),
+		mustTrainer(NewClusterGCN(2, 2)), mustTrainer(NewImplicitNet(0.5, nil)),
+	} {
+		if _, err := m.Predict(ds); err == nil {
+			t.Errorf("%s: Predict before Fit should error", m.Name())
+		}
+	}
+}
+
+func mustGCN(t *testing.T) Trainer {
+	t.Helper()
+	m, err := NewGCN(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustSGC(t *testing.T) Trainer {
+	t.Helper()
+	m, err := NewSGC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustTrainer[T Trainer](m T, err error) Trainer {
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestTrainConfigValidation(t *testing.T) {
+	ds := smallTask(t)
+	m, _ := NewSGC(2)
+	bad := DefaultTrainConfig()
+	bad.Epochs = 0
+	if _, err := m.Fit(ds, bad); err == nil {
+		t.Error("epochs=0 should error")
+	}
+	bad = DefaultTrainConfig()
+	bad.LR = 0
+	if _, err := m.Fit(ds, bad); err == nil {
+		t.Error("lr=0 should error")
+	}
+	bad = DefaultTrainConfig()
+	bad.Hidden = 0
+	gcn, _ := NewGCN(1)
+	if _, err := gcn.Fit(ds, bad); err == nil {
+		t.Error("hidden=0 should error")
+	}
+}
+
+func TestEarlyStopper(t *testing.T) {
+	s := newEarlyStopper(3)
+	if s.update(0, 0.5) || s.update(1, 0.6) {
+		t.Error("improving should not stop")
+	}
+	if s.update(2, 0.55) || s.update(3, 0.55) {
+		t.Error("within patience should not stop")
+	}
+	if !s.update(4, 0.55) {
+		t.Error("patience exhausted should stop")
+	}
+	// patience 0 disables stopping.
+	s0 := newEarlyStopper(0)
+	s0.update(0, 0.9)
+	for e := 1; e < 10; e++ {
+		if s0.update(e, 0.1) {
+			t.Fatal("patience=0 must never stop")
+		}
+	}
+}

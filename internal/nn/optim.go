@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"scalegnn/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients and clears
+// the gradients afterwards.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional L2 weight decay.
+type SGD struct {
+	LR          float64
+	WeightDecay float64
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step applies one descent update and zeroes gradients.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		for i, g := range p.Grad.Data {
+			if o.WeightDecay != 0 {
+				g += o.WeightDecay * p.Value.Data[i]
+			}
+			p.Value.Data[i] -= o.LR * g
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba) with bias correction and
+// optional decoupled L2 weight decay, the default trainer for every model in
+// this library.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t int
+	m map[*Param]*tensor.Matrix
+	v map[*Param]*tensor.Matrix
+}
+
+// NewAdam constructs Adam with the standard hyperparameters
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Matrix),
+		v: make(map[*Param]*tensor.Matrix),
+	}
+}
+
+// Step applies one Adam update and zeroes gradients.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Rows, p.Value.Cols)
+			o.m[p] = m
+			o.v[p] = tensor.New(p.Value.Rows, p.Value.Cols)
+		}
+		v := o.v[p]
+		for i, g := range p.Grad.Data {
+			if o.WeightDecay != 0 {
+				g += o.WeightDecay * p.Value.Data[i]
+			}
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mhat := m.Data[i] / bc1
+			vhat := v.Data[i] / bc2
+			p.Value.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm. It guards the implicit-GNN training
+// loops where fixed-point gradients can spike.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}
+
+// GradCheck compares a layer's analytic input gradient against central
+// finite differences of a scalar loss. Used by tests; exported so model
+// packages can reuse it on composite modules.
+//
+// loss must be a deterministic function of the layer output. Returns the
+// max absolute element-wise error between analytic and numeric ∂L/∂x.
+func GradCheck(layer Layer, x *tensor.Matrix, loss func(y *tensor.Matrix) (float64, *tensor.Matrix), eps float64) (float64, error) {
+	y := layer.Forward(x, true)
+	_, gy := loss(y)
+	gx := layer.Backward(gy)
+	if !gx.SameShape(x) {
+		return 0, fmt.Errorf("nn: GradCheck gradient shape %dx%d != input %dx%d", gx.Rows, gx.Cols, x.Rows, x.Cols)
+	}
+	var maxErr float64
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp, _ := loss(layer.Forward(x, false))
+		x.Data[i] = orig - eps
+		lm, _ := loss(layer.Forward(x, false))
+		x.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if e := math.Abs(numeric - gx.Data[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr, nil
+}

@@ -1,0 +1,237 @@
+package partition
+
+import (
+	"testing"
+
+	"scalegnn/internal/graph"
+	"scalegnn/internal/tensor"
+)
+
+func modularGraph(t *testing.T, seed uint64) (*graph.CSR, []int) {
+	t.Helper()
+	g, labels, err := graph.SBM(graph.SBMConfig{
+		Nodes: 1000, Blocks: 4, AvgDegree: 10, Homophily: 0.9,
+	}, tensor.NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, labels
+}
+
+func checkValid(t *testing.T, a *Assignment, n int) {
+	t.Helper()
+	if len(a.Parts) != n {
+		t.Fatalf("assignment length %d != n %d", len(a.Parts), n)
+	}
+	for u, p := range a.Parts {
+		if p < 0 || p >= a.K {
+			t.Fatalf("node %d in invalid part %d", u, p)
+		}
+	}
+}
+
+func TestHashBalanced(t *testing.T) {
+	g, _ := modularGraph(t, 1)
+	a, err := Hash(g, 4, tensor.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, a, g.N)
+	q := Evaluate(g, a)
+	if q.Balance > 1.25 {
+		t.Errorf("hash balance %v", q.Balance)
+	}
+	// Random 4-way cut should land near 3/4 of edges.
+	if q.CutFrac < 0.6 || q.CutFrac > 0.9 {
+		t.Errorf("hash cut fraction %v, want ~0.75", q.CutFrac)
+	}
+}
+
+func TestLDGBeatsHash(t *testing.T) {
+	g, _ := modularGraph(t, 3)
+	hash, err := Hash(g, 4, tensor.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldg, err := LDG(g, 4, 1.1, tensor.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, ldg, g.N)
+	qh, ql := Evaluate(g, hash), Evaluate(g, ldg)
+	if ql.CutFrac >= qh.CutFrac {
+		t.Errorf("LDG cut %v not below hash %v", ql.CutFrac, qh.CutFrac)
+	}
+	if ql.Balance > 1.2 {
+		t.Errorf("LDG balance %v exceeds slack", ql.Balance)
+	}
+}
+
+func TestFennelBeatsHash(t *testing.T) {
+	g, _ := modularGraph(t, 5)
+	hash, _ := Hash(g, 4, tensor.NewRand(6))
+	fennel, err := Fennel(g, 4, tensor.NewRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, fennel, g.N)
+	qh, qf := Evaluate(g, hash), Evaluate(g, fennel)
+	if qf.CutFrac >= qh.CutFrac {
+		t.Errorf("Fennel cut %v not below hash %v", qf.CutFrac, qh.CutFrac)
+	}
+	if qf.Balance > 1.3 {
+		t.Errorf("Fennel balance %v", qf.Balance)
+	}
+}
+
+func TestMultilevelQuality(t *testing.T) {
+	g, _ := modularGraph(t, 7)
+	a, err := Multilevel(g, 4, 100, 5, tensor.NewRand(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, a, g.N)
+	q := Evaluate(g, a)
+	hash, _ := Hash(g, 4, tensor.NewRand(8))
+	qh := Evaluate(g, hash)
+	if q.CutFrac >= qh.CutFrac {
+		t.Errorf("multilevel cut %v not below hash %v", q.CutFrac, qh.CutFrac)
+	}
+	if q.Balance > 1.35 {
+		t.Errorf("multilevel balance %v", q.Balance)
+	}
+}
+
+func TestPartitionersRecoverPlantedBlocks(t *testing.T) {
+	// With strong homophily and k = true blocks, a good partitioner's cut
+	// should approach the planted inter-block edge fraction (~0.1).
+	g, _ := modularGraph(t, 9)
+	a, err := Multilevel(g, 4, 100, 8, tensor.NewRand(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(g, a)
+	if q.CutFrac > 0.45 {
+		t.Errorf("multilevel cut %v far from planted structure (~0.1)", q.CutFrac)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g, _ := modularGraph(t, 11)
+	rng := tensor.NewRand(12)
+	if _, err := Hash(g, 0, rng); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := LDG(g, 2, 0.5, rng); err == nil {
+		t.Error("slack < 1 should error")
+	}
+	empty, _ := graph.FromEdges(0, nil)
+	if _, err := Fennel(empty, 2, rng); err == nil {
+		t.Error("empty graph should error")
+	}
+}
+
+func TestSinglePartTrivial(t *testing.T) {
+	g, _ := modularGraph(t, 13)
+	for name, f := range map[string]func() (*Assignment, error){
+		"hash":   func() (*Assignment, error) { return Hash(g, 1, tensor.NewRand(1)) },
+		"ldg":    func() (*Assignment, error) { return LDG(g, 1, 1.2, tensor.NewRand(1)) },
+		"fennel": func() (*Assignment, error) { return Fennel(g, 1, tensor.NewRand(1)) },
+	} {
+		a, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		q := Evaluate(g, a)
+		if q.EdgeCut != 0 || q.CommVolume != 0 {
+			t.Errorf("%s: k=1 should have zero cut, got %+v", name, q)
+		}
+	}
+}
+
+func TestEvaluateKnownCut(t *testing.T) {
+	// Path 0-1-2-3 split {0,1} | {2,3}: one cut edge.
+	g := graph.Path(4)
+	a := &Assignment{Parts: []int{0, 0, 1, 1}, K: 2}
+	q := Evaluate(g, a)
+	if q.EdgeCut != 1 {
+		t.Errorf("cut = %d, want 1", q.EdgeCut)
+	}
+	if q.CommVolume != 2 { // nodes 1 and 2 each need one remote neighbor
+		t.Errorf("comm volume = %d, want 2", q.CommVolume)
+	}
+	if q.Balance != 1 {
+		t.Errorf("balance = %v, want 1", q.Balance)
+	}
+}
+
+func TestSubgraphsCoverAllNodes(t *testing.T) {
+	g, _ := modularGraph(t, 15)
+	a, err := Fennel(g, 4, tensor.NewRand(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, ids := Subgraphs(g, a)
+	total := 0
+	seen := make(map[int]bool)
+	for p, sub := range subs {
+		if sub.N != len(ids[p]) {
+			t.Fatalf("part %d: subgraph n %d != ids %d", p, sub.N, len(ids[p]))
+		}
+		total += sub.N
+		for _, id := range ids[p] {
+			if seen[id] {
+				t.Fatalf("node %d in two parts", id)
+			}
+			seen[id] = true
+		}
+	}
+	if total != g.N {
+		t.Errorf("parts cover %d of %d nodes", total, g.N)
+	}
+}
+
+func TestGreedyGrowHandlesDisconnected(t *testing.T) {
+	// Two components; multilevel must still assign every node.
+	b := graph.NewBuilder(20)
+	for i := 0; i < 9; i++ {
+		b.AddEdge(i, i+1)
+	}
+	for i := 10; i < 19; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.MustBuild()
+	a, err := Multilevel(g, 2, 6, 3, tensor.NewRand(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, a, g.N)
+}
+
+func BenchmarkFennel(b *testing.B) {
+	g, _, err := graph.SBM(graph.SBMConfig{Nodes: 50000, Blocks: 8, AvgDegree: 10, Homophily: 0.8}, tensor.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := tensor.NewRand(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fennel(g, 8, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultilevel(b *testing.B) {
+	g, _, err := graph.SBM(graph.SBMConfig{Nodes: 20000, Blocks: 8, AvgDegree: 10, Homophily: 0.8}, tensor.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := tensor.NewRand(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Multilevel(g, 8, 2000, 3, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package sampling
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"scalegnn/internal/graph"
+	"scalegnn/internal/tensor"
+)
+
+// FastGCNSampler implements layer-level importance sampling: each layer
+// draws a fixed budget of source nodes from the whole graph with
+// probability proportional to degree (the FastGCN importance
+// q(v) ∝ ‖P(:,v)‖², which for the mean-aggregation operator is
+// degree-dominated), independent of the destination set. The estimator is
+// the Horvitz-Thompson correction of the restricted aggregation.
+type FastGCNSampler struct {
+	G      *graph.CSR
+	Budget int // source nodes per layer
+
+	probs []float64 // q(v), degree-proportional
+	alias aliasTable
+}
+
+// NewFastGCNSampler precomputes the importance distribution.
+func NewFastGCNSampler(g *graph.CSR, budget int) (*FastGCNSampler, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("sampling: budget %d < 1", budget)
+	}
+	total := float64(g.NumEdges())
+	if total == 0 {
+		return nil, fmt.Errorf("sampling: FastGCN on empty graph")
+	}
+	probs := make([]float64, g.N)
+	for v := 0; v < g.N; v++ {
+		probs[v] = float64(g.Degree(v)) / total
+	}
+	return &FastGCNSampler{G: g, Budget: budget, probs: probs, alias: newAliasTable(probs)}, nil
+}
+
+// SampleBlock draws `Budget` sources i.i.d. from q (with replacement, as in
+// FastGCN) and wires every destination to its sampled neighbors with
+// Horvitz-Thompson weights 1/(deg(u) · t · q(v)) per draw.
+func (s *FastGCNSampler) SampleBlock(dsts []int32, rng *rand.Rand) *Block {
+	um := newUniqueMap(dsts)
+	b := &Block{
+		Dsts:   dsts,
+		Neigh:  make([][]int32, len(dsts)),
+		Weight: make([][]float64, len(dsts)),
+	}
+	// Draw the layer-wide sample and count multiplicity.
+	mult := make(map[int32]int, s.Budget)
+	for i := 0; i < s.Budget; i++ {
+		mult[int32(s.alias.draw(rng))]++
+	}
+	t := float64(s.Budget)
+	for i, d := range dsts {
+		ns := s.G.Neighbors(int(d))
+		deg := float64(len(ns))
+		if deg == 0 {
+			continue
+		}
+		for _, v := range ns {
+			m, ok := mult[v]
+			if !ok {
+				continue
+			}
+			w := float64(m) / (deg * t * s.probs[v])
+			b.Neigh[i] = append(b.Neigh[i], um.add(v))
+			b.Weight[i] = append(b.Weight[i], w)
+		}
+	}
+	b.Srcs = um.srcs
+	return b
+}
+
+var _ BlockSampler = (*FastGCNSampler)(nil)
+
+// aliasTable supports O(1) sampling from a discrete distribution
+// (Vose's alias method) — the data structure behind every
+// degree-proportional draw in this package.
+type aliasTable struct {
+	prob  []float64
+	alias []int
+}
+
+func newAliasTable(probs []float64) aliasTable {
+	n := len(probs)
+	t := aliasTable{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, p := range probs {
+		scaled[i] = p * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t
+}
+
+func (t aliasTable) draw(rng *rand.Rand) int {
+	i := rng.IntN(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return t.alias[i]
+}
+
+// DegreeDistribution exposes the normalized degree-proportional
+// probabilities used by the layer-wise samplers (also used by sparsifiers).
+func DegreeDistribution(g *graph.CSR) []float64 {
+	total := float64(g.NumEdges())
+	probs := make([]float64, g.N)
+	if total == 0 {
+		return probs
+	}
+	for v := 0; v < g.N; v++ {
+		probs[v] = float64(g.Degree(v)) / total
+	}
+	return probs
+}
+
+// ReceptiveField returns the number of distinct nodes reachable within L
+// hops of the batch — the exact size of the computation graph a full
+// (unsampled) L-layer GNN must materialize for this batch. E1's
+// neighborhood-explosion curve is this quantity as a function of L.
+func ReceptiveField(g *graph.CSR, batch []int32, layers int) int {
+	seen := make(map[int32]struct{}, len(batch)*4)
+	frontier := make([]int32, 0, len(batch))
+	for _, v := range batch {
+		seen[v] = struct{}{}
+		frontier = append(frontier, v)
+	}
+	for l := 0; l < layers; l++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(int(u)) {
+				if _, ok := seen[v]; !ok {
+					seen[v] = struct{}{}
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return len(seen)
+}
+
+// SampledFieldSize measures the total unique sources across the sampled
+// multi-layer computation graph drawn by a NeighborSampler — the quantity
+// that stays bounded when sampling caps the explosion.
+func SampledFieldSize(s *NeighborSampler, batch []int32, layers int, rng *rand.Rand) int {
+	blocks := s.SampleLayers(batch, layers, rng)
+	return blocks[len(blocks)-1].NumUniqueSrcs()
+}
+
+// EstimateAggregationError runs the sampler and reports the relative
+// Frobenius error of its aggregation estimate against the exact operator —
+// convenience wrapper over MeasureVariance used in benchmarks.
+func EstimateAggregationError(g *graph.CSR, x *tensor.Matrix, s BlockSampler, dsts []int32, rng *rand.Rand) float64 {
+	blk := s.SampleBlock(dsts, rng)
+	est := blk.Aggregate(selectRows(x, blk.Srcs))
+	exactBlk := ExactBlock(g, dsts)
+	exact := exactBlk.Aggregate(selectRows(x, exactBlk.Srcs))
+	est.Sub(exact)
+	denom := exact.FrobeniusNorm()
+	if denom == 0 {
+		return 0
+	}
+	return est.FrobeniusNorm() / denom
+}
+
+// LadiesSampler is the layer-dependent variant of importance sampling:
+// like FastGCN it draws a fixed per-layer budget, but candidates are
+// restricted to the union of the destinations' neighborhoods, so no draw
+// is wasted on nodes that cannot contribute (the LADIES refinement).
+type LadiesSampler struct {
+	G      *graph.CSR
+	Budget int
+}
+
+// NewLadiesSampler validates and constructs the sampler.
+func NewLadiesSampler(g *graph.CSR, budget int) (*LadiesSampler, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("sampling: budget %d < 1", budget)
+	}
+	return &LadiesSampler{G: g, Budget: budget}, nil
+}
+
+// SampleBlock draws Budget sources from the dsts' neighborhood union with
+// probability proportional to degree (restricted), wiring edges with
+// Horvitz-Thompson weights.
+func (s *LadiesSampler) SampleBlock(dsts []int32, rng *rand.Rand) *Block {
+	um := newUniqueMap(dsts)
+	b := &Block{
+		Dsts:   dsts,
+		Neigh:  make([][]int32, len(dsts)),
+		Weight: make([][]float64, len(dsts)),
+	}
+	// Candidate set: union of neighborhoods.
+	candSet := make(map[int32]struct{})
+	for _, d := range dsts {
+		for _, v := range s.G.Neighbors(int(d)) {
+			candSet[v] = struct{}{}
+		}
+	}
+	if len(candSet) == 0 {
+		b.Srcs = um.srcs
+		return b
+	}
+	cands := make([]int32, 0, len(candSet))
+	for v := range candSet {
+		cands = append(cands, v)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	probs := make([]float64, len(cands))
+	var total float64
+	for i, v := range cands {
+		probs[i] = float64(s.G.Degree(int(v)))
+		total += probs[i]
+	}
+	q := make(map[int32]float64, len(cands))
+	for i := range probs {
+		probs[i] /= total
+		q[cands[i]] = probs[i]
+	}
+	at := newAliasTable(probs)
+	mult := make(map[int32]int, s.Budget)
+	for i := 0; i < s.Budget; i++ {
+		mult[cands[at.draw(rng)]]++
+	}
+	t := float64(s.Budget)
+	for i, d := range dsts {
+		ns := s.G.Neighbors(int(d))
+		deg := float64(len(ns))
+		if deg == 0 {
+			continue
+		}
+		for _, v := range ns {
+			m, ok := mult[v]
+			if !ok {
+				continue
+			}
+			w := float64(m) / (deg * t * q[v])
+			b.Neigh[i] = append(b.Neigh[i], um.add(v))
+			b.Weight[i] = append(b.Weight[i], w)
+		}
+	}
+	b.Srcs = um.srcs
+	return b
+}
+
+var _ BlockSampler = (*LadiesSampler)(nil)

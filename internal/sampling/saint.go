@@ -1,0 +1,155 @@
+package sampling
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"scalegnn/internal/graph"
+)
+
+// SubgraphSample is one subgraph-level training batch: an induced subgraph,
+// the original IDs of its nodes, and loss-normalization weights that keep
+// subgraph-trained gradients unbiased (the GraphSAINT correction).
+type SubgraphSample struct {
+	Sub *graph.CSR
+	// NodeIDs[i] is the original ID of subgraph node i.
+	NodeIDs []int
+	// NodeWeight[i] is the inverse inclusion-frequency normalizer for
+	// subgraph node i (estimated from pre-sampling); multiply per-node loss
+	// terms by it to debias the batch loss.
+	NodeWeight []float64
+}
+
+// RandomWalkSampler extracts GraphSAINT-RW subgraphs: Roots random roots
+// each start a walk of WalkLength steps; the union of visited nodes induces
+// the batch subgraph.
+type RandomWalkSampler struct {
+	G          *graph.CSR
+	Roots      int
+	WalkLength int
+
+	nodeFreq []float64 // estimated inclusion probability per node
+}
+
+// NewRandomWalkSampler validates the configuration and estimates node
+// inclusion frequencies with preTrials pre-sampled batches (GraphSAINT's
+// normalization pre-pass). preTrials = 0 skips estimation and uses uniform
+// weights.
+func NewRandomWalkSampler(g *graph.CSR, roots, walkLength, preTrials int, rng *rand.Rand) (*RandomWalkSampler, error) {
+	if roots < 1 || walkLength < 0 {
+		return nil, fmt.Errorf("sampling: invalid roots %d / walk length %d", roots, walkLength)
+	}
+	s := &RandomWalkSampler{G: g, Roots: roots, WalkLength: walkLength}
+	if preTrials > 0 {
+		counts := make([]float64, g.N)
+		for t := 0; t < preTrials; t++ {
+			for _, v := range s.sampleNodeSet(rng) {
+				counts[v]++
+			}
+		}
+		s.nodeFreq = counts
+		for i := range s.nodeFreq {
+			s.nodeFreq[i] /= float64(preTrials)
+		}
+	}
+	return s, nil
+}
+
+// sampleNodeSet runs the walks and returns the distinct visited nodes.
+func (s *RandomWalkSampler) sampleNodeSet(rng *rand.Rand) []int {
+	seen := make(map[int32]struct{}, s.Roots*(s.WalkLength+1))
+	order := make([]int, 0, s.Roots*(s.WalkLength+1))
+	visit := func(v int32) {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			order = append(order, int(v))
+		}
+	}
+	for r := 0; r < s.Roots; r++ {
+		u := int32(rng.IntN(s.G.N))
+		visit(u)
+		for step := 0; step < s.WalkLength; step++ {
+			ns := s.G.Neighbors(int(u))
+			if len(ns) == 0 {
+				break
+			}
+			u = ns[rng.IntN(len(ns))]
+			visit(u)
+		}
+	}
+	return order
+}
+
+// Sample draws one subgraph batch.
+func (s *RandomWalkSampler) Sample(rng *rand.Rand) *SubgraphSample {
+	nodes := s.sampleNodeSet(rng)
+	sub, ids := s.G.InducedSubgraph(nodes)
+	w := make([]float64, len(ids))
+	for i, orig := range ids {
+		if s.nodeFreq != nil && s.nodeFreq[orig] > 0 {
+			w[i] = 1 / s.nodeFreq[orig]
+		} else {
+			w[i] = 1
+		}
+	}
+	return &SubgraphSample{Sub: sub, NodeIDs: ids, NodeWeight: w}
+}
+
+// EdgeSampler extracts subgraphs by sampling edges with probability
+// proportional to 1/deg(u) + 1/deg(v) (the variance-minimizing edge
+// distribution from GraphSAINT) and inducing on their endpoints.
+type EdgeSampler struct {
+	G      *graph.CSR
+	Budget int // number of edges per batch
+
+	edges []graph.Edge
+	alias aliasTable
+}
+
+// NewEdgeSampler precomputes the edge distribution.
+func NewEdgeSampler(g *graph.CSR, budget int) (*EdgeSampler, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("sampling: edge budget %d < 1", budget)
+	}
+	if !g.Undirected() {
+		return nil, fmt.Errorf("sampling: EdgeSampler requires an undirected graph")
+	}
+	edges := g.UndirectedEdges()
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("sampling: EdgeSampler on empty graph")
+	}
+	probs := make([]float64, len(edges))
+	var total float64
+	for i, e := range edges {
+		p := 1/float64(g.Degree(e.U)) + 1/float64(g.Degree(e.V))
+		probs[i] = p
+		total += p
+	}
+	for i := range probs {
+		probs[i] /= total
+	}
+	return &EdgeSampler{G: g, Budget: budget, edges: edges, alias: newAliasTable(probs)}, nil
+}
+
+// Sample draws one edge-induced subgraph batch.
+func (s *EdgeSampler) Sample(rng *rand.Rand) *SubgraphSample {
+	seen := make(map[int]struct{}, s.Budget*2)
+	order := make([]int, 0, s.Budget*2)
+	visit := func(v int) {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			order = append(order, v)
+		}
+	}
+	for i := 0; i < s.Budget; i++ {
+		e := s.edges[s.alias.draw(rng)]
+		visit(e.U)
+		visit(e.V)
+	}
+	sub, ids := s.G.InducedSubgraph(order)
+	w := make([]float64, len(ids))
+	for i := range w {
+		w[i] = 1
+	}
+	return &SubgraphSample{Sub: sub, NodeIDs: ids, NodeWeight: w}
+}

@@ -1,0 +1,174 @@
+package spectral
+
+import (
+	"fmt"
+
+	"scalegnn/internal/graph"
+	"scalegnn/internal/tensor"
+)
+
+// BasisEmbeddings precomputes the basis-polynomial embeddings
+// H_k = B_k(L)·X for k = 0..degree, where B_k is the k-th basis polynomial
+// (λ^k or T_k). This is the decoupled precomputation step of
+// AdaptKry/UniFilter-style adaptive filters: the expensive graph work is
+// done once, after which learning a filter reduces to learning the K+1
+// scalar combination weights — mini-batchable with no graph access.
+func BasisEmbeddings(op *graph.Operator, x *tensor.Matrix, degree int, basis Basis) []*tensor.Matrix {
+	out := make([]*tensor.Matrix, 0, degree+1)
+	out = append(out, x.Clone())
+	if degree == 0 {
+		return out
+	}
+	switch basis {
+	case Monomial:
+		cur := x
+		for k := 1; k <= degree; k++ {
+			cur = lap(op, cur)
+			out = append(out, cur.Clone())
+		}
+	case Chebyshev:
+		ltilde := func(m *tensor.Matrix) *tensor.Matrix {
+			pm := op.Apply(m)
+			pm.Scale(-1)
+			return pm
+		}
+		tPrev := x.Clone()
+		tCur := ltilde(x)
+		out = append(out, tCur.Clone())
+		for k := 2; k <= degree; k++ {
+			tNext := ltilde(tCur)
+			tNext.Scale(2)
+			tNext.Sub(tPrev)
+			out = append(out, tNext.Clone())
+			tPrev, tCur = tCur, tNext
+		}
+	default:
+		panic(fmt.Sprintf("spectral: unknown basis %d", int(basis)))
+	}
+	return out
+}
+
+// Combine evaluates Σ_k coeffs[k]·embeddings[k]. Together with
+// BasisEmbeddings it factors Filter.Apply into precompute + cheap combine.
+func Combine(embeddings []*tensor.Matrix, coeffs []float64) *tensor.Matrix {
+	if len(embeddings) == 0 {
+		panic("spectral: Combine with no embeddings")
+	}
+	if len(coeffs) != len(embeddings) {
+		panic(fmt.Sprintf("spectral: %d coeffs for %d embeddings", len(coeffs), len(embeddings)))
+	}
+	out := tensor.New(embeddings[0].Rows, embeddings[0].Cols)
+	for k, h := range embeddings {
+		if coeffs[k] != 0 {
+			out.AddScaled(coeffs[k], h)
+		}
+	}
+	return out
+}
+
+// ChannelKind names one channel of a multi-filter embedding.
+type ChannelKind int
+
+const (
+	// ChannelIdentity is the raw feature channel (h(λ)=1).
+	ChannelIdentity ChannelKind = iota
+	// ChannelLowPass is K-step smoothing ((1−λ/2)^K), the homophilous signal.
+	ChannelLowPass
+	// ChannelHighPass is the K-step difference filter ((λ/2)^K), the
+	// heterophilous signal.
+	ChannelHighPass
+	// ChannelPPR is the truncated personalized-PageRank filter.
+	ChannelPPR
+	// ChannelAdjPower is (1−λ)^K — Â^K on a self-looped operator.
+	ChannelAdjPower
+	// ChannelLapPower is λ^K — the complementary high-pass.
+	ChannelLapPower
+)
+
+func (c ChannelKind) String() string {
+	switch c {
+	case ChannelIdentity:
+		return "identity"
+	case ChannelLowPass:
+		return "lowpass"
+	case ChannelHighPass:
+		return "highpass"
+	case ChannelPPR:
+		return "ppr"
+	case ChannelAdjPower:
+		return "adjpower"
+	case ChannelLapPower:
+		return "lappower"
+	default:
+		return fmt.Sprintf("ChannelKind(%d)", int(c))
+	}
+}
+
+// ChannelSpec configures one channel of a MultiFilter embedding.
+type ChannelSpec struct {
+	Kind  ChannelKind
+	Hops  int     // polynomial degree K
+	Alpha float64 // PPR restart probability (ChannelPPR only)
+}
+
+// MultiFilter produces the LD2-style combined embedding: each channel is a
+// different spectral view of the same features, concatenated column-wise.
+// Low-pass captures homophilous structure, high-pass heterophilous
+// structure, identity preserves raw attributes; a downstream MLP learns
+// which view matters — with plain mini-batch training, since the graph is
+// consumed only here.
+func MultiFilter(op *graph.Operator, x *tensor.Matrix, channels []ChannelSpec) (*tensor.Matrix, error) {
+	if len(channels) == 0 {
+		return nil, fmt.Errorf("spectral: MultiFilter needs at least one channel")
+	}
+	mats := make([]*tensor.Matrix, len(channels))
+	for i, ch := range channels {
+		var f *Filter
+		switch ch.Kind {
+		case ChannelIdentity:
+			f = Identity()
+		case ChannelLowPass:
+			f = LowPass(ch.Hops)
+		case ChannelHighPass:
+			f = HighPass(ch.Hops)
+		case ChannelPPR:
+			if ch.Alpha <= 0 || ch.Alpha > 1 {
+				return nil, fmt.Errorf("spectral: channel %d: ppr alpha %v outside (0,1]", i, ch.Alpha)
+			}
+			f = PPRFilter(ch.Alpha, ch.Hops)
+		case ChannelAdjPower:
+			f = AdjacencyPower(ch.Hops)
+		case ChannelLapPower:
+			f = LaplacianPower(ch.Hops)
+		default:
+			return nil, fmt.Errorf("spectral: channel %d: unknown kind %d", i, int(ch.Kind))
+		}
+		mats[i] = f.Apply(op, x)
+	}
+	return ConcatColumns(mats), nil
+}
+
+// ConcatColumns stacks matrices with equal row counts side by side.
+func ConcatColumns(mats []*tensor.Matrix) *tensor.Matrix {
+	if len(mats) == 0 {
+		return tensor.New(0, 0)
+	}
+	rows := mats[0].Rows
+	total := 0
+	for _, m := range mats {
+		if m.Rows != rows {
+			panic("spectral: ConcatColumns row mismatch")
+		}
+		total += m.Cols
+	}
+	out := tensor.New(rows, total)
+	for i := 0; i < rows; i++ {
+		dst := out.Row(i)
+		off := 0
+		for _, m := range mats {
+			copy(dst[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"scalegnn/internal/graph"
+	"scalegnn/internal/tensor"
+)
+
+// Lanczos runs the symmetric Lanczos process on the normalized Laplacian
+// L = I − P for k steps and returns the Ritz values (eigenvalue estimates)
+// of the resulting tridiagonal matrix, sorted ascending. The extremal Ritz
+// values converge rapidly to λ_min and λ_max — the quantities spectral GNNs
+// need to rescale their polynomial bases.
+func Lanczos(op *graph.Operator, k int, rng *rand.Rand) ([]float64, error) {
+	n := op.G.N
+	if n == 0 {
+		return nil, fmt.Errorf("spectral: Lanczos on empty graph")
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("spectral: Lanczos needs k >= 1, got %d", k)
+	}
+	applyL := func(x []float64) []float64 {
+		px := op.ApplyVec(x)
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = x[i] - px[i]
+		}
+		return out
+	}
+	alpha := make([]float64, 0, k)
+	beta := make([]float64, 0, k)
+
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	tensor.Normalize(v)
+	var vPrev []float64
+	var betaPrev float64
+	for j := 0; j < k; j++ {
+		w := applyL(v)
+		a := tensor.Dot(w, v)
+		alpha = append(alpha, a)
+		tensor.Axpy(-a, v, w)
+		if vPrev != nil {
+			tensor.Axpy(-betaPrev, vPrev, w)
+		}
+		// Full reorthogonalization is overkill for the extremal estimates we
+		// need; one re-pass against v keeps the process stable enough.
+		tensor.Axpy(-tensor.Dot(w, v), v, w)
+		b := tensor.Norm2(w)
+		if b < 1e-12 {
+			break // invariant subspace found; Ritz values already exact
+		}
+		beta = append(beta, b)
+		tensor.ScaleVec(1/b, w)
+		vPrev, v = v, w
+		betaPrev = b
+	}
+	return tridiagEigen(alpha, beta[:max(0, len(alpha)-1)])
+}
+
+// LambdaMax estimates the largest eigenvalue of the normalized Laplacian via
+// a k-step Lanczos process. For connected non-bipartite graphs this is < 2;
+// bipartite graphs reach exactly 2.
+func LambdaMax(op *graph.Operator, k int, rng *rand.Rand) (float64, error) {
+	ritz, err := Lanczos(op, k, rng)
+	if err != nil {
+		return 0, err
+	}
+	return ritz[len(ritz)-1], nil
+}
+
+// tridiagEigen computes all eigenvalues of the symmetric tridiagonal matrix
+// with diagonal a and off-diagonal b using the implicit QL algorithm with
+// Wilkinson shifts (the classic tql1 routine). Returns them sorted
+// ascending.
+func tridiagEigen(a, b []float64) ([]float64, error) {
+	n := len(a)
+	if len(b) != n-1 && !(n == 0 && len(b) == 0) && !(n == 1 && len(b) == 0) {
+		return nil, fmt.Errorf("spectral: tridiag needs %d off-diagonals, got %d", n-1, len(b))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	d := append([]float64(nil), a...)
+	e := make([]float64, n)
+	copy(e, b)
+	const maxIter = 50
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find small off-diagonal to split.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-15*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter == maxIter {
+				return nil, fmt.Errorf("spectral: QL failed to converge at row %d", l)
+			}
+			// Wilkinson shift.
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				bb := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*bb
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - bb
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	// Insertion sort (n is small: Lanczos steps).
+	for i := 1; i < n; i++ {
+		v := d[i]
+		j := i - 1
+		for j >= 0 && d[j] > v {
+			d[j+1] = d[j]
+			j--
+		}
+		d[j+1] = v
+	}
+	return d, nil
+}
+
+// DenseSpectrum computes the full eigenvalue list of the normalized
+// Laplacian by materializing it densely and running Jacobi rotations.
+// O(n³); tests and tiny graphs only.
+func DenseSpectrum(op *graph.Operator) []float64 {
+	n := op.G.N
+	l := tensor.New(n, n)
+	dense := op.Dense()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := -dense.At(i, j)
+			if i == j {
+				v += 1
+			}
+			l.Set(i, j, v)
+		}
+	}
+	vals, _ := JacobiEigen(l, 200)
+	return vals
+}
+
+// JacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi rotations,
+// returning eigenvalues (ascending) and the matrix of column eigenvectors.
+// Intended for small matrices (coarsened graphs, implicit-GNN closed forms,
+// tests); cost is O(n³) per sweep.
+func JacobiEigen(m *tensor.Matrix, maxSweeps int) ([]float64, *tensor.Matrix) {
+	n := m.Rows
+	if n != m.Cols {
+		panic("spectral: JacobiEigen needs a square matrix")
+	}
+	a := m.Clone()
+	v := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a.At(i, j) * a.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := a.At(k, p), a.At(k, q)
+					a.Set(k, p, c*akp-s*akq)
+					a.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a.At(p, k), a.At(q, k)
+					a.Set(p, k, c*apk-s*aqk)
+					a.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = a.At(i, i)
+	}
+	// Sort eigenpairs ascending by value.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		j := i
+		for j > 0 && vals[idx[j-1]] > vals[idx[j]] {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			j--
+		}
+	}
+	sortedVals := make([]float64, n)
+	sortedVecs := tensor.New(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs
+}
+
+// SubspaceIteration computes the approximate top-k eigenpairs of the
+// operator P (equivalently the BOTTOM-k of the Laplacian L = I − P) by
+// orthogonal (block power) iteration: Q ← orth(P·Q). Returns eigenvalue
+// estimates (Rayleigh quotients, descending) and the n×k matrix of
+// orthonormal eigenvector estimates. O(iters · k · m) — the scalable path
+// to the low-frequency eigenbasis that spectral condensation matches.
+func SubspaceIteration(op *graph.Operator, k, iters int, rng *rand.Rand) ([]float64, *tensor.Matrix, error) {
+	n := op.G.N
+	if k < 1 || k > n {
+		return nil, nil, fmt.Errorf("spectral: subspace k=%d outside [1,%d]", k, n)
+	}
+	if iters < 1 {
+		return nil, nil, fmt.Errorf("spectral: subspace iters=%d < 1", iters)
+	}
+	// Oversampling: iterate with extra columns so the wanted eigenpairs
+	// converge at the (larger) gap to the discarded ones — the standard
+	// randomized-subspace trick.
+	kk := min(n, k+5)
+	q := tensor.RandNormal(n, kk, 1, rng)
+	orthonormalize(q)
+	for it := 0; it < iters; it++ {
+		q = op.Apply(q)
+		orthonormalize(q)
+	}
+	// Rayleigh-Ritz: diagonalize Qᵀ P Q to rotate Q into eigenvector
+	// estimates and read off eigenvalues.
+	pq := op.Apply(q)
+	small := tensor.TMatMul(q, pq) // kk x kk, symmetric up to convergence error
+	// Symmetrize against numerical drift.
+	st := small.T()
+	small.Add(st)
+	small.Scale(0.5)
+	vals, vecs := JacobiEigen(small, 100)
+	rotated := tensor.MatMul(q, vecs)
+	// JacobiEigen sorts ascending; keep the top k of kk, descending.
+	outVals := make([]float64, k)
+	outVecs := tensor.New(n, k)
+	for j := 0; j < k; j++ {
+		src := kk - 1 - j
+		outVals[j] = vals[src]
+		for i := 0; i < n; i++ {
+			outVecs.Set(i, j, rotated.At(i, src))
+		}
+	}
+	return outVals, outVecs, nil
+}
+
+// orthonormalize applies modified Gram-Schmidt to the columns of q in
+// place. Columns that collapse numerically are re-randomized against a
+// deterministic fallback basis.
+func orthonormalize(q *tensor.Matrix) {
+	n, k := q.Rows, q.Cols
+	col := make([]float64, n)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = q.At(i, j)
+		}
+		for p := 0; p < j; p++ {
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += col[i] * q.At(i, p)
+			}
+			for i := 0; i < n; i++ {
+				col[i] -= dot * q.At(i, p)
+			}
+		}
+		norm := tensor.Norm2(col)
+		if norm < 1e-12 {
+			// Degenerate column: replace with a unit basis vector offset by
+			// the column index to stay deterministic.
+			for i := range col {
+				col[i] = 0
+			}
+			col[(j*2654435761)%n] = 1
+			norm = 1
+		}
+		inv := 1 / norm
+		for i := 0; i < n; i++ {
+			q.Set(i, j, col[i]*inv)
+		}
+	}
+}

@@ -1,0 +1,425 @@
+// Package tensor provides dense float64 matrices and vectors used as the
+// numeric substrate for all neural-network and graph-propagation code in
+// scalegnn. It is deliberately small: row-major dense matrices, the BLAS-1/2/3
+// style kernels the GNN models need, and nothing else. Heavy kernels
+// (matrix-matrix multiply, matrix transpose multiply) are parallelized across
+// goroutines with deterministic work partitioning.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty matrix. Data is laid out so that element (i, j)
+// lives at Data[i*Cols+j]; rows are therefore contiguous, which matches the
+// access pattern of per-node feature operations in GNNs.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero-initialized matrix with the given shape.
+// It panics if either dimension is negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps an existing flat slice as a rows x cols matrix.
+// The slice is used directly (not copied); len(data) must equal rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: FromRows row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Shape returns (rows, cols).
+func (m *Matrix) Shape() (int, int) { return m.Rows, m.Cols }
+
+// SameShape reports whether m and other have identical dimensions.
+func (m *Matrix) SameShape(other *Matrix) bool {
+	return m.Rows == other.Rows && m.Cols == other.Cols
+}
+
+// Zero resets all entries to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every entry to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Copy copies src into m. Shapes must match.
+func (m *Matrix) Copy(src *Matrix) {
+	mustSameShape("Copy", m, src)
+	copy(m.Data, src.Data)
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// Add computes m += other element-wise.
+func (m *Matrix) Add(other *Matrix) {
+	mustSameShape("Add", m, other)
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub computes m -= other element-wise.
+func (m *Matrix) Sub(other *Matrix) {
+	mustSameShape("Sub", m, other)
+	for i, v := range other.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Mul computes m *= other element-wise (Hadamard product).
+func (m *Matrix) Mul(other *Matrix) {
+	mustSameShape("Mul", m, other)
+	for i, v := range other.Data {
+		m.Data[i] *= v
+	}
+}
+
+// Scale multiplies every entry by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled computes m += s*other element-wise.
+func (m *Matrix) AddScaled(s float64, other *Matrix) {
+	mustSameShape("AddScaled", m, other)
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// AddRowVector adds vector v (length Cols) to every row of m.
+func (m *Matrix) AddRowVector(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector len %d != cols %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// Apply replaces every entry x with f(x) in place.
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// MaxAbs returns the largest absolute entry, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Sum returns the sum of all entries.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SelectRows gathers the given rows of m into a new matrix, one output row
+// per index, in order. Indices may repeat.
+func (m *Matrix) SelectRows(idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// ScatterAddRows adds each row of src into row idx[i] of m. It is the adjoint
+// of SelectRows and is used to backpropagate through row gathering.
+func (m *Matrix) ScatterAddRows(idx []int, src *Matrix) {
+	if len(idx) != src.Rows || m.Cols != src.Cols {
+		panic("tensor: ScatterAddRows shape mismatch")
+	}
+	for i, r := range idx {
+		dst := m.Row(r)
+		for j, v := range src.Row(i) {
+			dst[j] += v
+		}
+	}
+}
+
+// Equal reports whether m and other are identical in shape and, entry-wise,
+// differ by at most tol in absolute value.
+func (m *Matrix) Equal(other *Matrix, tol float64) bool {
+	if !m.SameShape(other) {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-other.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameShape(op string, a, b *Matrix) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// MatMul returns a*b using a cache-friendly ikj loop order, parallelized over
+// row blocks of a. Panics if inner dimensions disagree.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulT returns a * bᵀ. It is used for gradient computations where the
+// transposed operand is the natural layout.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT inner dim mismatch %dx%d * (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// TMatMul returns aᵀ * b, parallelized over columns of the output.
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: TMatMul inner dim mismatch (%dx%d)ᵀ * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	// Accumulate row-by-row of a/b; partition over output rows (columns of a)
+	// to stay deterministic and race-free.
+	parallelRows(a.Cols, func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Row(i)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatVec returns a*x for a vector x of length a.Cols.
+func MatVec(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("tensor: MatVec dim mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Row(i)
+			var s float64
+			for j, v := range row {
+				s += v * x[j]
+			}
+			out[i] = s
+		}
+	})
+	return out
+}
+
+// parallelRows splits [0, n) into contiguous chunks, one per worker, and runs
+// fn(lo, hi) concurrently. Chunking is deterministic; small n runs inline.
+func parallelRows(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	const minChunk = 64
+	if workers > n/minChunk {
+		workers = n / minChunk
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Dot returns the dot product of equal-length vectors x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaleVec multiplies every entry of x by a in place.
+func ScaleVec(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// L1Norm returns the sum of absolute values of x.
+func L1Norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Normalize scales x to unit Euclidean norm in place and returns its original
+// norm. A zero vector is left unchanged.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n == 0 {
+		return 0
+	}
+	ScaleVec(1/n, x)
+	return n
+}
