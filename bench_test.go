@@ -348,6 +348,69 @@ func BenchmarkE16NAIPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkP1ApplyInto covers the propagation hot path: one round of
+// message passing into a preallocated destination buffer. With pooled
+// workspaces this should run at zero allocs/op.
+func BenchmarkP1ApplyInto(b *testing.B) {
+	g := benchGraph()
+	op := graph.NewOperator(g, graph.NormSymmetric, true)
+	x := tensor.RandNormal(g.N, 64, 1, tensor.NewRand(10))
+	dst := tensor.New(g.N, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.ApplyInto(x, dst)
+	}
+}
+
+// BenchmarkP1MatMul covers the dense-transform hot path (allocating form).
+func BenchmarkP1MatMul(b *testing.B) {
+	rng := tensor.NewRand(11)
+	x := tensor.RandNormal(5000, 64, 1, rng)
+	w := tensor.RandNormal(64, 64, 1, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, w)
+	}
+}
+
+// BenchmarkP1MatMulInto covers the in-place dense-transform kernel.
+func BenchmarkP1MatMulInto(b *testing.B) {
+	rng := tensor.NewRand(11)
+	x := tensor.RandNormal(5000, 64, 1, rng)
+	w := tensor.RandNormal(64, 64, 1, rng)
+	dst := tensor.New(5000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(x, w, dst)
+	}
+}
+
+// BenchmarkP1GCNTrainEpoch covers one full GCN training epoch (forward,
+// masked loss, backward, Adam step, validation forward): a single Fit runs
+// exactly b.N epochs with early stopping disabled, so ns/op and allocs/op
+// are the amortized per-epoch cost — the allocs/op regression target for
+// the pooled-workspace hot path. One-time model construction (operator
+// normalization, weight init) is inside the timed region but amortizes to
+// zero as b.N grows.
+func BenchmarkP1GCNTrainEpoch(b *testing.B) {
+	ds := benchDataset(b)
+	cfg := quickTrain()
+	cfg.Epochs = b.N
+	cfg.Patience = 0 // run exactly b.N epochs
+	m, err := models.NewGCN(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := m.Fit(ds, cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkE17TransformerFit covers E17: SPD-biased attention training
 // (small task, few epochs).
 func BenchmarkE17TransformerFit(b *testing.B) {

@@ -23,9 +23,12 @@ func main() {
 
 	// Exact (tightly converged power iteration) — O(m) per round.
 	start := time.Now()
-	exact, iters, err := ppr.PowerIteration(g, src, ppr.Config{Alpha: 0.15, MaxIter: 200, Tol: 1e-10})
+	exact, iters, converged, err := ppr.PowerIteration(g, src, ppr.Config{Alpha: 0.15, MaxIter: 200, Tol: 1e-10})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if !converged {
+		log.Printf("warning: power iteration truncated at %d rounds", iters)
 	}
 	fmt.Printf("power iteration: %v (%d rounds over all %d arcs)\n",
 		time.Since(start).Round(time.Millisecond), iters, g.NumEdges())

@@ -169,9 +169,12 @@ func runE13(cfg Config) (*Table, error) {
 	const topK = 10
 	refStart := time.Now()
 	for s := 0; s < sources; s++ {
-		p, _, err := ppr.PowerIteration(g, s, exactCfg)
+		p, _, converged, err := ppr.PowerIteration(g, s, exactCfg)
 		if err != nil {
 			return nil, err
+		}
+		if !converged {
+			return nil, fmt.Errorf("bench: reference PPR for source %d did not converge", s)
 		}
 		exact = append(exact, p)
 	}

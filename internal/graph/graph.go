@@ -247,17 +247,27 @@ func (g *CSR) Edges() []Edge {
 	return out
 }
 
-// UndirectedEdges returns each undirected edge once (u < v). It panics on a
-// directed graph.
+// UndirectedEdges returns each undirected edge once (u <= v). Self-loops —
+// stored as a single arc by Builder when KeepSelfLoops is set — are included
+// exactly once, matching Edges; earlier versions silently dropped them here
+// (v > u) while keeping them in Edges. It panics on a directed graph.
 func (g *CSR) UndirectedEdges() []Edge {
 	if !g.undirected {
 		panic("graph: UndirectedEdges on directed graph")
 	}
-	out := make([]Edge, 0, len(g.Adj)/2)
+	// A self-loop contributes one arc, a proper edge two: with L loops the
+	// exact undirected edge count is (len(Adj)-L)/2 + L, not len(Adj)/2.
+	loops := 0
+	for u := 0; u < g.N; u++ {
+		if g.HasEdge(u, u) {
+			loops++
+		}
+	}
+	out := make([]Edge, 0, (len(g.Adj)-loops)/2+loops)
 	for u := 0; u < g.N; u++ {
 		ws := g.NeighborWeights(u)
 		for i, v := range g.Neighbors(u) {
-			if int(v) > u {
+			if int(v) >= u {
 				w := 1.0
 				if ws != nil {
 					w = ws[i]

@@ -292,3 +292,71 @@ func maxDist(g *CSR, src int) int {
 	}
 	return worst
 }
+
+func TestUndirectedEdgesIncludeSelfLoops(t *testing.T) {
+	// A graph with a self-loop: UndirectedEdges must report the loop exactly
+	// once (it is stored as a single arc), alongside each proper edge once.
+	b := NewBuilder(3)
+	b.KeepSelfLoops = true
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddWeightedEdge(1, 1, 2.5)
+	g := b.MustBuild()
+
+	edges := g.UndirectedEdges()
+	if len(edges) != 3 {
+		t.Fatalf("got %d undirected edges, want 3 (two proper + one loop): %v", len(edges), edges)
+	}
+	foundLoop := false
+	for _, e := range edges {
+		if e.U == 1 && e.V == 1 {
+			foundLoop = true
+			if e.W != 2.5 {
+				t.Errorf("loop weight %v, want 2.5", e.W)
+			}
+		}
+		if e.U > e.V {
+			t.Errorf("edge (%d,%d) violates u <= v ordering", e.U, e.V)
+		}
+	}
+	if !foundLoop {
+		t.Fatal("self-loop (1,1) missing from UndirectedEdges")
+	}
+}
+
+func TestUndirectedEdgesRoundTrip(t *testing.T) {
+	// Rebuilding a graph from its UndirectedEdges must reproduce the same
+	// structure — including self-loops, which a (v > u) filter would drop.
+	rng := tensor.NewRand(7)
+	b := NewBuilder(20)
+	b.KeepSelfLoops = true
+	for i := 0; i < 40; i++ {
+		b.AddEdge(rng.IntN(20), rng.IntN(20))
+	}
+	g := b.MustBuild()
+
+	rb := NewBuilder(g.N)
+	rb.KeepSelfLoops = true
+	for _, e := range g.UndirectedEdges() {
+		rb.AddWeightedEdge(e.U, e.V, e.W)
+	}
+	g2 := rb.MustBuild()
+
+	if g2.N != g.N || len(g2.Adj) != len(g.Adj) {
+		t.Fatalf("round trip changed size: n %d->%d, arcs %d->%d", g.N, g2.N, len(g.Adj), len(g2.Adj))
+	}
+	for u := 0; u < g.N; u++ {
+		ns, ns2 := g.Neighbors(u), g2.Neighbors(u)
+		if len(ns) != len(ns2) {
+			t.Fatalf("node %d degree %d -> %d after round trip", u, len(ns), len(ns2))
+		}
+		for i := range ns {
+			if ns[i] != ns2[i] {
+				t.Fatalf("node %d neighbor %d: %d -> %d", u, i, ns[i], ns2[i])
+			}
+			if g.EdgeWeight(int(g.Offsets[u])+i) != g2.EdgeWeight(int(g2.Offsets[u])+i) {
+				t.Fatalf("node %d arc %d weight changed", u, i)
+			}
+		}
+	}
+}

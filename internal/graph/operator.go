@@ -3,9 +3,8 @@ package graph
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
+	"scalegnn/internal/par"
 	"scalegnn/internal/tensor"
 )
 
@@ -25,6 +24,11 @@ const (
 	// NormColumn uses A D^{-1} (column-stochastic; PageRank convention).
 	NormColumn
 )
+
+// minChunkSparse is the minimum nodes per worker for sparse propagation,
+// passed to the shared partitioner in internal/par. Sparse rows are cheaper
+// than dense ones, so the chunk floor is higher than the dense kernels'.
+const minChunkSparse = 256
 
 func (n Normalization) String() string {
 	switch n {
@@ -146,13 +150,21 @@ func (op *Operator) Apply(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // ApplyInto computes P*X into dst, which must have X's shape and must not
-// alias X (rows are read while others are written). dst is overwritten.
+// share any backing memory with X (rows of X are read while rows of dst are
+// written, so even partially overlapping FromSlice views would corrupt the
+// result). dst is overwritten.
 func (op *Operator) ApplyInto(x, dst *tensor.Matrix) {
-	if len(x.Data) > 0 && len(dst.Data) > 0 && &x.Data[0] == &dst.Data[0] {
-		panic("graph: ApplyInto dst must not alias x")
+	if x.Rows != op.G.N {
+		panic(fmt.Sprintf("graph: ApplyInto rows %d != n %d", x.Rows, op.G.N))
+	}
+	if dst.Rows != x.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("graph: ApplyInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, x.Cols))
+	}
+	if tensor.Overlaps(x.Data, dst.Data) {
+		panic("graph: ApplyInto dst must not overlap x")
 	}
 	g := op.G
-	parallelNodes(g.N, func(lo, hi int) {
+	par.Range(g.N, minChunkSparse, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			orow := dst.Row(u)
 			for j := range orow {
@@ -187,7 +199,7 @@ func (op *Operator) ApplyVec(x []float64) []float64 {
 		panic(fmt.Sprintf("graph: Operator.ApplyVec len %d != n %d", len(x), g.N))
 	}
 	out := make([]float64, g.N)
-	parallelNodes(g.N, func(lo, hi int) {
+	par.Range(g.N, minChunkSparse, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			var s float64
 			if op.loopCo != nil {
@@ -260,31 +272,3 @@ func (op *Operator) Laplacian(x *tensor.Matrix) *tensor.Matrix {
 	return out
 }
 
-// parallelNodes partitions [0,n) deterministically across GOMAXPROCS
-// workers. Small inputs run inline to avoid goroutine overhead.
-func parallelNodes(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	const minChunk = 256
-	if workers > n/minChunk {
-		workers = n / minChunk
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}

@@ -211,3 +211,40 @@ func TestApplyIntoRejectsAliasing(t *testing.T) {
 	}()
 	op.ApplyInto(x, x)
 }
+
+func TestApplyIntoRejectsOverlappingViews(t *testing.T) {
+	// dst must be rejected whenever any part of its data range overlaps x,
+	// not only when the two share a first element: FromSlice views over one
+	// backing array are how such partial overlap arises in practice.
+	g := triangle(t)
+	op := NewOperator(g, NormSymmetric, true)
+	backing := make([]float64, 3*2+3) // room for two shifted 3x2 views
+	x := tensor.FromSlice(3, 2, backing[:6])
+	dst := tensor.FromSlice(3, 2, backing[3:9])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ApplyInto with partially overlapping dst should panic")
+		}
+	}()
+	op.ApplyInto(x, dst)
+}
+
+func TestApplyIntoDisjointViewsOK(t *testing.T) {
+	// Disjoint views over one backing array are legal: the overlap guard
+	// must compare data ranges, not backing arrays.
+	g := triangle(t)
+	op := NewOperator(g, NormSymmetric, true)
+	backing := make([]float64, 12)
+	x := tensor.FromSlice(3, 2, backing[:6])
+	for i := range backing[:6] {
+		backing[i] = float64(i + 1)
+	}
+	dst := tensor.FromSlice(3, 2, backing[6:])
+	op.ApplyInto(x, dst)
+	want := op.Apply(x)
+	for i := range want.Data {
+		if math.Abs(want.Data[i]-dst.Data[i]) > 1e-12 {
+			t.Fatalf("disjoint-view ApplyInto mismatch at %d: %v vs %v", i, dst.Data[i], want.Data[i])
+		}
+	}
+}

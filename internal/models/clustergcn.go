@@ -38,13 +38,18 @@ func NewClusterGCN(layers, clusters int) (*ClusterGCN, error) {
 // Name implements Trainer.
 func (m *ClusterGCN) Name() string { return fmt.Sprintf("ClusterGCN-%dL-c%d", m.Layers, m.Clusters) }
 
-// clusterBatch holds one cluster's precomputed training context.
+// clusterBatch holds one cluster's precomputed training context, including
+// its persistent activation modules and workspace-pooled propagation
+// buffers so repeated visits to the cluster reallocate nothing.
 type clusterBatch struct {
 	op       *graph.Operator
 	x        *tensor.Matrix
 	labels   []int
 	ids      []int // original node ID per cluster-local index
 	trainIdx []int // positions within the cluster that are training nodes
+
+	relus  []*nn.ReLU   // one per hidden layer, reused across epochs
+	px, gx []tensor.Buf // per-layer forward/backward propagation scratch
 }
 
 // Fit partitions the graph and cycles clusters as mini-batches.
@@ -76,6 +81,12 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 			x:      ds.X.SelectRows(ids[p]),
 			labels: dataset.LabelsAt(ds.Labels, ids[p]),
 			ids:    ids[p],
+			relus:  make([]*nn.ReLU, m.Layers-1),
+			px:     make([]tensor.Buf, m.Layers),
+			gx:     make([]tensor.Buf, m.Layers),
+		}
+		for l := range cb.relus {
+			cb.relus[l] = nn.NewReLU()
 		}
 		for i, orig := range ids[p] {
 			if isTrain[orig] {
@@ -110,21 +121,21 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 
 	forward := func(cb *clusterBatch, training bool) (*tensor.Matrix, []*nn.ReLU) {
 		h := cb.x
-		var relus []*nn.ReLU
 		for l := 0; l < m.Layers; l++ {
-			h = lins[l].Forward(cb.op.Apply(h), training)
+			p := cb.px[l].Next(h.Rows, h.Cols)
+			cb.op.ApplyInto(h, p)
+			h = lins[l].Forward(p, training)
 			if l != m.Layers-1 {
-				r := nn.NewReLU()
-				h = r.Forward(h, training)
-				relus = append(relus, r)
+				h = cb.relus[l].Forward(h, training)
 			}
 		}
-		return h, relus
+		return h, cb.relus
 	}
 
 	stopper := newEarlyStopper(cfg.Patience)
 	start := time.Now()
 	epochs := 0
+	defer opt.Reset()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochs++
 		for _, bi := range tensor.Perm(len(batches), rng) {
@@ -133,13 +144,18 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 				continue
 			}
 			logits, relus := forward(cb, true)
-			_, grad := maskedLoss(logits, cb.labels, cb.trainIdx)
+			_, lossGrad := maskedLoss(logits, cb.labels, cb.trainIdx)
+			grad := lossGrad
 			for l := m.Layers - 1; l >= 0; l-- {
 				if l != m.Layers-1 {
 					grad = relus[l].Backward(grad)
 				}
-				grad = cb.op.Apply(lins[l].Backward(grad))
+				g := lins[l].Backward(grad)
+				gx := cb.gx[l].Next(g.Rows, g.Cols)
+				cb.op.ApplyInto(g, gx)
+				grad = gx
 			}
+			tensor.PutBuf(lossGrad)
 			opt.Step(params)
 		}
 		val := m.valAccuracy(batches, ds, forward)

@@ -142,14 +142,21 @@ func NewAPPNP(k int, alpha float64) (*APPNP, error) {
 // Name implements Trainer.
 func (m *APPNP) Name() string { return fmt.Sprintf("APPNP-K%d", m.K) }
 
-// propagate applies the truncated PPR diffusion to h.
+// propagate applies the truncated PPR diffusion to h. Hops ping-pong
+// between two pooled scratch matrices; the returned accumulator is drawn
+// from the shared tensor workspace and callers release it with
+// tensor.PutBuf once consumed.
 func (m *APPNP) propagate(h *tensor.Matrix) *tensor.Matrix {
-	z := h.Clone()
+	z := tensor.GetBuf(h.Rows, h.Cols)
+	copy(z.Data, h.Data)
 	z.Scale(m.Alpha)
-	cur := h
+	cur := tensor.GetBuf(h.Rows, h.Cols)
+	copy(cur.Data, h.Data)
+	next := tensor.GetBuf(h.Rows, h.Cols)
 	w := m.Alpha
 	for k := 1; k <= m.K; k++ {
-		cur = m.op.Apply(cur)
+		m.op.ApplyInto(cur, next)
+		cur, next = next, cur
 		w *= 1 - m.Alpha
 		// Final hop absorbs the geometric tail so the weights sum to 1
 		// (the standard iterate z ← (1-α)Âz + αh has the same effect).
@@ -159,6 +166,8 @@ func (m *APPNP) propagate(h *tensor.Matrix) *tensor.Matrix {
 		}
 		z.AddScaled(coef, cur)
 	}
+	tensor.PutBuf(cur)
+	tensor.PutBuf(next)
 	return z
 }
 
@@ -180,15 +189,21 @@ func (m *APPNP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	stopper := newEarlyStopper(cfg.Patience)
 	start := time.Now()
 	epochs := 0
+	defer opt.Reset()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochs++
 		h := m.net.Forward(ds.X, true)
 		z := m.propagate(h)
 		_, gz := maskedLoss(z, ds.Labels, ds.TrainIdx)
+		tensor.PutBuf(z)
 		gh := m.propagate(gz) // symmetric diffusion is self-adjoint
+		tensor.PutBuf(gz)
 		m.net.Backward(gh)
+		tensor.PutBuf(gh)
 		opt.Step(m.net.Params())
-		val := accuracyAt(m.propagate(m.net.Forward(ds.X, false)), ds.Labels, ds.ValIdx)
+		valZ := m.propagate(m.net.Forward(ds.X, false))
+		val := accuracyAt(valZ, ds.Labels, ds.ValIdx)
+		tensor.PutBuf(valZ)
 		if stopper.update(epoch, val) {
 			break
 		}
@@ -203,6 +218,7 @@ func (m *APPNP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	fillAccuracies(func(idx []int) []int {
 		return nn.Argmax(logits.SelectRows(idx))
 	}, ds, rep)
+	tensor.PutBuf(logits)
 	return rep, nil
 }
 
@@ -211,7 +227,10 @@ func (m *APPNP) Predict(ds *dataset.Dataset) ([]int, error) {
 	if m.net == nil {
 		return nil, fmt.Errorf("models: APPNP.Predict before Fit")
 	}
-	return nn.Argmax(m.propagate(m.net.Forward(ds.X, false))), nil
+	z := m.propagate(m.net.Forward(ds.X, false))
+	pred := nn.Argmax(z)
+	tensor.PutBuf(z)
+	return pred, nil
 }
 
 // GAMLP is SIGN with learnable hop attention: per-hop embeddings are
@@ -258,13 +277,17 @@ func (m *GAMLP) attention() []float64 {
 	return out
 }
 
-// combine produces Σ_k a_k H_k restricted to the given rows.
+// combine produces Σ_k a_k H_k restricted to the given rows. The result
+// comes from the shared tensor workspace; callers release it with
+// tensor.PutBuf after the last use.
 func (m *GAMLP) combine(att []float64, idx []int) *tensor.Matrix {
-	out := tensor.New(len(idx), m.hops[0].Cols)
+	out := tensor.GetZeroBuf(len(idx), m.hops[0].Cols)
+	sel := tensor.GetBuf(len(idx), m.hops[0].Cols)
 	for k, h := range m.hops {
-		sel := h.SelectRows(idx)
+		h.SelectRowsInto(idx, sel)
 		out.AddScaled(att[k], sel)
 	}
+	tensor.PutBuf(sel)
 	return out
 }
 
@@ -295,31 +318,43 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	stopper := newEarlyStopper(cfg.Patience)
 	trainStart := time.Now()
 	epochs := 0
+	// Batch scratch reused across the run (index slice, attention-gradient
+	// accumulator, hop-selection buffer); pooled matrices are released as
+	// soon as the backward pass has consumed them.
+	idx := make([]int, batch)
+	ga := make([]float64, m.K+1)
+	valLabels := dataset.LabelsAt(ds.Labels, ds.ValIdx)
+	valIota := rangeIdx(len(ds.ValIdx))
+	defer opt.Reset()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochs++
 		perm := tensor.Perm(len(ds.TrainIdx), rng)
 		for off := 0; off < len(perm); off += batch {
 			end := min(off+batch, len(perm))
-			idx := make([]int, end-off)
-			for i := range idx {
-				idx[i] = ds.TrainIdx[perm[off+i]]
+			bIdx := idx[:end-off]
+			for i := range bIdx {
+				bIdx[i] = ds.TrainIdx[perm[off+i]]
 			}
 			att := m.attention()
-			x := m.combine(att, idx)
+			x := m.combine(att, bIdx)
 			logits := m.net.Forward(x, true)
-			_, gLogits := nn.SoftmaxCrossEntropy(logits, dataset.LabelsAt(ds.Labels, idx))
+			gLogits := tensor.GetBuf(logits.Rows, logits.Cols)
+			nn.SoftmaxCrossEntropyInto(logits, dataset.LabelsAt(ds.Labels, bIdx), gLogits)
 			gx := m.net.Backward(gLogits)
+			tensor.PutBuf(gLogits)
+			tensor.PutBuf(x)
 			// Attention gradient: ∂L/∂a_k = <gx, H_k[idx]>, then softmax
 			// Jacobian back to θ.
-			ga := make([]float64, m.K+1)
+			sel := tensor.GetBuf(len(bIdx), m.hops[0].Cols)
 			for k, h := range m.hops {
-				sel := h.SelectRows(idx)
+				h.SelectRowsInto(bIdx, sel)
 				var dot float64
 				for i := range gx.Data {
 					dot += gx.Data[i] * sel.Data[i]
 				}
 				ga[k] = dot
 			}
+			tensor.PutBuf(sel)
 			var inner float64
 			for k := range ga {
 				inner += att[k] * ga[k]
@@ -330,8 +365,10 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 			opt.Step(params)
 		}
 		att := m.attention()
-		valLogits := m.net.Forward(m.combine(att, ds.ValIdx), false)
-		val := accuracyAt(valLogits, dataset.LabelsAt(ds.Labels, ds.ValIdx), rangeIdx(len(ds.ValIdx)))
+		valX := m.combine(att, ds.ValIdx)
+		valLogits := m.net.Forward(valX, false)
+		tensor.PutBuf(valX)
+		val := accuracyAt(valLogits, valLabels, valIota)
 		if stopper.update(epoch, val) {
 			break
 		}
@@ -343,7 +380,10 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 
 	fillAccuracies(func(idx []int) []int {
 		att := m.attention()
-		return nn.Argmax(m.net.Forward(m.combine(att, idx), false))
+		x := m.combine(att, idx)
+		pred := nn.Argmax(m.net.Forward(x, false))
+		tensor.PutBuf(x)
+		return pred
 	}, ds, rep)
 	return rep, nil
 }
@@ -354,7 +394,10 @@ func (m *GAMLP) Predict(ds *dataset.Dataset) ([]int, error) {
 		return nil, fmt.Errorf("models: GAMLP.Predict before Fit")
 	}
 	att := m.attention()
-	return nn.Argmax(m.net.Forward(m.combine(att, rangeIdx(ds.G.N)), false)), nil
+	x := m.combine(att, rangeIdx(ds.G.N))
+	pred := nn.Argmax(m.net.Forward(x, false))
+	tensor.PutBuf(x)
+	return pred, nil
 }
 
 // HopAttention exposes the learned softmax hop weights (for the ablation

@@ -12,20 +12,28 @@ import (
 
 // GCNConv is one graph-convolution layer y = Lin(Â x): propagation followed
 // by a dense transform. Backward exploits the symmetry of Â (undirected
-// graphs): ∂L/∂x = Â · Lin.Backward(g).
+// graphs): ∂L/∂x = Â · Lin.Backward(g). Propagation buffers are recycled
+// through the shared tensor workspace under the nn.Layer lifetime contract.
 type GCNConv struct {
 	Op  *graph.Operator
 	Lin *nn.Linear
+
+	px, gx tensor.Buf
 }
 
 // Forward propagates then transforms.
 func (c *GCNConv) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
-	return c.Lin.Forward(c.Op.Apply(x), training)
+	px := c.px.Next(x.Rows, x.Cols)
+	c.Op.ApplyInto(x, px)
+	return c.Lin.Forward(px, training)
 }
 
 // Backward transforms the gradient then propagates it back through Â.
 func (c *GCNConv) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	return c.Op.Apply(c.Lin.Backward(gradOut))
+	g := c.Lin.Backward(gradOut)
+	gx := c.gx.Next(g.Rows, g.Cols)
+	c.Op.ApplyInto(g, gx)
+	return gx
 }
 
 // Params returns the dense transform's parameters.
@@ -86,11 +94,13 @@ func (m *GCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	stopper := newEarlyStopper(cfg.Patience)
 	start := time.Now()
 	epochs := 0
+	defer opt.Reset()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochs++
 		logits := m.net.Forward(ds.X, true)
 		_, grad := maskedLoss(logits, ds.Labels, ds.TrainIdx)
 		m.net.Backward(grad)
+		tensor.PutBuf(grad)
 		opt.Step(m.net.Params())
 		val := accuracyAt(m.net.Forward(ds.X, false), ds.Labels, ds.ValIdx)
 		if stopper.update(epoch, val) {

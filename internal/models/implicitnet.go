@@ -27,6 +27,9 @@ type ImplicitNet struct {
 	bout   *nn.Param
 	ds     *dataset.Dataset
 	hidden int
+
+	// pooled forward scratch, recycled on the next forward call
+	fb, fmean, flogits tensor.Buf
 }
 
 // NewImplicitNet constructs an implicit model with contraction factor γ.
@@ -53,11 +56,13 @@ func (m *ImplicitNet) Name() string {
 	return fmt.Sprintf("ImplicitGNN-ms%d", len(m.Scales))
 }
 
-// forward computes per-scale equilibria and the averaged logits.
+// forward computes per-scale equilibria and the averaged logits. The logits
+// live in a pooled buffer recycled on the next forward call.
 func (m *ImplicitNet) forward(op *graph.Operator, x *tensor.Matrix) (zs []*tensor.Matrix, logits *tensor.Matrix, err error) {
-	b := tensor.MatMul(x, m.win.Value)
+	b := m.fb.Next(x.Rows, m.win.Value.Cols)
+	tensor.MatMulInto(x, m.win.Value, b)
 	zs = make([]*tensor.Matrix, len(m.Scales))
-	mean := tensor.New(x.Rows, m.hidden)
+	mean := m.fmean.NextZero(x.Rows, m.hidden)
 	for i, sc := range m.Scales {
 		solver, serr := implicit.NewSolver(op, m.Gamma)
 		if serr != nil {
@@ -72,7 +77,8 @@ func (m *ImplicitNet) forward(op *graph.Operator, x *tensor.Matrix) (zs []*tenso
 		zs[i] = z
 		mean.AddScaled(1/float64(len(m.Scales)), z)
 	}
-	logits = tensor.MatMul(mean, m.wout.Value)
+	logits = m.flogits.Next(x.Rows, m.wout.Value.Cols)
+	tensor.MatMulInto(mean, m.wout.Value, logits)
 	logits.AddRowVector(m.bout.Value.Row(0))
 	return zs, logits, nil
 }
@@ -105,6 +111,7 @@ func (m *ImplicitNet) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error)
 	stopper := newEarlyStopper(cfg.Patience)
 	start := time.Now()
 	epochs := 0
+	defer opt.Reset()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochs++
 		zs, logits, err := m.forward(op, ds.X)
@@ -113,22 +120,27 @@ func (m *ImplicitNet) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error)
 		}
 		_, gLogits := maskedLoss(logits, ds.Labels, ds.TrainIdx)
 		// Head gradients. mean = (1/S)Σ z_i.
-		mean := tensor.New(ds.G.N, m.hidden)
+		mean := tensor.GetZeroBuf(ds.G.N, m.hidden)
 		for _, z := range zs {
 			mean.AddScaled(1/float64(len(m.Scales)), z)
 		}
-		m.wout.Grad.Add(tensor.TMatMul(mean, gLogits))
+		wg := tensor.GetBuf(m.hidden, ds.NumClasses)
+		tensor.TMatMulInto(mean, gLogits, wg)
+		m.wout.Grad.Add(wg)
+		tensor.PutBuf(wg)
+		tensor.PutBuf(mean)
 		bg := m.bout.Grad.Row(0)
 		for i := 0; i < gLogits.Rows; i++ {
 			for j, v := range gLogits.Row(i) {
 				bg[j] += v
 			}
 		}
-		gMean := tensor.MatMulT(gLogits, m.wout.Value)
-		gZ := gMean.Clone()
+		gZ := tensor.GetBuf(ds.G.N, m.hidden)
+		tensor.MatMulTInto(gLogits, m.wout.Value, gZ)
+		tensor.PutBuf(gLogits)
 		gZ.Scale(1 / float64(len(m.Scales)))
 		// Per-scale adjoint solves.
-		gB := tensor.New(ds.G.N, m.hidden)
+		gB := tensor.GetZeroBuf(ds.G.N, m.hidden)
 		for i, sc := range m.Scales {
 			solver, err := implicit.NewSolver(op, m.Gamma)
 			if err != nil {
@@ -143,7 +155,12 @@ func (m *ImplicitNet) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error)
 			m.wimp[i].Grad.Add(solver.GradW(zs[i], u))
 			gB.Add(u)
 		}
-		m.win.Grad.Add(tensor.TMatMul(ds.X, gB))
+		tensor.PutBuf(gZ)
+		ig := tensor.GetBuf(ds.X.Cols, m.hidden)
+		tensor.TMatMulInto(ds.X, gB, ig)
+		m.win.Grad.Add(ig)
+		tensor.PutBuf(ig)
+		tensor.PutBuf(gB)
 		nn.ClipGradNorm(params, 5)
 		opt.Step(params)
 		for i := range m.wimp {

@@ -99,18 +99,27 @@ type Trainer interface {
 }
 
 // maskedLoss computes softmax cross-entropy on the selected rows of the
-// full logits matrix and scatters the gradient back to full shape.
+// full logits matrix and scatters the gradient back to full shape. The
+// returned gradient is drawn from the shared tensor workspace: callers
+// release it with tensor.PutBuf once the backward pass has consumed it.
 func maskedLoss(logits *tensor.Matrix, labels []int, idx []int) (float64, *tensor.Matrix) {
-	sel := logits.SelectRows(idx)
-	loss, gSel := nn.SoftmaxCrossEntropy(sel, dataset.LabelsAt(labels, idx))
-	full := tensor.New(logits.Rows, logits.Cols)
+	sel := tensor.GetBuf(len(idx), logits.Cols)
+	logits.SelectRowsInto(idx, sel)
+	gSel := tensor.GetBuf(len(idx), logits.Cols)
+	loss := nn.SoftmaxCrossEntropyInto(sel, dataset.LabelsAt(labels, idx), gSel)
+	tensor.PutBuf(sel)
+	full := tensor.GetZeroBuf(logits.Rows, logits.Cols)
 	full.ScatterAddRows(idx, gSel)
+	tensor.PutBuf(gSel)
 	return loss, full
 }
 
 // accuracyAt computes accuracy of full-graph logits on an index set.
 func accuracyAt(logits *tensor.Matrix, labels []int, idx []int) float64 {
-	pred := nn.Argmax(logits.SelectRows(idx))
+	sel := tensor.GetBuf(len(idx), logits.Cols)
+	logits.SelectRowsInto(idx, sel)
+	pred := nn.Argmax(sel)
+	tensor.PutBuf(sel)
 	return metrics.Accuracy(pred, dataset.LabelsAt(labels, idx))
 }
 
@@ -158,22 +167,38 @@ func decoupledHead(emb *tensor.Matrix, ds *dataset.Dataset, cfg TrainConfig, hid
 	stopper := newEarlyStopper(cfg.Patience)
 	start := time.Now()
 	epochs := 0
+	// Batch scratch reused across the whole run: index slice, batch
+	// features, loss gradient, and the validation selection. Buf.Next
+	// recycles each buffer only after the batch that produced it has been
+	// fully consumed by Backward/Step.
+	idx := make([]int, batch)
+	var xb, vb tensor.Buf
+	defer xb.Release()
+	defer vb.Release()
+	valLabels := dataset.LabelsAt(ds.Labels, ds.ValIdx)
+	valIota := rangeIdx(len(ds.ValIdx))
+	defer opt.Reset()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochs++
 		perm := tensor.Perm(len(ds.TrainIdx), rng)
 		for off := 0; off < len(perm); off += batch {
 			end := min(off+batch, len(perm))
-			idx := make([]int, end-off)
-			for i := range idx {
-				idx[i] = ds.TrainIdx[perm[off+i]]
+			bIdx := idx[:end-off]
+			for i := range bIdx {
+				bIdx[i] = ds.TrainIdx[perm[off+i]]
 			}
-			x := emb.SelectRows(idx)
+			x := xb.Next(len(bIdx), emb.Cols)
+			emb.SelectRowsInto(bIdx, x)
 			logits := mlp.Forward(x, true)
-			_, grad := nn.SoftmaxCrossEntropy(logits, dataset.LabelsAt(ds.Labels, idx))
+			grad := tensor.GetBuf(logits.Rows, logits.Cols)
+			nn.SoftmaxCrossEntropyInto(logits, dataset.LabelsAt(ds.Labels, bIdx), grad)
 			mlp.Backward(grad)
+			tensor.PutBuf(grad)
 			opt.Step(mlp.Params())
 		}
-		val := accuracyAt(mlp.Forward(emb.SelectRows(ds.ValIdx), false), dataset.LabelsAt(ds.Labels, ds.ValIdx), rangeIdx(len(ds.ValIdx)))
+		valX := vb.Next(len(ds.ValIdx), emb.Cols)
+		emb.SelectRowsInto(ds.ValIdx, valX)
+		val := accuracyAt(mlp.Forward(valX, false), valLabels, valIota)
 		if stopper.update(epoch, val) {
 			break
 		}

@@ -23,6 +23,12 @@ type sageLayer struct {
 	// retained for backward
 	block *sampling.Block
 	mask  []bool
+
+	// pooled/reused scratch: iota of the destination rows, the self-feature
+	// selection, and the ReLU-masked gradient copy.
+	selfIdx  []int
+	selfBuf  tensor.Buf
+	gradBuf  tensor.Buf
 }
 
 func newSageLayer(in, out int, relu bool, rng *rand.Rand) *sageLayer {
@@ -38,7 +44,15 @@ func (l *sageLayer) forward(block *sampling.Block, srcFeats *tensor.Matrix, trai
 	if training {
 		l.block = block
 	}
-	selfFeats := srcFeats.SelectRows(rangeIdx(len(block.Dsts))) // Srcs start with Dsts
+	if cap(l.selfIdx) < len(block.Dsts) {
+		l.selfIdx = make([]int, len(block.Dsts))
+	}
+	idx := l.selfIdx[:len(block.Dsts)]
+	for i := range idx {
+		idx[i] = i
+	}
+	selfFeats := l.selfBuf.Next(len(idx), srcFeats.Cols)
+	srcFeats.SelectRowsInto(idx, selfFeats) // Srcs start with Dsts
 	agg := block.Aggregate(srcFeats)
 	y := l.self.Forward(selfFeats, training)
 	y.Add(l.neigh.Forward(agg, training))
@@ -66,7 +80,8 @@ func (l *sageLayer) forward(block *sampling.Block, srcFeats *tensor.Matrix, trai
 func (l *sageLayer) backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	g := gradOut
 	if l.relu {
-		g = gradOut.Clone()
+		g = l.gradBuf.Next(gradOut.Rows, gradOut.Cols)
+		copy(g.Data, gradOut.Data)
 		for i := range g.Data {
 			if !l.mask[i] {
 				g.Data[i] = 0
@@ -76,8 +91,9 @@ func (l *sageLayer) backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	gSelf := l.self.Backward(g)
 	gAgg := l.neigh.Backward(g)
 	gSrc := l.block.AggregateBackward(gAgg)
-	// Self path: dsts are the first rows of srcs.
-	gSrc.ScatterAddRows(rangeIdx(len(l.block.Dsts)), gSelf)
+	// Self path: dsts are the first rows of srcs; selfIdx still holds their
+	// iota from the forward pass.
+	gSrc.ScatterAddRows(l.selfIdx[:len(l.block.Dsts)], gSelf)
 	return gSrc
 }
 
@@ -93,6 +109,10 @@ type GraphSAGE struct {
 	Fanout int
 
 	layers []*sageLayer
+
+	// pooled/reused scratch for gathering the deepest sources' features
+	srcIdx []int
+	xBuf   tensor.Buf
 }
 
 // NewGraphSAGE constructs a SAGE model.
@@ -113,7 +133,7 @@ func (m *GraphSAGE) Name() string { return fmt.Sprintf("SAGE-%dL-f%d", m.Layers,
 // is the outermost layer; features start at the deepest sources.
 func (m *GraphSAGE) forwardBlocks(blocks []*sampling.Block, x *tensor.Matrix, training bool) *tensor.Matrix {
 	deepest := blocks[len(blocks)-1]
-	h := selectRows32(x, deepest.Srcs)
+	h := m.gatherSrcFeats(x, deepest.Srcs)
 	for l := len(blocks) - 1; l >= 0; l-- {
 		h = m.layers[len(blocks)-1-l].forward(blocks[l], h, training)
 	}
@@ -127,12 +147,19 @@ func (m *GraphSAGE) backwardBlocks(blocks []*sampling.Block, grad *tensor.Matrix
 	}
 }
 
-func selectRows32(x *tensor.Matrix, ids []int32) *tensor.Matrix {
-	idx := make([]int, len(ids))
+// gatherSrcFeats copies the rows of x indexed by ids into a pooled matrix
+// recycled on the next batch (by which point every layer has consumed it).
+func (m *GraphSAGE) gatherSrcFeats(x *tensor.Matrix, ids []int32) *tensor.Matrix {
+	if cap(m.srcIdx) < len(ids) {
+		m.srcIdx = make([]int, len(ids))
+	}
+	idx := m.srcIdx[:len(ids)]
 	for i, v := range ids {
 		idx[i] = int(v)
 	}
-	return x.SelectRows(idx)
+	h := m.xBuf.Next(len(idx), x.Cols)
+	x.SelectRowsInto(idx, h)
+	return h
 }
 
 // Fit trains with sampled mini-batches.
@@ -171,26 +198,31 @@ func (m *GraphSAGE) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	start := time.Now()
 	epochs := 0
 	peakSrcs := 0
+	dsts := make([]int32, batch)
+	labels := make([]int, batch)
+	defer opt.Reset()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochs++
 		perm := tensor.Perm(len(ds.TrainIdx), rng)
 		for off := 0; off < len(perm); off += batch {
 			end := min(off+batch, len(perm))
-			dsts := make([]int32, end-off)
-			for i := range dsts {
-				dsts[i] = int32(ds.TrainIdx[perm[off+i]])
+			bDsts := dsts[:end-off]
+			for i := range bDsts {
+				bDsts[i] = int32(ds.TrainIdx[perm[off+i]])
 			}
-			blocks := sampler.SampleLayers(dsts, m.Layers, rng)
+			blocks := sampler.SampleLayers(bDsts, m.Layers, rng)
 			if s := blocks[len(blocks)-1].NumUniqueSrcs(); s > peakSrcs {
 				peakSrcs = s
 			}
 			logits := m.forwardBlocks(blocks, ds.X, true)
-			labels := make([]int, len(dsts))
-			for i, d := range dsts {
-				labels[i] = ds.Labels[d]
+			bLabels := labels[:len(bDsts)]
+			for i, d := range bDsts {
+				bLabels[i] = ds.Labels[d]
 			}
-			_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+			grad := tensor.GetBuf(logits.Rows, logits.Cols)
+			nn.SoftmaxCrossEntropyInto(logits, bLabels, grad)
 			m.backwardBlocks(blocks, grad)
+			tensor.PutBuf(grad)
 			opt.Step(params)
 		}
 		val := m.evalAccuracy(ds, ds.ValIdx, rng)

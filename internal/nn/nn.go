@@ -41,6 +41,13 @@ func (p *Param) NumValues() int { return len(p.Value.Data) }
 // consumes ∂L/∂output and returns ∂L/∂input, accumulating parameter
 // gradients along the way. Layers are stateful across a single
 // forward/backward pair and must not be shared between concurrent batches.
+//
+// Buffer lifetime: layers return matrices drawn from the shared tensor
+// workspace and recycle them on the layer's next pass, so a Forward or
+// Backward result is valid only until that layer runs again. Training loops
+// (forward → loss → backward → step, then the next pass) satisfy this
+// naturally; clone any output that must outlive the next pass, and run
+// Backward before any intervening Forward on the same network.
 type Layer interface {
 	Forward(x *tensor.Matrix, training bool) *tensor.Matrix
 	Backward(gradOut *tensor.Matrix) *tensor.Matrix
@@ -48,12 +55,19 @@ type Layer interface {
 }
 
 // Linear is a fully-connected layer y = xW + b.
+//
+// Forward/backward outputs live in pooled workspace buffers that are
+// recycled on the next call (see tensor.Buf): a result is valid until the
+// layer's next pass, which is exactly the lifetime training loops need.
+// Clone anything that must survive longer.
 type Linear struct {
 	W, B  *Param
 	InF   int
 	OutF  int
 	hasB  bool
 	lastX *tensor.Matrix
+
+	y, gx, wg tensor.Buf // pooled output / input-grad / weight-grad buffers
 }
 
 // NewLinear constructs a Linear layer with Glorot-uniform weights and zero
@@ -79,7 +93,8 @@ func (l *Linear) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 	if training {
 		l.lastX = x
 	}
-	y := tensor.MatMul(x, l.W.Value)
+	y := l.y.Next(x.Rows, l.OutF)
+	tensor.MatMulInto(x, l.W.Value, y)
 	if l.hasB {
 		y.AddRowVector(l.B.Value.Row(0))
 	}
@@ -92,7 +107,9 @@ func (l *Linear) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	if l.lastX == nil {
 		panic("nn: Linear.Backward before Forward(training=true)")
 	}
-	l.W.Grad.Add(tensor.TMatMul(l.lastX, gradOut))
+	wg := l.wg.Next(l.InF, l.OutF)
+	tensor.TMatMulInto(l.lastX, gradOut, wg)
+	l.W.Grad.Add(wg)
 	if l.hasB {
 		brow := l.B.Grad.Row(0)
 		for i := 0; i < gradOut.Rows; i++ {
@@ -101,7 +118,9 @@ func (l *Linear) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 			}
 		}
 	}
-	return tensor.MatMulT(gradOut, l.W.Value)
+	gx := l.gx.Next(gradOut.Rows, l.InF)
+	tensor.MatMulTInto(gradOut, l.W.Value, gx)
+	return gx
 }
 
 // Params returns the layer's learnables.
@@ -112,9 +131,11 @@ func (l *Linear) Params() []*Param {
 	return []*Param{l.W}
 }
 
-// ReLU is the rectified-linear activation.
+// ReLU is the rectified-linear activation. Outputs live in pooled buffers
+// recycled on the next call, like Linear's.
 type ReLU struct {
 	mask []bool
+	y, g tensor.Buf
 }
 
 // NewReLU returns a ReLU layer.
@@ -122,7 +143,8 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward zeroes negative entries.
 func (r *ReLU) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
-	y := x.Clone()
+	y := r.y.Next(x.Rows, x.Cols)
+	copy(y.Data, x.Data)
 	if training {
 		if cap(r.mask) < len(y.Data) {
 			r.mask = make([]bool, len(y.Data))
@@ -143,7 +165,8 @@ func (r *ReLU) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 
 // Backward zeroes the gradient where the input was negative.
 func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
-	g := gradOut.Clone()
+	g := r.g.Next(gradOut.Rows, gradOut.Cols)
+	copy(g.Data, gradOut.Data)
 	for i := range g.Data {
 		if !r.mask[i] {
 			g.Data[i] = 0
@@ -162,6 +185,7 @@ type Dropout struct {
 	P    float64
 	rng  *rand.Rand
 	keep []bool
+	y, g tensor.Buf
 }
 
 // NewDropout constructs a dropout layer with drop probability p.
@@ -177,7 +201,8 @@ func (d *Dropout) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 	if !training || d.P == 0 {
 		return x
 	}
-	y := x.Clone()
+	y := d.y.Next(x.Rows, x.Cols)
+	copy(y.Data, x.Data)
 	if cap(d.keep) < len(y.Data) {
 		d.keep = make([]bool, len(y.Data))
 	}
@@ -200,7 +225,8 @@ func (d *Dropout) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	if d.P == 0 {
 		return gradOut
 	}
-	g := gradOut.Clone()
+	g := d.g.Next(gradOut.Rows, gradOut.Cols)
+	copy(g.Data, gradOut.Data)
 	scale := 1 / (1 - d.P)
 	for i := range g.Data {
 		if d.keep[i] {
@@ -288,13 +314,26 @@ func NewMLP(cfg MLPConfig, rng *rand.Rand) *Sequential {
 // against integer labels, returning the scalar loss and ∂L/∂logits.
 // Rows are softmax-normalized with the max-subtraction trick for stability.
 func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	grad := tensor.New(logits.Rows, logits.Cols)
+	return SoftmaxCrossEntropyInto(logits, labels, grad), grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing ∂L/∂logits into
+// grad (same shape as logits, fully overwritten) — the zero-allocation form
+// for pooled training loops. grad may not alias logits.
+func SoftmaxCrossEntropyInto(logits *tensor.Matrix, labels []int, grad *tensor.Matrix) float64 {
 	if logits.Rows != len(labels) {
 		panic(fmt.Sprintf("nn: %d logit rows vs %d labels", logits.Rows, len(labels)))
 	}
-	if logits.Rows == 0 {
-		return 0, tensor.New(0, logits.Cols)
+	if grad.Rows != logits.Rows || grad.Cols != logits.Cols {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropyInto grad %dx%d, want %dx%d", grad.Rows, grad.Cols, logits.Rows, logits.Cols))
 	}
-	grad := tensor.New(logits.Rows, logits.Cols)
+	if logits.Rows == 0 {
+		return 0
+	}
+	if tensor.Overlaps(grad.Data, logits.Data) {
+		panic("nn: SoftmaxCrossEntropyInto grad aliases logits")
+	}
 	var loss float64
 	invN := 1 / float64(logits.Rows)
 	for i := 0; i < logits.Rows; i++ {
@@ -322,7 +361,7 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.
 		}
 		grow[y] -= invN
 	}
-	return loss * invN, grad
+	return loss * invN
 }
 
 // Softmax returns row-wise softmax probabilities of logits.
@@ -376,6 +415,8 @@ type LayerNorm struct {
 	lastX    *tensor.Matrix
 	lastNorm *tensor.Matrix // normalized (pre-gain) activations
 	invStd   []float64
+
+	y, norm, gx tensor.Buf // pooled buffers, recycled per pass
 }
 
 // NewLayerNorm constructs a LayerNorm over dim features.
@@ -392,11 +433,21 @@ func NewLayerNorm(dim int) *LayerNorm {
 // Forward normalizes rows and applies gain/bias.
 func (l *LayerNorm) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 	d := float64(x.Cols)
-	y := tensor.New(x.Rows, x.Cols)
-	norm := tensor.New(x.Rows, x.Cols)
-	invStd := make([]float64, x.Rows)
+	y := l.y.Next(x.Rows, x.Cols)
 	grow := l.Gain.Value.Row(0)
 	brow := l.Bias.Value.Row(0)
+	// Training retains the normalized activations and inverse stddevs for
+	// Backward; inference computes the output directly so it never touches
+	// (or recycles) the retained training state.
+	var norm *tensor.Matrix
+	var invStd []float64
+	if training {
+		norm = l.norm.Next(x.Rows, x.Cols)
+		if cap(l.invStd) < x.Rows {
+			l.invStd = make([]float64, x.Rows)
+		}
+		invStd = l.invStd[:x.Rows]
+	}
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		var mean float64
@@ -410,12 +461,18 @@ func (l *LayerNorm) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 			varSum += dv * dv
 		}
 		inv := 1 / math.Sqrt(varSum/d+l.Eps)
-		invStd[i] = inv
-		nrow := norm.Row(i)
 		yrow := y.Row(i)
-		for j, v := range row {
-			nrow[j] = (v - mean) * inv
-			yrow[j] = nrow[j]*grow[j] + brow[j]
+		if training {
+			invStd[i] = inv
+			nrow := norm.Row(i)
+			for j, v := range row {
+				nrow[j] = (v - mean) * inv
+				yrow[j] = nrow[j]*grow[j] + brow[j]
+			}
+		} else {
+			for j, v := range row {
+				yrow[j] = (v-mean)*inv*grow[j] + brow[j]
+			}
 		}
 	}
 	if training {
@@ -433,7 +490,7 @@ func (l *LayerNorm) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 		panic("nn: LayerNorm.Backward before Forward(training=true)")
 	}
 	d := float64(gradOut.Cols)
-	gx := tensor.New(gradOut.Rows, gradOut.Cols)
+	gx := l.gx.Next(gradOut.Rows, gradOut.Cols)
 	grow := l.Gain.Value.Row(0)
 	ggain := l.Gain.Grad.Row(0)
 	gbias := l.Bias.Grad.Row(0)

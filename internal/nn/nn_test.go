@@ -400,3 +400,54 @@ func TestLayerNormInSequential(t *testing.T) {
 		t.Errorf("params = %d, want 6", len(net.Params()))
 	}
 }
+
+func TestAdamResetClearsState(t *testing.T) {
+	opt := NewAdam(0.1)
+	p := NewParam("w", tensor.New(2, 2))
+	p.Grad.Fill(1)
+	opt.Step([]*Param{p})
+	if opt.t != 1 || len(opt.m) != 1 || len(opt.v) != 1 {
+		t.Fatalf("after one step: t=%d, |m|=%d, |v|=%d", opt.t, len(opt.m), len(opt.v))
+	}
+	opt.Reset()
+	if opt.t != 0 || len(opt.m) != 0 || len(opt.v) != 0 {
+		t.Fatalf("after Reset: t=%d, |m|=%d, |v|=%d", opt.t, len(opt.m), len(opt.v))
+	}
+	// A fresh step after Reset must behave exactly like the first step of a
+	// fresh optimizer (bias correction restarts, moments start at zero).
+	q := NewParam("w2", tensor.New(2, 2))
+	q.Value.Fill(1)
+	q.Grad.Fill(1)
+	opt.Step([]*Param{q})
+	fresh := NewAdam(0.1)
+	r := NewParam("w3", tensor.New(2, 2))
+	r.Value.Fill(1)
+	r.Grad.Fill(1)
+	fresh.Step([]*Param{r})
+	for i := range q.Value.Data {
+		if q.Value.Data[i] != r.Value.Data[i] {
+			t.Fatalf("post-Reset step differs from fresh optimizer at %d: %v vs %v",
+				i, q.Value.Data[i], r.Value.Data[i])
+		}
+	}
+}
+
+func TestAdamPruneKeepsSurvivors(t *testing.T) {
+	opt := NewAdam(0.1)
+	keep := NewParam("keep", tensor.New(1, 2))
+	dead := NewParam("dead", tensor.New(1, 2))
+	keep.Grad.Fill(1)
+	dead.Grad.Fill(1)
+	opt.Step([]*Param{keep, dead})
+	mKeep := opt.m[keep]
+	opt.Prune([]*Param{keep})
+	if _, ok := opt.m[dead]; ok {
+		t.Fatal("Prune left state for dropped param")
+	}
+	if opt.m[keep] != mKeep {
+		t.Fatal("Prune must not disturb surviving state")
+	}
+	if opt.t != 1 {
+		t.Fatalf("Prune must keep the step counter, got t=%d", opt.t)
+	}
+}

@@ -68,9 +68,9 @@ func (o *Adam) Step(params []*Param) {
 	for _, p := range params {
 		m, ok := o.m[p]
 		if !ok {
-			m = tensor.New(p.Value.Rows, p.Value.Cols)
+			m = tensor.GetZeroBuf(p.Value.Rows, p.Value.Cols)
 			o.m[p] = m
-			o.v[p] = tensor.New(p.Value.Rows, p.Value.Cols)
+			o.v[p] = tensor.GetZeroBuf(p.Value.Rows, p.Value.Cols)
 		}
 		v := o.v[p]
 		for i, g := range p.Grad.Data {
@@ -84,6 +84,48 @@ func (o *Adam) Step(params []*Param) {
 			p.Value.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
 		}
 		p.ZeroGrad()
+	}
+}
+
+// Reset drops all accumulated moment state and the step counter, returning
+// the state buffers to the shared tensor workspace. Moment state is keyed
+// by *Param and would otherwise accumulate forever in a long-lived process
+// whose trainers rebuild their models (and hence their Params) between
+// fits: every rebuilt Param is a fresh key, and the old entries can never
+// be hit again. Trainers call Reset when training completes (or before
+// reusing an optimizer with a reconstructed parameter set).
+func (o *Adam) Reset() {
+	for p, m := range o.m {
+		tensor.PutBuf(m)
+		delete(o.m, p)
+	}
+	for p, v := range o.v {
+		tensor.PutBuf(v)
+		delete(o.v, p)
+	}
+	o.t = 0
+}
+
+// Prune drops moment state for any parameter not in keep, releasing the
+// buffers to the shared workspace. Use it instead of Reset when only part
+// of the model was rebuilt and the surviving parameters should keep their
+// moments (and the step counter should keep its bias correction).
+func (o *Adam) Prune(keep []*Param) {
+	live := make(map[*Param]bool, len(keep))
+	for _, p := range keep {
+		live[p] = true
+	}
+	for p, m := range o.m {
+		if !live[p] {
+			tensor.PutBuf(m)
+			delete(o.m, p)
+		}
+	}
+	for p, v := range o.v {
+		if !live[p] {
+			tensor.PutBuf(v)
+			delete(o.v, p)
+		}
 	}
 }
 

@@ -1,0 +1,90 @@
+// Package par provides the shared deterministic work partitioner used by
+// every parallel kernel in scalegnn (dense tensor kernels, sparse graph
+// propagation, samplers). Centralizing the split logic guarantees that all
+// kernels chunk work identically — same chunk boundaries for the same n —
+// which keeps parallel reductions deterministic, and gives one place to
+// tune parallelism (e.g. capping workers for benchmarking or co-tenancy).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMinChunk is the minimum rows-per-worker below which Range runs
+// inline. Kernels with cheaper per-row work should pass a larger minChunk.
+const DefaultMinChunk = 64
+
+// maxWorkers caps the number of concurrent workers; 0 means GOMAXPROCS.
+var maxWorkers atomic.Int64
+
+// SetMaxWorkers caps the worker count used by Range and returns the
+// previous cap. n <= 0 restores the default (GOMAXPROCS at call time).
+// Safe for concurrent use; intended for benchmarks and co-tenant tuning.
+func SetMaxWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// MaxWorkers returns the current worker cap (GOMAXPROCS if unset).
+func MaxWorkers() int {
+	if n := int(maxWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers returns the number of chunks Range will use for n items with the
+// given minimum chunk size. It is exported so callers can pre-size
+// per-worker scratch space to match the split exactly.
+func Workers(n, minChunk int) int {
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	w := MaxWorkers()
+	if w > n/minChunk {
+		w = n / minChunk
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Range splits [0, n) into contiguous chunks, one per worker, and runs
+// fn(lo, hi) concurrently on each. The split is deterministic: for a given
+// (n, minChunk, worker cap) every call produces identical chunk boundaries,
+// so floating-point reductions partitioned this way are reproducible.
+// When the work is too small to amortize goroutine overhead (fewer than
+// 2*minChunk items, or a cap of 1), fn runs inline on the calling
+// goroutine. fn must not panic across goroutines.
+func Range(n, minChunk int, fn func(lo, hi int)) {
+	workers := Workers(n, minChunk)
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

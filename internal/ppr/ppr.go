@@ -55,18 +55,21 @@ func (c Config) validate() error {
 // PowerIteration computes the PPR vector of source s by iterating
 // p_{t+1} = α e_s + (1-α) Pᵀ p_t with the random-walk operator, stopping
 // when the L1 change falls below cfg.Tol or MaxIter is reached. Returns the
-// vector and the number of iterations performed.
-func PowerIteration(g *graph.CSR, s int, cfg Config) ([]float64, int, error) {
+// vector, the number of iterations performed, and whether the iteration
+// actually converged (L1 change < cfg.Tol). converged is false when MaxIter
+// was exhausted first — the returned vector is then a truncated estimate,
+// and callers that need the exact-up-to-Tol vector must check the flag
+// rather than treating truncation as convergence.
+func PowerIteration(g *graph.CSR, s int, cfg Config) (p []float64, iters int, converged bool, err error) {
 	if err := cfg.validate(); err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	if s < 0 || s >= g.N {
-		return nil, 0, fmt.Errorf("ppr: source %d out of range [0,%d)", s, g.N)
+		return nil, 0, false, fmt.Errorf("ppr: source %d out of range [0,%d)", s, g.N)
 	}
-	p := make([]float64, g.N)
+	p = make([]float64, g.N)
 	next := make([]float64, g.N)
 	p[s] = 1
-	iters := 0
 	for ; iters < cfg.MaxIter; iters++ {
 		for i := range next {
 			next[i] = 0
@@ -100,10 +103,11 @@ func PowerIteration(g *graph.CSR, s int, cfg Config) ([]float64, int, error) {
 		p, next = next, p
 		if diff < cfg.Tol {
 			iters++
+			converged = true
 			break
 		}
 	}
-	return p, iters, nil
+	return p, iters, converged, nil
 }
 
 // PushResult carries the output of ForwardPush: the reserve estimate, the

@@ -20,12 +20,15 @@ func sum(xs []float64) float64 {
 func TestPowerIterationSumsToOne(t *testing.T) {
 	rng := tensor.NewRand(1)
 	g := graph.BarabasiAlbert(200, 3, rng)
-	p, iters, err := PowerIteration(g, 0, DefaultConfig())
+	p, iters, converged, err := PowerIteration(g, 0, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if iters == 0 {
 		t.Error("no iterations performed")
+	}
+	if !converged {
+		t.Error("expected convergence within default MaxIter")
 	}
 	if math.Abs(sum(p)-1) > 1e-6 {
 		t.Errorf("PPR mass = %v, want 1", sum(p))
@@ -34,6 +37,42 @@ func TestPowerIterationSumsToOne(t *testing.T) {
 		if v < 0 {
 			t.Fatalf("negative score at %d: %v", i, v)
 		}
+	}
+}
+
+// TestPowerIterationTruncationSignaled verifies the converged flag: a
+// one-round cap on a graph whose PPR needs many rounds must report
+// converged=false, and relaxing the cap must flip it to true with a
+// different (more accurate) vector.
+func TestPowerIterationTruncationSignaled(t *testing.T) {
+	rng := tensor.NewRand(7)
+	g := graph.BarabasiAlbert(300, 3, rng)
+	tight := Config{Alpha: 0.1, MaxIter: 1, Tol: 1e-12}
+	pTrunc, iters, converged, err := PowerIteration(g, 0, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if converged {
+		t.Fatalf("MaxIter=1 reported converged (iters=%d)", iters)
+	}
+	if iters != 1 {
+		t.Fatalf("iters = %d, want 1 under MaxIter=1", iters)
+	}
+	loose := tight
+	loose.MaxIter = 1000
+	pFull, _, converged, err := PowerIteration(g, 0, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !converged {
+		t.Fatal("MaxIter=1000 did not converge")
+	}
+	var diff float64
+	for i := range pFull {
+		diff += math.Abs(pFull[i] - pTrunc[i])
+	}
+	if diff < tight.Tol {
+		t.Fatalf("truncated and converged vectors agree to %v — truncation test is vacuous", diff)
 	}
 }
 
@@ -46,7 +85,7 @@ func TestPowerIterationStarExact(t *testing.T) {
 	g := graph.Star(5)
 	alpha := 0.2
 	cfg := Config{Alpha: alpha, MaxIter: 500, Tol: 1e-14}
-	p, _, err := PowerIteration(g, 0, cfg)
+	p, _, _, err := PowerIteration(g, 0, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,13 +103,13 @@ func TestPowerIterationStarExact(t *testing.T) {
 
 func TestPowerIterationValidation(t *testing.T) {
 	g := graph.Path(3)
-	if _, _, err := PowerIteration(g, -1, DefaultConfig()); err == nil {
+	if _, _, _, err := PowerIteration(g, -1, DefaultConfig()); err == nil {
 		t.Error("negative source should error")
 	}
-	if _, _, err := PowerIteration(g, 0, Config{Alpha: 0, MaxIter: 10}); err == nil {
+	if _, _, _, err := PowerIteration(g, 0, Config{Alpha: 0, MaxIter: 10}); err == nil {
 		t.Error("alpha=0 should error")
 	}
-	if _, _, err := PowerIteration(g, 0, Config{Alpha: 1.5, MaxIter: 10}); err == nil {
+	if _, _, _, err := PowerIteration(g, 0, Config{Alpha: 1.5, MaxIter: 10}); err == nil {
 		t.Error("alpha>1 should error")
 	}
 }
@@ -101,7 +140,7 @@ func TestForwardPushApproximationBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, _, err := PowerIteration(g, 0, Config{Alpha: 0.15, MaxIter: 1000, Tol: 1e-13})
+	exact, _, _, err := PowerIteration(g, 0, Config{Alpha: 0.15, MaxIter: 1000, Tol: 1e-13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +193,7 @@ func TestForwardPushValidation(t *testing.T) {
 func TestMonteCarloConvergesToExact(t *testing.T) {
 	rng := tensor.NewRand(5)
 	g := graph.ErdosRenyi(50, 150, rng)
-	exact, _, err := PowerIteration(g, 3, Config{Alpha: 0.2, MaxIter: 1000, Tol: 1e-13})
+	exact, _, _, err := PowerIteration(g, 3, Config{Alpha: 0.2, MaxIter: 1000, Tol: 1e-13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +218,7 @@ func TestMonteCarloConvergesToExact(t *testing.T) {
 func TestMonteCarloErrorShrinksWithWalks(t *testing.T) {
 	rng := tensor.NewRand(6)
 	g := graph.BarabasiAlbert(100, 3, rng)
-	exact, _, _ := PowerIteration(g, 0, Config{Alpha: 0.2, MaxIter: 1000, Tol: 1e-13})
+	exact, _, _, _ := PowerIteration(g, 0, Config{Alpha: 0.2, MaxIter: 1000, Tol: 1e-13})
 	l1 := func(walks int) float64 {
 		mc, err := MonteCarlo(g, 0, walks, 0.2, tensor.NewRand(77))
 		if err != nil {
@@ -252,7 +291,7 @@ func TestSourceDominatesProperty(t *testing.T) {
 		rng := tensor.NewRand(uint64(seed) + 100)
 		g := graph.BarabasiAlbert(60, 2, rng)
 		src := int(seed) % g.N
-		p, _, err := PowerIteration(g, src, Config{Alpha: 0.3, MaxIter: 500, Tol: 1e-12})
+		p, _, _, err := PowerIteration(g, src, Config{Alpha: 0.3, MaxIter: 500, Tol: 1e-12})
 		if err != nil {
 			return false
 		}
@@ -274,7 +313,7 @@ func BenchmarkPowerIteration(b *testing.B) {
 	cfg := DefaultConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := PowerIteration(g, i%g.N, cfg); err != nil {
+		if _, _, _, err := PowerIteration(g, i%g.N, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,8 +9,8 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+
+	"scalegnn/internal/par"
 )
 
 // Matrix is a dense, row-major matrix of float64 values.
@@ -205,10 +205,22 @@ func (m *Matrix) FrobeniusNorm() float64 {
 // per index, in order. Indices may repeat.
 func (m *Matrix) SelectRows(idx []int) *Matrix {
 	out := New(len(idx), m.Cols)
-	for i, r := range idx {
-		copy(out.Row(i), m.Row(r))
-	}
+	m.SelectRowsInto(idx, out)
 	return out
+}
+
+// SelectRowsInto gathers the given rows of m into dst (shape len(idx) x
+// m.Cols), overwriting it. dst must not alias m.
+func (m *Matrix) SelectRowsInto(idx []int, dst *Matrix) {
+	if dst.Rows != len(idx) || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: SelectRowsInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, len(idx), m.Cols))
+	}
+	if Overlaps(dst.Data, m.Data) {
+		panic("tensor: SelectRowsInto dst aliases m")
+	}
+	for i, r := range idx {
+		copy(dst.Row(i), m.Row(r))
+	}
 }
 
 // ScatterAddRows adds each row of src into row idx[i] of m. It is the adjoint
@@ -245,17 +257,47 @@ func mustSameShape(op string, a, b *Matrix) {
 	}
 }
 
+// minChunkDense is the minimum rows per worker for the dense kernels,
+// passed to the shared partitioner in internal/par.
+const minChunkDense = 64
+
+// mustNotAlias panics if dst shares backing memory with any operand — the
+// in-place kernels read operands while writing dst, so aliasing (including
+// overlapping FromSlice views) would silently corrupt the output.
+func mustNotAlias(op string, dst *Matrix, operands ...*Matrix) {
+	for _, o := range operands {
+		if Overlaps(dst.Data, o.Data) {
+			panic(fmt.Sprintf("tensor: %s dst aliases an operand", op))
+		}
+	}
+}
+
 // MatMul returns a*b using a cache-friendly ikj loop order, parallelized over
 // row blocks of a. Panics if inner dimensions disagree.
 func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(a, b, out)
+	return out
+}
+
+// MatMulInto computes a*b into dst (shape a.Rows x b.Cols), overwriting it.
+// dst must not alias a or b. This is the zero-allocation form used by the
+// pooled training hot path.
+func MatMulInto(a, b, dst *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
-	parallelRows(a.Rows, func(lo, hi int) {
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	mustNotAlias("MatMulInto", dst, a, b)
+	par.Range(a.Rows, minChunkDense, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
-			orow := out.Row(i)
+			orow := dst.Row(i)
+			for j := range orow {
+				orow[j] = 0
+			}
 			for k, av := range arow {
 				if av == 0 {
 					continue
@@ -267,20 +309,30 @@ func MatMul(a, b *Matrix) *Matrix {
 			}
 		}
 	})
-	return out
 }
 
 // MatMulT returns a * bᵀ. It is used for gradient computations where the
 // transposed operand is the natural layout.
 func MatMulT(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulTInto(a, b, out)
+	return out
+}
+
+// MatMulTInto computes a * bᵀ into dst (shape a.Rows x b.Rows), overwriting
+// it. dst must not alias a or b.
+func MatMulTInto(a, b, dst *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT inner dim mismatch %dx%d * (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
-	parallelRows(a.Rows, func(lo, hi int) {
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	mustNotAlias("MatMulTInto", dst, a, b)
+	par.Range(a.Rows, minChunkDense, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
-			orow := out.Row(i)
+			orow := dst.Row(i)
 			for j := 0; j < b.Rows; j++ {
 				brow := b.Row(j)
 				var s float64
@@ -291,18 +343,29 @@ func MatMulT(a, b *Matrix) *Matrix {
 			}
 		}
 	})
-	return out
 }
 
 // TMatMul returns aᵀ * b, parallelized over columns of the output.
 func TMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	TMatMulInto(a, b, out)
+	return out
+}
+
+// TMatMulInto computes aᵀ * b into dst (shape a.Cols x b.Cols), overwriting
+// it. dst must not alias a or b.
+func TMatMulInto(a, b, dst *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: TMatMul inner dim mismatch (%dx%d)ᵀ * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Cols, b.Cols)
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: TMatMulInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	mustNotAlias("TMatMulInto", dst, a, b)
+	dst.Zero()
 	// Accumulate row-by-row of a/b; partition over output rows (columns of a)
 	// to stay deterministic and race-free.
-	parallelRows(a.Cols, func(lo, hi int) {
+	par.Range(a.Cols, minChunkDense, func(lo, hi int) {
 		for k := 0; k < a.Rows; k++ {
 			arow := a.Row(k)
 			brow := b.Row(k)
@@ -311,65 +374,44 @@ func TMatMul(a, b *Matrix) *Matrix {
 				if av == 0 {
 					continue
 				}
-				orow := out.Row(i)
+				orow := dst.Row(i)
 				for j, bv := range brow {
 					orow[j] += av * bv
 				}
 			}
 		}
 	})
-	return out
 }
 
 // MatVec returns a*x for a vector x of length a.Cols.
 func MatVec(a *Matrix, x []float64) []float64 {
+	out := make([]float64, a.Rows)
+	MatVecInto(a, x, out)
+	return out
+}
+
+// MatVecInto computes a*x into dst (length a.Rows), overwriting it. dst must
+// not alias x.
+func MatVecInto(a *Matrix, x, dst []float64) {
 	if a.Cols != len(x) {
 		panic(fmt.Sprintf("tensor: MatVec dim mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
 	}
-	out := make([]float64, a.Rows)
-	parallelRows(a.Rows, func(lo, hi int) {
+	if len(dst) != a.Rows {
+		panic(fmt.Sprintf("tensor: MatVecInto dst len %d, want %d", len(dst), a.Rows))
+	}
+	if Overlaps(dst, x) || Overlaps(dst, a.Data) {
+		panic("tensor: MatVecInto dst aliases an operand")
+	}
+	par.Range(a.Rows, minChunkDense, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := a.Row(i)
 			var s float64
 			for j, v := range row {
 				s += v * x[j]
 			}
-			out[i] = s
+			dst[i] = s
 		}
 	})
-	return out
-}
-
-// parallelRows splits [0, n) into contiguous chunks, one per worker, and runs
-// fn(lo, hi) concurrently. Chunking is deterministic; small n runs inline.
-func parallelRows(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	const minChunk = 64
-	if workers > n/minChunk {
-		workers = n / minChunk
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // Dot returns the dot product of equal-length vectors x and y.

@@ -1,0 +1,141 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// Workspace is a shape-keyed pool of matrices backing the allocation-free
+// training hot path. Get/Put recycle buffers of identical shape through a
+// sync.Pool per shape, so steady-state forward/backward passes reuse the
+// same memory epoch after epoch instead of reallocating per call. Buffers
+// are dropped automatically under GC pressure (sync.Pool semantics), so a
+// workspace never pins more memory than the live working set.
+//
+// A Workspace is safe for concurrent use. The zero value is ready to use.
+type Workspace struct {
+	pools sync.Map // shapeKey -> *sync.Pool of *Matrix
+}
+
+type shapeKey struct{ rows, cols int }
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Default is the process-wide workspace used by the package-level
+// GetBuf/GetZeroBuf/PutBuf helpers and, through them, by the nn layers and
+// model training loops.
+var Default = NewWorkspace()
+
+// Get returns a rows x cols matrix with UNSPECIFIED contents: callers must
+// fully overwrite it (the *Into kernels do). Use GetZero when zeros are
+// required.
+func (w *Workspace) Get(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: Workspace.Get invalid shape %dx%d", rows, cols))
+	}
+	p, ok := w.pools.Load(shapeKey{rows, cols})
+	if ok {
+		if m, _ := p.(*sync.Pool).Get().(*Matrix); m != nil {
+			return m
+		}
+	}
+	return New(rows, cols)
+}
+
+// GetZero returns a zeroed rows x cols matrix.
+func (w *Workspace) GetZero(rows, cols int) *Matrix {
+	m := w.Get(rows, cols)
+	m.Zero()
+	return m
+}
+
+// Put returns m to the pool for its exact shape. m must not be used after
+// Put. Putting nil or an empty matrix is a no-op.
+func (w *Workspace) Put(m *Matrix) {
+	if m == nil || len(m.Data) == 0 {
+		return
+	}
+	key := shapeKey{m.Rows, m.Cols}
+	p, ok := w.pools.Load(key)
+	if !ok {
+		p, _ = w.pools.LoadOrStore(key, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(m)
+}
+
+// GetBuf returns a matrix from the Default workspace (contents unspecified).
+func GetBuf(rows, cols int) *Matrix { return Default.Get(rows, cols) }
+
+// GetZeroBuf returns a zeroed matrix from the Default workspace.
+func GetZeroBuf(rows, cols int) *Matrix { return Default.GetZero(rows, cols) }
+
+// PutBuf returns a matrix to the Default workspace.
+func PutBuf(m *Matrix) { Default.Put(m) }
+
+// Buf is a single-slot recycling handle for the canonical layer-output
+// pattern: each call to Next recycles the buffer handed out by the previous
+// call and acquires a fresh one from the workspace. Because training loops
+// consume a layer's output before the next forward/backward pass, the
+// previous-generation buffer is dead by the time Next runs again, so the
+// hand-back is safe and the steady state allocates nothing.
+//
+// Callers that hold a returned matrix across two calls to Next on the same
+// Buf will observe it being overwritten — clone anything that must outlive
+// the next pass.
+type Buf struct {
+	ws  *Workspace // nil means Default
+	cur *Matrix
+}
+
+// NewBuf returns a Buf drawing from ws (nil means the Default workspace).
+func NewBuf(ws *Workspace) Buf { return Buf{ws: ws} }
+
+func (b *Buf) workspace() *Workspace {
+	if b.ws == nil {
+		return Default
+	}
+	return b.ws
+}
+
+// Next recycles the previously returned buffer and hands out a rows x cols
+// matrix with unspecified contents.
+func (b *Buf) Next(rows, cols int) *Matrix {
+	ws := b.workspace()
+	if b.cur != nil {
+		ws.Put(b.cur)
+	}
+	b.cur = ws.Get(rows, cols)
+	return b.cur
+}
+
+// NextZero is Next with zeroed contents.
+func (b *Buf) NextZero(rows, cols int) *Matrix {
+	m := b.Next(rows, cols)
+	m.Zero()
+	return m
+}
+
+// Release returns the current buffer (if any) to the workspace.
+func (b *Buf) Release() {
+	if b.cur != nil {
+		b.workspace().Put(b.cur)
+		b.cur = nil
+	}
+}
+
+// Overlaps reports whether the backing arrays of a and b share any memory.
+// It is the full data-range aliasing check used by the *Into kernels and
+// graph propagation: views built with FromSlice over one backing slice
+// overlap even when their first elements differ.
+func Overlaps(a, b []float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	aLo := uintptr(unsafe.Pointer(&a[0]))
+	aHi := aLo + uintptr(len(a))*unsafe.Sizeof(a[0])
+	bLo := uintptr(unsafe.Pointer(&b[0]))
+	bHi := bLo + uintptr(len(b))*unsafe.Sizeof(b[0])
+	return aLo < bHi && bLo < aHi
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo-wide correctness gate: build, vet, full tests, and a race-detector
+# pass over the packages with concurrent kernels (the shared partitioner's
+# consumers: dense tensor ops, sparse propagation, samplers).
+#
+# The race pass runs in -short mode so it stays fast enough for CI and
+# pre-commit use; the full (non-race) suite runs unabridged.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race -short ./internal/tensor ./internal/graph ./internal/sampling"
+go test -race -short ./internal/tensor ./internal/graph ./internal/sampling
+
+echo "All checks passed."
