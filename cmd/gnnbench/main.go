@@ -60,7 +60,10 @@ func main() {
 			failed++
 			continue
 		}
-		tbl.Render(os.Stdout)
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "gnnbench: writing %s table: %v\n", e.ID, err)
+			os.Exit(1)
+		}
 		fmt.Printf("  (%s in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if failed > 0 {

@@ -109,6 +109,7 @@ func buildDataset(graphPath, labelPath string, cfg dataset.Config) (*dataset.Dat
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore unchecked-error file is open read-only; Close cannot lose data
 	defer f.Close()
 	g, err := graph.ReadEdgeList(f)
 	if err != nil {
@@ -149,6 +150,7 @@ func readLabels(path string, n int) ([]int, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	//lint:ignore unchecked-error file is open read-only; Close cannot lose data
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	labels := make([]int, 0, n)

@@ -70,24 +70,33 @@ func main() {
 		if err != nil {
 			fatal("create %s: %v", *out, err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := graph.WriteEdgeList(w, g); err != nil {
 		fatal("write: %v", err)
+	}
+	// These files were written to, so a failed Close can mean lost data —
+	// check it instead of deferring it away.
+	if w != os.Stdout {
+		if err := w.Close(); err != nil {
+			fatal("close %s: %v", *out, err)
+		}
 	}
 	if labels != nil && *out != "" {
 		lf, err := os.Create(*out + ".labels")
 		if err != nil {
 			fatal("create labels: %v", err)
 		}
-		defer lf.Close()
 		bw := bufio.NewWriter(lf)
 		for _, y := range labels {
+			//lint:ignore unchecked-error bufio latches the first write error; the Flush below reports it
 			fmt.Fprintln(bw, y)
 		}
 		if err := bw.Flush(); err != nil {
 			fatal("write labels: %v", err)
+		}
+		if err := lf.Close(); err != nil {
+			fatal("close labels: %v", err)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "graphgen: %s graph, n=%d arcs=%d\n", *kind, g.N, g.NumEdges())

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -26,11 +27,14 @@ type Table struct {
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// Render pretty-prints the table.
-func (t *Table) Render(w io.Writer) {
-	fmt.Fprintf(w, "\n=== %s: %s ===\n", t.ID, t.Title)
+// Render pretty-prints the table. The table is formatted into memory and
+// written with a single call, so the only error that can surface is the
+// writer's.
+func (t *Table) Render(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\n=== %s: %s ===\n", t.ID, t.Title)
 	if t.Claim != "" {
-		fmt.Fprintf(w, "claim: %s\n", t.Claim)
+		fmt.Fprintf(&sb, "claim: %s\n", t.Claim)
 	}
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
@@ -52,7 +56,7 @@ func (t *Table) Render(w io.Writer) {
 				parts[i] = c
 			}
 		}
-		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+		fmt.Fprintln(&sb, "  "+strings.Join(parts, "  "))
 	}
 	line(t.Header)
 	sep := make([]string, len(t.Header))
@@ -64,11 +68,13 @@ func (t *Table) Render(w io.Writer) {
 		line(row)
 	}
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "  note: %s\n", n)
+		fmt.Fprintf(&sb, "  note: %s\n", n)
 	}
 	if t.Verdict != "" {
-		fmt.Fprintf(w, "  verdict: %s\n", t.Verdict)
+		fmt.Fprintf(&sb, "  verdict: %s\n", t.Verdict)
 	}
+	_, err := io.WriteString(w, sb.String())
+	return err
 }
 
 // Config controls experiment scale.
@@ -113,15 +119,15 @@ func Get(id string) (Experiment, bool) {
 	return e, ok
 }
 
-// expLess orders F* before E*, and E-numbers numerically.
+// expLess orders F* before E*, and E-numbers numerically. Non-numeric
+// suffixes sort as 0; IDs are register-time constants so this never trips.
 func expLess(a, b string) bool {
 	pa, pb := a[0], b[0]
 	if pa != pb {
 		return pa == 'F'
 	}
-	var na, nb int
-	fmt.Sscanf(a[1:], "%d", &na)
-	fmt.Sscanf(b[1:], "%d", &nb)
+	na, _ := strconv.Atoi(a[1:])
+	nb, _ := strconv.Atoi(b[1:])
 	return na < nb
 }
 

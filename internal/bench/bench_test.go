@@ -57,7 +57,9 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 				}
 			}
 			var buf bytes.Buffer
-			tbl.Render(&buf)
+			if err := tbl.Render(&buf); err != nil {
+				t.Fatalf("%s: render: %v", e.ID, err)
+			}
 			if !strings.Contains(buf.String(), tbl.ID) {
 				t.Errorf("%s: render missing ID", e.ID)
 			}
@@ -74,7 +76,9 @@ func TestTableRender(t *testing.T) {
 	}
 	tbl.AddRow("1", "2")
 	var buf bytes.Buffer
-	tbl.Render(&buf)
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatalf("render: %v", err)
+	}
 	out := buf.String()
 	for _, want := range []string{"X1", "claim: c", "a note", "verdict: fine", "bb"} {
 		if !strings.Contains(out, want) {

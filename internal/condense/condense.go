@@ -22,6 +22,7 @@ import (
 	"math/rand/v2"
 
 	"scalegnn/internal/graph"
+	"scalegnn/internal/par"
 	"scalegnn/internal/spectral"
 	"scalegnn/internal/tensor"
 )
@@ -139,29 +140,40 @@ func kmeans(emb *tensor.Matrix, k, iters int, rng *rand.Rand) []int {
 			}
 		}
 		copy(centroids.Row(c), emb.Row(best))
-		for i := 0; i < n; i++ {
-			if d2 := dist2(emb.Row(i), centroids.Row(c)); d2 < minDist[i] {
-				minDist[i] = d2
+		// Each minDist[i] update is independent — chunk over internal/par
+		// (bitwise-identical: same per-element comparison either way).
+		par.Range(n, 256, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d2 := dist2(emb.Row(i), centroids.Row(c)); d2 < minDist[i] {
+					minDist[i] = d2
+				}
 			}
-		}
+		})
 	}
 	assign := make([]int, n)
 	counts := make([]int, k)
 	for it := 0; it < iters; it++ {
-		// Assignment step.
+		// Assignment step: each assign[i] depends only on emb and the
+		// centroids, so chunk it over internal/par; counts are tallied
+		// sequentially afterwards so the result matches the sequential
+		// loop bit for bit.
+		par.Range(n, 256, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best, bestD := 0, math.Inf(1)
+				row := emb.Row(i)
+				for c := 0; c < k; c++ {
+					if d2 := dist2(row, centroids.Row(c)); d2 < bestD {
+						best, bestD = c, d2
+					}
+				}
+				assign[i] = best
+			}
+		})
 		for i := range counts {
 			counts[i] = 0
 		}
 		for i := 0; i < n; i++ {
-			best, bestD := 0, math.Inf(1)
-			row := emb.Row(i)
-			for c := 0; c < k; c++ {
-				if d2 := dist2(row, centroids.Row(c)); d2 < bestD {
-					best, bestD = c, d2
-				}
-			}
-			assign[i] = best
-			counts[best]++
+			counts[assign[i]]++
 		}
 		// Reseed empty clusters with the globally farthest point.
 		for c := 0; c < k; c++ {

@@ -10,6 +10,12 @@ import (
 // available offline, so experiments run on synthetic graphs whose controlling
 // parameters — size, degree distribution, community structure, homophily —
 // can be swept directly. See DESIGN.md "Substitutions".
+//
+// All generators are intentionally sequential (not chunked over
+// internal/par): every edge draw consumes the single caller-provided RNG
+// stream, so the draw sequence — and therefore the generated graph for a
+// given seed — depends on loop order. Splitting the stream across workers
+// would silently change every downstream fingerprint.
 
 // ErdosRenyi generates a G(n, m) uniform random undirected graph with
 // exactly m distinct edges (self-loops excluded).

@@ -21,6 +21,7 @@ import (
 	"scalegnn/internal/graph"
 	"scalegnn/internal/metrics"
 	"scalegnn/internal/nn"
+	"scalegnn/internal/par"
 	"scalegnn/internal/subgraph"
 	"scalegnn/internal/tensor"
 )
@@ -114,26 +115,31 @@ func NewTask(g *graph.CSR, testFrac, trainFrac float64, rng *rand.Rand) (*Task, 
 
 // CommonNeighbors scores a pair by the number of shared neighbors in the
 // observed graph — the heuristic baseline every subgraph model must beat.
+// Pairs score independently into disjoint out[i] slots, so the loop chunks
+// over internal/par with output bitwise identical to the sequential scan.
 func CommonNeighbors(g *graph.CSR, pairs [][2]int) []float64 {
 	out := make([]float64, len(pairs))
-	for i, p := range pairs {
-		a, b := g.Neighbors(p[0]), g.Neighbors(p[1])
-		ai, bi := 0, 0
-		count := 0
-		for ai < len(a) && bi < len(b) {
-			switch {
-			case a[ai] == b[bi]:
-				count++
-				ai++
-				bi++
-			case a[ai] < b[bi]:
-				ai++
-			default:
-				bi++
+	par.Range(len(pairs), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := pairs[i]
+			a, b := g.Neighbors(p[0]), g.Neighbors(p[1])
+			ai, bi := 0, 0
+			count := 0
+			for ai < len(a) && bi < len(b) {
+				switch {
+				case a[ai] == b[bi]:
+					count++
+					ai++
+					bi++
+				case a[ai] < b[bi]:
+					ai++
+				default:
+					bi++
+				}
 			}
+			out[i] = float64(count)
 		}
-		out[i] = float64(count)
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runBufRelease enforces the workspace discipline from PR 1: a pooled
+// buffer acquired inside a function (tensor.GetBuf/GetZeroBuf, a
+// Workspace.Get/GetZero call, or a local tensor.NewBuf handle) must be
+// handed back inside that same function — via Put/PutBuf/Release, deferred
+// or explicit — or must visibly leave the function (returned, stored in a
+// field/map/slice, or captured in a composite literal), which transfers
+// ownership to the caller. A buffer that is acquired and simply dropped
+// never returns to the pool, silently re-introducing the per-epoch
+// allocations the pooling exists to eliminate.
+func runBufRelease(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncBufs(p, r, fd)
+		}
+	}
+}
+
+type acquisition struct {
+	name string
+	pos  ast.Node
+}
+
+func checkFuncBufs(p *Package, r *Reporter, fd *ast.FuncDecl) {
+	// Pass 1: collect buffer acquisitions bound to local identifiers.
+	acquired := make(map[types.Object]*acquisition)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var names []*ast.Ident
+		var values []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					names = append(names, id)
+					values = append(values, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			names = append(names, n.Names...)
+			values = append(values, n.Values...)
+		default:
+			return true
+		}
+		for i, id := range names {
+			call, ok := values[i].(*ast.CallExpr)
+			if !ok || !isBufAcquisition(p, call) {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj != nil {
+				acquired[obj] = &acquisition{name: id.Name, pos: id}
+			}
+		}
+		return true
+	})
+	if len(acquired) == 0 {
+		return
+	}
+	// Pass 2: find a release or an ownership-transferring escape for each.
+	resolved := make(map[types.Object]bool)
+	usesObj := func(e ast.Expr, want types.Object) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == want {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// tensor.Put / tensor.PutBuf / ws.Put with the buffer as argument.
+			if isTensorFunc(p, n, "Put", "PutBuf") {
+				for _, arg := range n.Args {
+					if id, ok := arg.(*ast.Ident); ok {
+						if obj := p.Info.Uses[id]; acquired[obj] != nil {
+							resolved[obj] = true
+						}
+					}
+				}
+			}
+			// b.Release() on a local Buf handle.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; acquired[obj] != nil {
+						resolved[obj] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for obj := range acquired {
+				for _, res := range n.Results {
+					if usesObj(res, obj) {
+						resolved[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Appearing on the right-hand side of any assignment (field,
+			// map slot, alias) transfers ownership out of this analysis.
+			for obj := range acquired {
+				for _, rhs := range n.Rhs {
+					if usesObj(rhs, obj) {
+						resolved[obj] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for obj := range acquired {
+				for _, elt := range n.Elts {
+					if usesObj(elt, obj) {
+						resolved[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj, acq := range acquired {
+		if !resolved[obj] {
+			r.Report(acq.pos.Pos(), "workspace buffer %q is acquired but never released in this function (add Put/PutBuf/Release, deferred or on every path)", acq.name)
+		}
+	}
+}
+
+// isBufAcquisition reports whether call acquires pooled tensor storage.
+func isBufAcquisition(p *Package, call *ast.CallExpr) bool {
+	return isTensorFunc(p, call, "Get", "GetZero", "GetBuf", "GetZeroBuf", "NewBuf")
+}
+
+// isTensorFunc reports whether call's callee is one of the named functions
+// or methods of the tensor package.
+func isTensorFunc(p *Package, call *ast.CallExpr, names ...string) bool {
+	var id *ast.Ident
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return false
+	}
+	obj, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/tensor") {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// runGlobalRand enforces the reproducibility convention: every experiment
+// run with the same seed must produce bitwise-identical output (DESIGN.md
+// "Determinism"). Three things break that and are banned in internal/ and
+// cmd/:
+//
+//   - importing math/rand (v1): its package-level functions share hidden
+//     global state; scalegnn threads explicit math/rand/v2 *rand.Rand
+//     values instead.
+//   - package-level RNG values: shared mutable state whose consumption
+//     order depends on call interleaving.
+//   - time-based seeding (time.Now fed into a rand constructor or
+//     tensor.NewRand): makes every run unrepeatable by construction.
+func runGlobalRand(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		randName, timeName, tensorName := importNames(f)
+		// Ban the v1 package outright.
+		for _, imp := range f.Imports {
+			if path, _ := strconv.Unquote(imp.Path.Value); path == "math/rand" {
+				r.Report(imp.Pos(), "math/rand (v1) has hidden global state; use math/rand/v2 with an injected *rand.Rand (tensor.NewRand)")
+			}
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if ok && gd.Tok.String() == "var" {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if mentionsRand(vs, randName) {
+						r.Report(vs.Pos(), "package-level RNG state breaks run-to-run reproducibility; inject a *rand.Rand instead")
+					}
+				}
+			}
+		}
+		if randName == "" && tensorName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRandConstructor(call, randName, tensorName) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if callsTimeNow(arg, timeName) {
+					r.Report(call.Pos(), "time-based RNG seeding makes runs unreproducible; use a fixed or flag-provided seed")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// importNames returns the local names under which a file imports
+// math/rand[/v2], time, and the tensor package ("" when not imported).
+func importNames(f *ast.File) (randName, timeName, tensorName string) {
+	for _, imp := range f.Imports {
+		path, _ := strconv.Unquote(imp.Path.Value)
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch {
+		case path == "math/rand" || path == "math/rand/v2":
+			randName = orDefault(name, "rand")
+		case path == "time":
+			timeName = orDefault(name, "time")
+		case strings.HasSuffix(path, "internal/tensor"):
+			tensorName = orDefault(name, "tensor")
+		}
+	}
+	return
+}
+
+func orDefault(name, def string) string {
+	if name == "" {
+		return def
+	}
+	return name
+}
+
+// mentionsRand reports whether a var spec's type or initializer references
+// the rand package.
+func mentionsRand(vs *ast.ValueSpec, randName string) bool {
+	if randName == "" {
+		return false
+	}
+	found := false
+	check := func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == randName {
+				found = true
+			}
+		}
+		return !found
+	}
+	if vs.Type != nil {
+		ast.Inspect(vs.Type, check)
+	}
+	for _, v := range vs.Values {
+		ast.Inspect(v, check)
+	}
+	return found
+}
+
+// isRandConstructor matches rand.New/NewPCG/NewChaCha8/NewSource and
+// tensor.NewRand calls.
+func isRandConstructor(call *ast.CallExpr, randName, tensorName string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == randName {
+		switch sel.Sel.Name {
+		case "New", "NewPCG", "NewChaCha8", "NewSource", "NewZipf":
+			return true
+		}
+	}
+	return id.Name == tensorName && tensorName != "" && sel.Sel.Name == "NewRand"
+}
+
+// callsTimeNow reports whether expr contains a time.Now() call.
+func callsTimeNow(expr ast.Expr, timeName string) bool {
+	if timeName == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// runIntoGuard enforces the *Into kernel convention from PR 1: every
+// exported function or method whose name ends in "Into" and that writes
+// into caller-provided tensor storage (a *Matrix or []float64 parameter)
+// must, before writing,
+//
+//   - validate destination shape: an if statement over Rows/Cols/len that
+//     panics or returns an error, and
+//   - reject aliasing: a call to tensor.Overlaps (directly or via the
+//     package-local mustNotAlias helper).
+//
+// Without the guards, a pooled destination buffer of the wrong shape or one
+// overlapping an operand silently corrupts training output instead of
+// failing loudly at the call site.
+func runIntoGuard(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || !strings.HasSuffix(fd.Name.Name, "Into") {
+				continue
+			}
+			if !hasTensorParam(fd.Type) {
+				continue
+			}
+			hasAlias, hasShape := false, false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					switch name := calleeName(n); name {
+					case "Overlaps", "mustNotAlias":
+						hasAlias = true
+					}
+				case *ast.IfStmt:
+					if condMentionsShape(n.Cond) && bodyFailsLoudly(n.Body) {
+						hasShape = true
+					}
+				}
+				return true
+			})
+			if !hasShape {
+				r.Report(fd.Pos(), "%s writes into a caller-provided tensor but never validates destination shape (if over Rows/Cols/len that panics or returns an error)", fd.Name.Name)
+			}
+			if !hasAlias {
+				r.Report(fd.Pos(), "%s writes into a caller-provided tensor but never checks aliasing (tensor.Overlaps or mustNotAlias)", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// hasTensorParam reports whether any parameter type mentions Matrix or is a
+// float64 slice — the storage the *Into convention is about.
+func hasTensorParam(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		found := false
+		ast.Inspect(field.Type, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if n.Name == "Matrix" {
+					found = true
+				}
+			case *ast.ArrayType:
+				if id, ok := n.Elt.(*ast.Ident); ok && id.Name == "float64" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName returns the bare name of a call's callee (x.F and F both give
+// "F"), or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// condMentionsShape reports whether a condition inspects tensor shape:
+// a .Rows/.Cols selector or a len(...) call.
+func condMentionsShape(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Rows" || n.Sel.Name == "Cols" {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "len" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyFailsLoudly reports whether a guard body panics or returns.
+func bodyFailsLoudly(body *ast.BlockStmt) bool {
+	failed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			failed = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				failed = true
+			}
+		}
+		return !failed
+	})
+	return failed
+}

@@ -1,0 +1,193 @@
+// Package lint implements gnnlint, scalegnn's project-specific static
+// analyzer. It machine-checks the conventions the zero-allocation training
+// hot path depends on (see DESIGN.md "Enforced invariants"):
+//
+//   - naked-go: goroutines are spawned only by internal/par, so every
+//     parallel kernel chunks work through the one race-tested partitioner.
+//   - into-guard: exported *Into kernels validate shapes and reject
+//     aliasing (tensor.Overlaps) before writing.
+//   - buf-release: workspace buffers acquired in a function are released
+//     in that function (or handed off explicitly).
+//   - global-rand: no package-level RNG state or time-based seeding in
+//     internal/ and cmd/; randomness is injected as *rand.Rand.
+//   - unchecked-error: no error return silently dropped as a bare call
+//     statement in internal/ and cmd/.
+//
+// The analyzer is built only on the stdlib go/parser, go/ast, go/types, and
+// go/token packages — the repo has no external dependencies and the linter
+// keeps it that way. Findings are suppressed per site with
+//
+//	//lint:ignore <check> <reason>
+//
+// on the offending line or the line above it; the reason is mandatory (a
+// directive without one suppresses nothing).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Check is one named analyzer.
+type Check struct {
+	Name string
+	Doc  string
+	// Applies filters by import path; nil means every package.
+	Applies func(pkgPath string) bool
+	Run     func(p *Package, r *Reporter)
+}
+
+// internalOrCmd scopes a check to the packages whose invariants the
+// training/serving stack depends on (examples stay demo-grade).
+func internalOrCmd(modPath string) func(string) bool {
+	return func(pkgPath string) bool {
+		return strings.HasPrefix(pkgPath, modPath+"/internal/") ||
+			strings.HasPrefix(pkgPath, modPath+"/cmd/")
+	}
+}
+
+// Checks returns the full suite for a module, in stable order.
+func Checks(modPath string) []*Check {
+	inScope := internalOrCmd(modPath)
+	return []*Check{
+		{
+			Name:    "naked-go",
+			Doc:     "go statements are allowed only inside internal/par (and an explicit allowlist)",
+			Applies: func(pkgPath string) bool { return pkgPath != modPath+"/internal/par" },
+			Run:     runNakedGo,
+		},
+		{
+			Name: "into-guard",
+			Doc:  "exported *Into kernels must validate shapes and check aliasing (tensor.Overlaps) before writing",
+			Run:  runIntoGuard,
+		},
+		{
+			Name: "buf-release",
+			Doc:  "workspace buffers acquired in a function must be released (Put/PutBuf/Release) in that function",
+			Run:  runBufRelease,
+		},
+		{
+			Name:    "global-rand",
+			Doc:     "no package-level RNG state, math/rand v1, or time-based seeding; inject *rand.Rand",
+			Applies: inScope,
+			Run:     runGlobalRand,
+		},
+		{
+			Name:    "unchecked-error",
+			Doc:     "no error return dropped as a bare call statement",
+			Applies: inScope,
+			Run:     runUncheckedError,
+		},
+	}
+}
+
+// Reporter collects diagnostics for one package and applies suppressions.
+type Reporter struct {
+	fset  *token.FileSet
+	check string
+	diags *[]Diagnostic
+	// ignores maps file -> line -> set of suppressed check names.
+	ignores map[string]map[int]map[string]bool
+}
+
+// Report files a diagnostic at pos unless a matching //lint:ignore directive
+// covers that line or the line above.
+func (r *Reporter) Report(pos token.Pos, format string, args ...any) {
+	p := r.fset.Position(pos)
+	if lines, ok := r.ignores[p.Filename]; ok {
+		for _, ln := range [2]int{p.Line, p.Line - 1} {
+			if lines[ln][r.check] || lines[ln]["*"] {
+				return
+			}
+		}
+	}
+	*r.diags = append(*r.diags, Diagnostic{Pos: p, Check: r.check, Message: fmt.Sprintf(format, args...)})
+}
+
+var ignoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+\S`)
+
+// collectIgnores indexes every well-formed //lint:ignore directive of the
+// package by file and line. Directives missing a reason do not match and
+// therefore suppress nothing — the finding they meant to silence stays
+// visible, which is the enforcement.
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				lines, ok := out[p.Filename]
+				if !ok {
+					lines = make(map[int]map[string]bool)
+					out[p.Filename] = lines
+				}
+				if lines[p.Line] == nil {
+					lines[p.Line] = make(map[string]bool)
+				}
+				lines[p.Line][m[1]] = true
+			}
+		}
+	}
+	return out
+}
+
+// RunChecks runs the selected checks over the loaded packages and returns
+// all diagnostics sorted by position. names == nil runs the full suite.
+func RunChecks(l *Loader, pkgs []*Package, names []string) ([]Diagnostic, error) {
+	suite := Checks(l.ModPath)
+	if names != nil {
+		byName := make(map[string]*Check, len(suite))
+		for _, c := range suite {
+			byName[c.Name] = c
+		}
+		var sel []*Check
+		for _, n := range names {
+			c, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("lint: unknown check %q", n)
+			}
+			sel = append(sel, c)
+		}
+		suite = sel
+	}
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		ignores := collectIgnores(l.Fset, p.AllFiles())
+		for _, c := range suite {
+			if c.Applies != nil && !c.Applies(p.Path) {
+				continue
+			}
+			c.Run(p, &Reporter{fset: l.Fset, check: c.Name, diags: &diags, ignores: ignores})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	return diags, nil
+}

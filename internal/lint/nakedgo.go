@@ -1,0 +1,20 @@
+package lint
+
+import "go/ast"
+
+// runNakedGo reports every go statement. All data-parallel chunking must go
+// through internal/par (the one deterministic, race-tested partitioner);
+// anything else — pipelines, background work — needs an explicit
+// //lint:ignore naked-go <reason>. The check covers test files too: a racy
+// helper goroutine in a test corrupts exactly the signal the -race pass is
+// supposed to give.
+func runNakedGo(p *Package, r *Reporter) {
+	for _, f := range p.AllFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				r.Report(g.Pos(), "goroutine spawned outside internal/par; route data-parallel work through par.Range or justify with //lint:ignore naked-go <reason>")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,55 @@
+// Package bufrelease is a gnnlint test fixture for the buf-release check.
+package bufrelease
+
+import "scalegnn/internal/tensor"
+
+// leak acquires a pooled matrix and drops it.
+func leak(rows, cols int) {
+	m := tensor.GetBuf(rows, cols) // want "never released"
+	m.Zero()
+}
+
+// deferredRelease is the normal pattern.
+func deferredRelease(rows, cols int) float64 {
+	m := tensor.GetZeroBuf(rows, cols)
+	defer tensor.PutBuf(m)
+	return m.Data[0]
+}
+
+// explicitRelease releases on the straight-line path.
+func explicitRelease(ws *tensor.Workspace, rows, cols int) float64 {
+	m := ws.Get(rows, cols)
+	v := m.Data[0]
+	ws.Put(m)
+	return v
+}
+
+// handoff transfers ownership to the caller by returning the buffer.
+func handoff(rows, cols int) *tensor.Matrix {
+	m := tensor.GetBuf(rows, cols)
+	return m
+}
+
+// stored transfers ownership into a struct field.
+type cache struct{ m *tensor.Matrix }
+
+func (c *cache) fill(rows, cols int) {
+	m := tensor.GetZeroBuf(rows, cols)
+	c.m = m
+}
+
+// bufHandle releases through the Buf cursor API.
+func bufHandle(ws *tensor.Workspace, rows, cols int) float64 {
+	b := tensor.NewBuf(ws)
+	m := b.Next(rows, cols)
+	v := m.Data[0]
+	b.Release()
+	return v
+}
+
+// suppressed documents an intentional leak (e.g. process-lifetime buffer).
+func suppressed(rows, cols int) {
+	//lint:ignore buf-release process-lifetime buffer, reclaimed at exit
+	m := tensor.GetBuf(rows, cols)
+	m.Zero()
+}

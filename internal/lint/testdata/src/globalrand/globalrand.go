@@ -1,0 +1,33 @@
+// Package globalrand is a gnnlint test fixture for the global-rand check.
+package globalrand
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+var sharedRNG = rand.New(rand.NewPCG(1, 2)) // want "package-level RNG state"
+
+// clockSeeded seeds from the wall clock, destroying reproducibility.
+func clockSeeded() *rand.PCG {
+	return rand.NewPCG(uint64(time.Now().UnixNano()), 0) // want "time-based RNG seeding"
+}
+
+// injected is the approved pattern: the RNG arrives as a parameter.
+func injected(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// fixedSeed constructs an RNG from a constant — reproducible, allowed.
+func fixedSeed() *rand.Rand {
+	return rand.New(rand.NewPCG(42, 0))
+}
+
+// elapsed uses time for measurement, not seeding — allowed.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func init() {
+	_ = sharedRNG
+}

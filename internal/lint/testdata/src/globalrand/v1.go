@@ -1,0 +1,9 @@
+package globalrand
+
+import (
+	mrand "math/rand" // want "math/rand (v1)"
+)
+
+func v1Draw() int {
+	return mrand.Int()
+}

@@ -1,0 +1,62 @@
+// Package intoguard is a gnnlint test fixture for the into-guard check.
+package intoguard
+
+import "scalegnn/internal/tensor"
+
+// BadInto writes into dst without any validation.
+func BadInto(src, dst *tensor.Matrix) { // want "destination shape" "aliasing"
+	for i := range dst.Data {
+		dst.Data[i] = src.Data[i%len(src.Data)] * 2
+	}
+}
+
+// NoAliasCheckInto validates shape but not aliasing.
+func NoAliasCheckInto(src, dst *tensor.Matrix) { // want "aliasing"
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("intoguard: shape mismatch")
+	}
+	copy(dst.Data, src.Data)
+}
+
+// GoodInto has both guards.
+func GoodInto(src, dst *tensor.Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("intoguard: shape mismatch")
+	}
+	if tensor.Overlaps(src.Data, dst.Data) {
+		panic("intoguard: dst aliases src")
+	}
+	copy(dst.Data, src.Data)
+}
+
+// ErrorInto guards by returning errors instead of panicking.
+func ErrorInto(src []float64, dst []float64) error {
+	if len(dst) != len(src) {
+		return errMismatch
+	}
+	if tensor.Overlaps(src, dst) {
+		return errAlias
+	}
+	copy(dst, src)
+	return nil
+}
+
+// scalarInto is unexported: the convention applies to the public kernel
+// surface only.
+func scalarInto(v float64, dst []float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// NothingInto takes no tensor storage, so the convention does not apply.
+func NothingInto(n int) int { return n + 1 }
+
+var (
+	errMismatch = tensorError("shape mismatch")
+	errAlias    = tensorError("aliasing")
+)
+
+type tensorError string
+
+func (e tensorError) Error() string { return string(e) }

@@ -1,0 +1,31 @@
+// Package nakedgo is a gnnlint test fixture for the naked-go check.
+package nakedgo
+
+import "sync"
+
+func spawn() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "goroutine spawned"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func suppressed() {
+	done := make(chan struct{})
+	//lint:ignore naked-go single watchdog goroutine, not a parallel kernel
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+func reasonless() {
+	done := make(chan struct{})
+	//lint:ignore naked-go
+	go func() { // want "goroutine spawned"
+		close(done)
+	}()
+	<-done
+}

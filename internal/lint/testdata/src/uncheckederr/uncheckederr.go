@@ -1,0 +1,48 @@
+// Package uncheckederr is a gnnlint test fixture for the unchecked-error
+// check.
+package uncheckederr
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// dropped ignores error results as bare statements.
+func dropped(path string) {
+	os.Remove(path) // want "drops its error result"
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close() // want "deferred call drops its error result"
+}
+
+// handled checks or explicitly discards every error.
+func handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	_ = os.Remove(path) // visible decision: allowed
+	return nil
+}
+
+// infallible writes don't need checking.
+func infallible(n int) string {
+	fmt.Println("count:", n)
+	fmt.Fprintf(os.Stderr, "count: %d\n", n)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "count: %d", n)
+	return sb.String()
+}
+
+// suppressed documents an intentional drop.
+func suppressed(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	//lint:ignore unchecked-error file is open read-only; Close cannot lose data
+	defer f.Close()
+	fmt.Println(f.Name())
+}

@@ -152,6 +152,9 @@ func TestClusterGCNLearns(t *testing.T) {
 }
 
 func TestImplicitLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("implicit fixed-point training is minutes-slow under -race; run without -short")
+	}
 	ds := smallTask(t)
 	m, err := NewImplicitNet(0.8, nil)
 	if err != nil {

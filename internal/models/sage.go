@@ -7,6 +7,7 @@ import (
 
 	"scalegnn/internal/dataset"
 	"scalegnn/internal/nn"
+	"scalegnn/internal/par"
 	"scalegnn/internal/sampling"
 	"scalegnn/internal/tensor"
 )
@@ -63,15 +64,19 @@ func (l *sageLayer) forward(block *sampling.Block, srcFeats *tensor.Matrix, trai
 			}
 			l.mask = l.mask[:len(y.Data)]
 		}
-		for i, v := range y.Data {
-			pos := v > 0
-			if !pos {
-				y.Data[i] = 0
+		// Element-wise ReLU + mask capture: disjoint writes per element,
+		// chunked over internal/par (bitwise-identical to the plain loop).
+		par.Range(len(y.Data), 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pos := y.Data[i] > 0
+				if !pos {
+					y.Data[i] = 0
+				}
+				if training {
+					l.mask[i] = pos
+				}
 			}
-			if training {
-				l.mask[i] = pos
-			}
-		}
+		})
 	}
 	return y
 }
@@ -82,11 +87,15 @@ func (l *sageLayer) backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	if l.relu {
 		g = l.gradBuf.Next(gradOut.Rows, gradOut.Cols)
 		copy(g.Data, gradOut.Data)
-		for i := range g.Data {
-			if !l.mask[i] {
-				g.Data[i] = 0
+		// Element-wise mask application — same chunking as the forward pass.
+		gd := g.Data
+		par.Range(len(gd), 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if !l.mask[i] {
+					gd[i] = 0
+				}
 			}
-		}
+		})
 	}
 	gSelf := l.self.Backward(g)
 	gAgg := l.neigh.Backward(g)

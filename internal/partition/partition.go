@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"scalegnn/internal/coarsen"
 	"scalegnn/internal/graph"
+	"scalegnn/internal/par"
 	"scalegnn/internal/tensor"
 )
 
@@ -321,26 +323,38 @@ func Evaluate(g *graph.CSR, a *Assignment) Quality {
 	if ideal > 0 {
 		q.Balance = float64(maxSize) / ideal
 	}
-	totalEdges := 0
-	seen := make(map[int]struct{}, a.K)
-	for u := 0; u < g.N; u++ {
-		clear(seen)
-		pu := a.Parts[u]
-		for _, v := range g.Neighbors(u) {
-			if int(v) > u {
-				totalEdges++
-				if a.Parts[v] != pu {
-					q.EdgeCut++
+	// Every metric here is an integer sum over nodes, so the scan chunks
+	// over internal/par with per-chunk counters merged through atomics —
+	// integer addition is order-exact, keeping the totals identical to the
+	// sequential scan.
+	var totalEdges, edgeCut, commVolume atomic.Int64
+	par.Range(g.N, 256, func(lo, hi int) {
+		var edges, cut, vol int64
+		seen := make(map[int]struct{}, a.K)
+		for u := lo; u < hi; u++ {
+			clear(seen)
+			pu := a.Parts[u]
+			for _, v := range g.Neighbors(u) {
+				if int(v) > u {
+					edges++
+					if a.Parts[v] != pu {
+						cut++
+					}
+				}
+				if pv := a.Parts[v]; pv != pu {
+					seen[pv] = struct{}{}
 				}
 			}
-			if pv := a.Parts[v]; pv != pu {
-				seen[pv] = struct{}{}
-			}
+			vol += int64(len(seen))
 		}
-		q.CommVolume += len(seen)
-	}
-	if totalEdges > 0 {
-		q.CutFrac = float64(q.EdgeCut) / float64(totalEdges)
+		totalEdges.Add(edges)
+		edgeCut.Add(cut)
+		commVolume.Add(vol)
+	})
+	q.EdgeCut = int(edgeCut.Load())
+	q.CommVolume = int(commVolume.Load())
+	if totalEdges.Load() > 0 {
+		q.CutFrac = float64(q.EdgeCut) / float64(totalEdges.Load())
 	}
 	return q
 }
@@ -352,10 +366,14 @@ func Subgraphs(g *graph.CSR, a *Assignment) ([]*graph.CSR, [][]int) {
 	for u, p := range a.Parts {
 		members[p] = append(members[p], u)
 	}
+	// Each part's induced subgraph is built independently into its own
+	// slot — chunk parts over internal/par (bitwise-identical outputs).
 	subs := make([]*graph.CSR, a.K)
 	ids := make([][]int, a.K)
-	for p := 0; p < a.K; p++ {
-		subs[p], ids[p] = g.InducedSubgraph(members[p])
-	}
+	par.Range(a.K, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			subs[p], ids[p] = g.InducedSubgraph(members[p])
+		}
+	})
 	return subs, ids
 }

@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync/atomic"
 
 	"scalegnn/internal/graph"
+	"scalegnn/internal/par"
 	"scalegnn/internal/tensor"
 )
 
@@ -242,24 +244,37 @@ func TopK(scores []float64, k int) []Entry {
 // returns them as rows of a sparse map representation: result[i] maps node
 // -> score for sources[i]. This is the precomputation step of
 // SCARA/PPR-based decoupled propagation.
+// Each source's push is independent, so the loop is chunked over
+// internal/par: workers write disjoint out[i] slots and accumulate pushes
+// into an atomic counter (integer addition is order-exact), keeping the
+// result bitwise identical to the sequential loop.
 func PushMatrix(g *graph.CSR, sources []int, cfg Config) ([]map[int32]float64, int, error) {
 	out := make([]map[int32]float64, len(sources))
-	totalPushes := 0
-	for i, s := range sources {
-		res, err := ForwardPush(g, s, cfg)
-		if err != nil {
-			return nil, 0, fmt.Errorf("ppr: source %d: %w", s, err)
-		}
-		totalPushes += res.Pushes
-		row := make(map[int32]float64)
-		for v, sc := range res.Estimate {
-			if sc > 0 {
-				row[int32(v)] = sc
+	errs := make([]error, len(sources))
+	var totalPushes atomic.Int64
+	par.Range(len(sources), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			res, err := ForwardPush(g, sources[i], cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("ppr: source %d: %w", sources[i], err)
+				continue
 			}
+			totalPushes.Add(int64(res.Pushes))
+			row := make(map[int32]float64)
+			for v, sc := range res.Estimate {
+				if sc > 0 {
+					row[int32(v)] = sc
+				}
+			}
+			out[i] = row
 		}
-		out[i] = row
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
 	}
-	return out, totalPushes, nil
+	return out, int(totalPushes.Load()), nil
 }
 
 // PushVector generalizes forward push to an arbitrary (possibly signed)
@@ -342,21 +357,34 @@ func DiffusionEmbedding(g *graph.CSR, x *tensor.Matrix, cfg Config) (*tensor.Mat
 	if x.Rows != g.N {
 		return nil, 0, fmt.Errorf("ppr: features have %d rows for n=%d", x.Rows, g.N)
 	}
+	// Columns diffuse independently: chunk them over internal/par with a
+	// per-chunk scratch column. Workers write disjoint output columns and
+	// the push counter is an order-exact integer sum, so the embedding is
+	// bitwise identical to the sequential loop.
 	out := tensor.New(x.Rows, x.Cols)
-	col := make([]float64, g.N)
-	totalPushes := 0
-	for j := 0; j < x.Cols; j++ {
-		for i := 0; i < g.N; i++ {
-			col[i] = x.At(i, j)
+	errs := make([]error, x.Cols)
+	var totalPushes atomic.Int64
+	par.Range(x.Cols, 1, func(lo, hi int) {
+		col := make([]float64, g.N)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < g.N; i++ {
+				col[i] = x.At(i, j)
+			}
+			res, err := PushVector(g, col, cfg)
+			if err != nil {
+				errs[j] = fmt.Errorf("ppr: column %d: %w", j, err)
+				continue
+			}
+			totalPushes.Add(int64(res.Pushes))
+			for i := 0; i < g.N; i++ {
+				out.Set(i, j, res.Estimate[i])
+			}
 		}
-		res, err := PushVector(g, col, cfg)
+	})
+	for _, err := range errs {
 		if err != nil {
-			return nil, totalPushes, fmt.Errorf("ppr: column %d: %w", j, err)
-		}
-		totalPushes += res.Pushes
-		for i := 0; i < g.N; i++ {
-			out.Set(i, j, res.Estimate[i])
+			return nil, 0, err
 		}
 	}
-	return out, totalPushes, nil
+	return out, int(totalPushes.Load()), nil
 }

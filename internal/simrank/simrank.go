@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"scalegnn/internal/graph"
+	"scalegnn/internal/par"
 	"scalegnn/internal/tensor"
 )
 
@@ -45,26 +46,32 @@ func AllPairs(g *graph.CSR, c float64, iters int) (*tensor.Matrix, error) {
 	}
 	// One iteration: S' = c · Wᵀ S W (W = A·D^{-1} column-normalized, i.e.
 	// averaging over neighbors), then diag(S') = 1.
+	// Each destination row a reads only src and writes only dst.Row(a), and
+	// its neighbor sum is accumulated in a fixed order within one worker —
+	// chunking rows over internal/par keeps the result bitwise identical to
+	// the sequential loop.
 	avgNeighbors := func(src *tensor.Matrix) *tensor.Matrix {
 		// dst[a][j] = (1/deg(a)) Σ_{i ∈ N(a)} src[i][j]
 		dst := tensor.New(n, n)
-		for a := 0; a < n; a++ {
-			ns := g.Neighbors(a)
-			if len(ns) == 0 {
-				continue
-			}
-			inv := 1 / float64(len(ns))
-			drow := dst.Row(a)
-			for _, i := range ns {
-				srow := src.Row(int(i))
+		par.Range(n, 8, func(lo, hi int) {
+			for a := lo; a < hi; a++ {
+				ns := g.Neighbors(a)
+				if len(ns) == 0 {
+					continue
+				}
+				inv := 1 / float64(len(ns))
+				drow := dst.Row(a)
+				for _, i := range ns {
+					srow := src.Row(int(i))
+					for j := range drow {
+						drow[j] += srow[j]
+					}
+				}
 				for j := range drow {
-					drow[j] += srow[j]
+					drow[j] *= inv
 				}
 			}
-			for j := range drow {
-				drow[j] *= inv
-			}
-		}
+		})
 		return dst
 	}
 	for it := 0; it < iters; it++ {

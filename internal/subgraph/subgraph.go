@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"scalegnn/internal/graph"
+	"scalegnn/internal/par"
 	"scalegnn/internal/tensor"
 )
 
@@ -96,7 +97,9 @@ func NewWalkStore(g *graph.CSR, cfg WalkStoreConfig) (*WalkStore, error) {
 
 // Preprocess samples and stores walk sets for the given seeds. Seeds
 // already stored are skipped (incremental preprocessing for streaming
-// workloads, the GENTI concern).
+// workloads, the GENTI concern). Intentionally sequential: the walks all
+// draw from one caller-provided RNG stream, and splitting that stream
+// across workers would change which numbers each walk sees.
 func (ws *WalkStore) Preprocess(seeds []int, rng *rand.Rand) error {
 	for _, s := range seeds {
 		if s < 0 || s >= ws.g.N {
@@ -206,19 +209,25 @@ func (ws *WalkStore) Join(u, v int) (*JoinResult, error) {
 	l := ws.cfg.Length
 	feats := tensor.New(len(union), 2*(l+1))
 	pu, pv := ws.rpe[int32(u)], ws.rpe[int32(v)]
-	for i, node := range union {
-		row := feats.Row(i)
-		if p, ok := pu[node]; ok {
-			for t, c := range p {
-				row[t] = float64(c)
+	// Feature assembly reads the two (immutable) RPE profile maps and
+	// writes disjoint rows of feats — chunk it over internal/par; output is
+	// bitwise identical to the sequential loop.
+	par.Range(len(union), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			node := union[i]
+			row := feats.Row(i)
+			if p, ok := pu[node]; ok {
+				for t, c := range p {
+					row[t] = float64(c)
+				}
+			}
+			if p, ok := pv[node]; ok {
+				for t, c := range p {
+					row[l+1+t] = float64(c)
+				}
 			}
 		}
-		if p, ok := pv[node]; ok {
-			for t, c := range p {
-				row[l+1+t] = float64(c)
-			}
-		}
-	}
+	})
 	return &JoinResult{Nodes: union, Features: feats}, nil
 }
 

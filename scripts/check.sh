@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Repo-wide correctness gate: build, vet, full tests, and a race-detector
-# pass over the packages with concurrent kernels (the shared partitioner's
-# consumers: dense tensor ops, sparse propagation, samplers).
+# Repo-wide correctness gate: build, vet, gnnlint, full tests, and a
+# race-detector pass over the packages with concurrent kernels (the shared
+# partitioner's consumers: dense tensor ops, sparse propagation, samplers,
+# the nn/models training stack, and the partitioner itself).
 #
 # The race pass runs in -short mode so it stays fast enough for CI and
 # pre-commit use; the full (non-race) suite runs unabridged.
@@ -14,10 +15,21 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+echo "== gnnlint ./..."
+go run ./cmd/gnnlint ./...
+
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race -short ./internal/tensor ./internal/graph ./internal/sampling"
-go test -race -short ./internal/tensor ./internal/graph ./internal/sampling
+RACE_PKGS=(
+  ./internal/tensor
+  ./internal/graph
+  ./internal/sampling
+  ./internal/nn
+  ./internal/models
+  ./internal/par
+)
+echo "== go test -race -short ${RACE_PKGS[*]}"
+go test -race -short "${RACE_PKGS[@]}"
 
 echo "All checks passed."
