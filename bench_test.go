@@ -25,6 +25,7 @@ import (
 	"scalegnn/internal/spectral"
 	"scalegnn/internal/subgraph"
 	"scalegnn/internal/tensor"
+	"scalegnn/internal/train"
 )
 
 // benchGraph returns the shared BA benchmark graph (memoized).
@@ -407,6 +408,31 @@ func BenchmarkP1GCNTrainEpoch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	if _, err := m.Fit(ds, cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkP2LoopOverhead measures the training engine's per-batch framing
+// cost in isolation: train.Run driving index mini-batches through a no-op
+// step. The difference against a model benchmark is all model; anything
+// that grows here is pure engine overhead on the hot path.
+func BenchmarkP2LoopOverhead(b *testing.B) {
+	idx := make([]int, 4096)
+	for i := range idx {
+		idx[i] = i
+	}
+	src := train.NewIndexBatches(idx, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, err := train.Run(train.Config{Epochs: b.N, RNG: tensor.NewRand(1)}, train.Spec{
+		Source: src,
+		Step: func(batch train.Batch) error {
+			_ = batch.Indices
+			return nil
+		},
+		Validate: func() (float64, error) { return 0, nil },
+	})
+	if err != nil {
 		b.Fatal(err)
 	}
 }

@@ -13,34 +13,43 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"scalegnn/internal/dataset"
 	"scalegnn/internal/graph"
 	"scalegnn/internal/models"
 	"scalegnn/internal/tensor"
+	"scalegnn/internal/train"
 )
 
 func main() {
 	var (
-		model     = flag.String("model", "sgc", "model name")
-		nodes     = flag.Int("nodes", 5000, "synthetic node count")
-		classes   = flag.Int("classes", 5, "class count")
-		degree    = flag.Float64("deg", 10, "average degree")
-		homophily = flag.Float64("homophily", 0.8, "edge homophily")
-		noise     = flag.Float64("noise", 1.2, "feature noise std")
-		dim       = flag.Int("dim", 32, "feature dimension")
-		graphPath = flag.String("graph", "", "optional edge-list file (overrides synthetic graph)")
-		labelPath = flag.String("labels", "", "optional label file (one class per line)")
-		epochs    = flag.Int("epochs", 100, "training epochs")
-		lr        = flag.Float64("lr", 0.01, "learning rate")
-		hidden    = flag.Int("hidden", 64, "hidden width")
-		batch     = flag.Int("batch", 512, "mini-batch size")
-		hops      = flag.Int("hops", 2, "propagation hops / layers")
-		seed      = flag.Uint64("seed", 42, "random seed")
+		model       = flag.String("model", "sgc", "model name")
+		nodes       = flag.Int("nodes", 5000, "synthetic node count")
+		classes     = flag.Int("classes", 5, "class count")
+		degree      = flag.Float64("deg", 10, "average degree")
+		homophily   = flag.Float64("homophily", 0.8, "edge homophily")
+		noise       = flag.Float64("noise", 1.2, "feature noise std")
+		dim         = flag.Int("dim", 32, "feature dimension")
+		graphPath   = flag.String("graph", "", "optional edge-list file (overrides synthetic graph)")
+		labelPath   = flag.String("labels", "", "optional label file (one class per line)")
+		epochs      = flag.Int("epochs", 100, "training epochs")
+		lr          = flag.Float64("lr", 0.01, "learning rate")
+		weightDecay = flag.Float64("weight-decay", 5e-4, "L2 weight decay")
+		dropout     = flag.Float64("dropout", 0.5, "dropout probability")
+		hidden      = flag.Int("hidden", 64, "hidden width")
+		batch       = flag.Int("batch", 512, "mini-batch size")
+		hops        = flag.Int("hops", 2, "propagation hops / layers")
+		patience    = flag.Int("patience", 30, "early-stopping patience in epochs (0 disables)")
+		restoreBest = flag.Bool("restore-best", false, "restore best-validation weights after training")
+		verbose     = flag.Bool("verbose", false, "print per-epoch validation accuracy")
+		seed        = flag.Uint64("seed", 42, "random seed")
 	)
 	flag.Parse()
 
@@ -61,15 +70,42 @@ func main() {
 	cfg := models.DefaultTrainConfig()
 	cfg.Epochs = *epochs
 	cfg.LR = *lr
+	cfg.WeightDecay = *weightDecay
+	cfg.Dropout = *dropout
 	cfg.Hidden = *hidden
 	cfg.BatchSize = *batch
 	cfg.Seed = *seed
+	cfg.Patience = *patience
+	cfg.RestoreBest = *restoreBest
+
+	// Ctrl-C cancels between batches: the engine returns the partial report
+	// instead of killing the run mid-step.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg.Ctx = ctx
+	if *verbose {
+		cfg.Hooks = append(cfg.Hooks, epochPrinter{})
+	}
 
 	rep, err := m.Fit(ds, cfg)
 	if err != nil {
 		fatal("fit: %v", err)
 	}
 	fmt.Println(rep)
+}
+
+// epochPrinter is a train.Hook that logs each epoch's validation accuracy.
+type epochPrinter struct{}
+
+func (epochPrinter) OnBatch(train.BatchEnd) {}
+
+func (epochPrinter) OnEpoch(e train.EpochEnd) {
+	marker := ""
+	if e.Improved {
+		marker = " *"
+	}
+	fmt.Printf("epoch %3d  val=%.4f  best=%.4f  elapsed=%v%s\n",
+		e.Epoch, e.ValAcc, e.Best, e.Elapsed.Round(1e6), marker)
 }
 
 func makeModel(name string, hops int) (models.Trainer, error) {

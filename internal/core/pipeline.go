@@ -64,6 +64,12 @@ func (p *Pipeline) Run(orig *dataset.Dataset, cfg models.TrainConfig, rng *rand.
 	var lifts []func([]int) []int
 	tStart := time.Now()
 	for _, tr := range p.Transforms {
+		// Honor the training context between transform stages too, so a
+		// deadline set on cfg.Ctx bounds the whole pipeline, not just the
+		// epochs (the model's Fit checks it per batch via internal/train).
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			return nil, fmt.Errorf("core: cancelled before transform %s: %w", tr.Name(), cfg.Ctx.Err())
+		}
 		next, lift, err := tr.Apply(ds, rng)
 		if err != nil {
 			return nil, fmt.Errorf("core: transform %s: %w", tr.Name(), err)

@@ -24,6 +24,7 @@ import (
 	"scalegnn/internal/par"
 	"scalegnn/internal/subgraph"
 	"scalegnn/internal/tensor"
+	"scalegnn/internal/train"
 )
 
 // Task is a link-prediction split: observed graph plus labeled train/test
@@ -255,11 +256,21 @@ func (m *WalkFeatureModel) Fit(t *Task, cfg Config) (float64, error) {
 	}
 	m.net = nn.NewMLP(nn.MLPConfig{In: m.dim, Hidden: []int{cfg.Hidden}, Out: 2, Bias: true}, rng)
 	opt := nn.NewAdam(cfg.LR)
-	for e := 0; e < cfg.Epochs; e++ {
-		logits := m.net.Forward(x, true)
-		_, grad := nn.SoftmaxCrossEntropy(logits, t.TrainLabels)
-		m.net.Backward(grad)
-		opt.Step(m.net.Params())
+	// Fixed-epoch full-batch schedule driven by the shared engine; the task
+	// has no validation split, so Validate is a constant and Patience stays 0.
+	_, err = train.Run(train.Config{Epochs: cfg.Epochs}, train.Spec{
+		Source: train.FullBatch{},
+		Step: func(train.Batch) error {
+			logits := m.net.Forward(x, true)
+			_, grad := nn.SoftmaxCrossEntropy(logits, t.TrainLabels)
+			m.net.Backward(grad)
+			opt.Step(m.net.Params())
+			return nil
+		},
+		Validate: func() (float64, error) { return 0, nil },
+	})
+	if err != nil {
+		return 0, err
 	}
 	scores := m.Scores(x)
 	return metrics.AUC(scores, t.TrainLabels), nil

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// runEpochLoop forbids hand-rolled training epoch loops outside
+// internal/train. The engine extraction removed eight near-identical copies
+// of the permutation/early-stopping/timing scaffolding from the model
+// families; this check keeps them from growing back. A for statement is
+// flagged when it walks an epoch counter — its init declares or assigns a
+// variable named like "epoch", or its condition bounds iteration by an
+// .Epochs field (the TrainConfig/train.Config schedule knob). Drive the
+// schedule through train.Run with a BatchSource instead, or suppress a
+// legitimate non-training loop with
+//
+//	//lint:ignore epoch-loop <reason>
+func runEpochLoop(p *Package, r *Reporter) {
+	for _, f := range p.AllFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			if name, ok := epochVarInInit(loop.Init); ok {
+				r.Report(loop.Pos(), "hand-rolled epoch loop over %q; drive the schedule through internal/train (train.Run + BatchSource)", name)
+				return true
+			}
+			if loop.Cond != nil && boundsByEpochs(loop.Cond) {
+				r.Report(loop.Pos(), "loop bounded by .Epochs; drive the schedule through internal/train (train.Run + BatchSource)")
+			}
+			return true
+		})
+	}
+}
+
+// epochVarInInit reports an epoch-named loop variable declared or assigned
+// in a for statement's init clause.
+func epochVarInInit(init ast.Stmt) (string, bool) {
+	assign, ok := init.(*ast.AssignStmt)
+	if !ok {
+		return "", false
+	}
+	for _, lhs := range assign.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if isEpochName(id.Name) {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+// isEpochName matches the identifiers the legacy loops used for their epoch
+// counters: "epoch", "epochs", "ep", and camel/snake variants like
+// "numEpoch" or "epoch_i".
+func isEpochName(name string) bool {
+	lower := strings.ToLower(name)
+	return lower == "ep" || strings.Contains(lower, "epoch")
+}
+
+// boundsByEpochs reports whether an expression references an .Epochs
+// selector (any receiver: cfg.Epochs, c.Epochs, opts.Train.Epochs, ...).
+func boundsByEpochs(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Epochs" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -12,6 +12,8 @@
 //     internal/ and cmd/; randomness is injected as *rand.Rand.
 //   - unchecked-error: no error return silently dropped as a bare call
 //     statement in internal/ and cmd/.
+//   - epoch-loop: no hand-rolled `for epoch := ...` training loops outside
+//     internal/train; models drive schedules through train.Run.
 //
 // The analyzer is built only on the stdlib go/parser, go/ast, go/types, and
 // go/token packages — the repo has no external dependencies and the linter
@@ -86,6 +88,14 @@ func Checks(modPath string) []*Check {
 			Doc:     "no package-level RNG state, math/rand v1, or time-based seeding; inject *rand.Rand",
 			Applies: inScope,
 			Run:     runGlobalRand,
+		},
+		{
+			Name: "epoch-loop",
+			Doc:  "no hand-rolled `for epoch := ...` training loops outside internal/train; use train.Run",
+			Applies: func(pkgPath string) bool {
+				return inScope(pkgPath) && pkgPath != modPath+"/internal/train"
+			},
+			Run: runEpochLoop,
 		},
 		{
 			Name:    "unchecked-error",

@@ -102,6 +102,7 @@ func TestNakedGoFixture(t *testing.T)        { runFixture(t, "nakedgo", "naked-g
 func TestIntoGuardFixture(t *testing.T)      { runFixture(t, "intoguard", "into-guard") }
 func TestBufReleaseFixture(t *testing.T)     { runFixture(t, "bufrelease", "buf-release") }
 func TestGlobalRandFixture(t *testing.T)     { runFixture(t, "globalrand", "global-rand") }
+func TestEpochLoopFixture(t *testing.T)      { runFixture(t, "epochloop", "epoch-loop") }
 func TestUncheckedErrorFixture(t *testing.T) { runFixture(t, "uncheckederr", "unchecked-error") }
 
 // TestRepoIsClean is the self-hosting gate: the full suite must run clean

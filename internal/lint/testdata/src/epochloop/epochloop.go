@@ -1,0 +1,60 @@
+// Package epochloop is a gnnlint test fixture for the epoch-loop check.
+package epochloop
+
+// config mimics a training config with an Epochs schedule knob.
+type config struct {
+	Epochs int
+}
+
+// handRolled is the pattern the check exists to kill: a literal epoch
+// counter driving a training schedule.
+func handRolled(cfg config) int {
+	steps := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ { // want "hand-rolled epoch loop"
+		steps += epoch
+	}
+	return steps
+}
+
+// boundedByEpochs hides the counter name but still walks the schedule knob.
+func boundedByEpochs(cfg config) int {
+	steps := 0
+	for i := 0; i < cfg.Epochs; i++ { // want "bounded by .Epochs"
+		steps += i
+	}
+	return steps
+}
+
+// camelCased counters are still epoch loops.
+func camelCased(n int) int {
+	steps := 0
+	for curEpoch := 0; curEpoch < n; curEpoch++ { // want "hand-rolled epoch loop"
+		steps++
+	}
+	return steps
+}
+
+// suppressed demonstrates the escape hatch: a non-training loop that
+// happens to use the name, silenced with a mandatory reason.
+func suppressed(n int) int {
+	steps := 0
+	//lint:ignore epoch-loop simulation timeline, not a training schedule
+	for epoch := 0; epoch < n; epoch++ {
+		steps++
+	}
+	return steps
+}
+
+// plainLoop is an ordinary counter — not flagged.
+func plainLoop(n int) int {
+	steps := 0
+	for i := 0; i < n; i++ {
+		steps++
+	}
+	return steps
+}
+
+// epochsValue uses the field outside a loop condition — not flagged.
+func epochsValue(cfg config) int {
+	return cfg.Epochs * 2
+}

@@ -9,6 +9,7 @@ import (
 	"scalegnn/internal/nn"
 	"scalegnn/internal/partition"
 	"scalegnn/internal/tensor"
+	"scalegnn/internal/train"
 )
 
 // ClusterGCN trains a GCN with partition-based mini-batches (§3.1.2 graph
@@ -132,16 +133,13 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 		return h, cb.relus
 	}
 
-	stopper := newEarlyStopper(cfg.Patience)
-	start := time.Now()
-	epochs := 0
 	defer opt.Reset()
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		epochs++
-		for _, bi := range tensor.Perm(len(batches), rng) {
-			cb := batches[bi]
+	err = runLoop(cfg, rng, rep, train.Spec{
+		Source: train.NewClusterBatches(len(batches)),
+		Step: func(b train.Batch) error {
+			cb := batches[b.Cluster]
 			if len(cb.trainIdx) == 0 {
-				continue
+				return nil
 			}
 			logits, relus := forward(cb, true)
 			_, lossGrad := maskedLoss(logits, cb.labels, cb.trainIdx)
@@ -157,20 +155,23 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 			}
 			tensor.PutBuf(lossGrad)
 			opt.Step(params)
-		}
-		val := m.valAccuracy(batches, ds, forward)
-		if stopper.update(epoch, val) {
-			break
-		}
+			return nil
+		},
+		Validate: func() (float64, error) {
+			return m.valAccuracy(batches, ds, forward), nil
+		},
+		Params: params,
+		PeakFloats: func() int {
+			nParams := 0
+			for _, p := range params {
+				nParams += p.NumValues()
+			}
+			return 2*maxCluster*(ds.X.Cols+(m.Layers-1)*cfg.Hidden+ds.NumClasses) + nParams*3
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	rep.TrainTime = time.Since(start)
-	rep.Epochs = epochs
-	rep.EpochTime = rep.TrainTime / time.Duration(epochs)
-	nParams := 0
-	for _, p := range params {
-		nParams += p.NumValues()
-	}
-	rep.PeakFloats = 2*maxCluster*(ds.X.Cols+(m.Layers-1)*cfg.Hidden+ds.NumClasses) + nParams*3
 
 	pred := m.predictAll(batches, ds, forward)
 	fillAccuracies(func(idx []int) []int {

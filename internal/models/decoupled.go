@@ -10,6 +10,7 @@ import (
 	"scalegnn/internal/nn"
 	"scalegnn/internal/spectral"
 	"scalegnn/internal/tensor"
+	"scalegnn/internal/train"
 )
 
 // SGC is Simple Graph Convolution: precompute Â^K X once, then train a
@@ -186,33 +187,36 @@ func (m *APPNP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	opt.WeightDecay = cfg.WeightDecay
 
 	rep := &Report{Model: m.Name()}
-	stopper := newEarlyStopper(cfg.Patience)
-	start := time.Now()
-	epochs := 0
 	defer opt.Reset()
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		epochs++
-		h := m.net.Forward(ds.X, true)
-		z := m.propagate(h)
-		_, gz := maskedLoss(z, ds.Labels, ds.TrainIdx)
-		tensor.PutBuf(z)
-		gh := m.propagate(gz) // symmetric diffusion is self-adjoint
-		tensor.PutBuf(gz)
-		m.net.Backward(gh)
-		tensor.PutBuf(gh)
-		opt.Step(m.net.Params())
-		valZ := m.propagate(m.net.Forward(ds.X, false))
-		val := accuracyAt(valZ, ds.Labels, ds.ValIdx)
-		tensor.PutBuf(valZ)
-		if stopper.update(epoch, val) {
-			break
-		}
+	err := runLoop(cfg, rng, rep, train.Spec{
+		Source: train.FullBatch{},
+		Step: func(train.Batch) error {
+			h := m.net.Forward(ds.X, true)
+			z := m.propagate(h)
+			_, gz := maskedLoss(z, ds.Labels, ds.TrainIdx)
+			tensor.PutBuf(z)
+			gh := m.propagate(gz) // symmetric diffusion is self-adjoint
+			tensor.PutBuf(gz)
+			m.net.Backward(gh)
+			tensor.PutBuf(gh)
+			opt.Step(m.net.Params())
+			return nil
+		},
+		Validate: func() (float64, error) {
+			valZ := m.propagate(m.net.Forward(ds.X, false))
+			val := accuracyAt(valZ, ds.Labels, ds.ValIdx)
+			tensor.PutBuf(valZ)
+			return val, nil
+		},
+		Params: m.net.Params(),
+		PeakFloats: func() int {
+			n := ds.G.N
+			return 2*n*(ds.X.Cols+cfg.Hidden+2*ds.NumClasses) + m.net.NumParams()*3
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	rep.TrainTime = time.Since(start)
-	rep.Epochs = epochs
-	rep.EpochTime = rep.TrainTime / time.Duration(epochs)
-	n := ds.G.N
-	rep.PeakFloats = 2*n*(ds.X.Cols+cfg.Hidden+2*ds.NumClasses) + m.net.NumParams()*3
 
 	logits := m.propagate(m.net.Forward(ds.X, false))
 	fillAccuracies(func(idx []int) []int {
@@ -311,30 +315,18 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	opt.WeightDecay = cfg.WeightDecay
 	params := append(m.net.Params(), m.theta)
 
-	batch := cfg.BatchSize
-	if batch <= 0 || batch > len(ds.TrainIdx) {
-		batch = len(ds.TrainIdx)
-	}
-	stopper := newEarlyStopper(cfg.Patience)
-	trainStart := time.Now()
-	epochs := 0
-	// Batch scratch reused across the run (index slice, attention-gradient
-	// accumulator, hop-selection buffer); pooled matrices are released as
-	// soon as the backward pass has consumed them.
-	idx := make([]int, batch)
+	src := train.NewIndexBatches(ds.TrainIdx, cfg.BatchSize)
+	// Batch scratch reused across the run (attention-gradient accumulator);
+	// pooled matrices are released as soon as the backward pass has consumed
+	// them.
 	ga := make([]float64, m.K+1)
 	valLabels := dataset.LabelsAt(ds.Labels, ds.ValIdx)
 	valIota := rangeIdx(len(ds.ValIdx))
 	defer opt.Reset()
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		epochs++
-		perm := tensor.Perm(len(ds.TrainIdx), rng)
-		for off := 0; off < len(perm); off += batch {
-			end := min(off+batch, len(perm))
-			bIdx := idx[:end-off]
-			for i := range bIdx {
-				bIdx[i] = ds.TrainIdx[perm[off+i]]
-			}
+	err := runLoop(cfg, rng, rep, train.Spec{
+		Source: src,
+		Step: func(b train.Batch) error {
+			bIdx := b.Indices
 			att := m.attention()
 			x := m.combine(att, bIdx)
 			logits := m.net.Forward(x, true)
@@ -363,20 +355,23 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 				m.theta.Grad.Data[k] += att[k] * (ga[k] - inner)
 			}
 			opt.Step(params)
-		}
-		att := m.attention()
-		valX := m.combine(att, ds.ValIdx)
-		valLogits := m.net.Forward(valX, false)
-		tensor.PutBuf(valX)
-		val := accuracyAt(valLogits, valLabels, valIota)
-		if stopper.update(epoch, val) {
-			break
-		}
+			return nil
+		},
+		Validate: func() (float64, error) {
+			att := m.attention()
+			valX := m.combine(att, ds.ValIdx)
+			valLogits := m.net.Forward(valX, false)
+			tensor.PutBuf(valX)
+			return accuracyAt(valLogits, valLabels, valIota), nil
+		},
+		Params: params,
+		PeakFloats: func() int {
+			return src.BatchSize()*(ds.X.Cols*(m.K+2)+cfg.Hidden+ds.NumClasses) + m.net.NumParams()*3
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	rep.TrainTime = time.Since(trainStart)
-	rep.Epochs = epochs
-	rep.EpochTime = rep.TrainTime / time.Duration(epochs)
-	rep.PeakFloats = batch*(ds.X.Cols*(m.K+2)+cfg.Hidden+ds.NumClasses) + m.net.NumParams()*3
 
 	fillAccuracies(func(idx []int) []int {
 		att := m.attention()

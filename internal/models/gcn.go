@@ -2,12 +2,12 @@ package models
 
 import (
 	"fmt"
-	"time"
 
 	"scalegnn/internal/dataset"
 	"scalegnn/internal/graph"
 	"scalegnn/internal/nn"
 	"scalegnn/internal/tensor"
+	"scalegnn/internal/train"
 )
 
 // GCNConv is one graph-convolution layer y = Lin(Â x): propagation followed
@@ -91,29 +91,31 @@ func (m *GCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	opt.WeightDecay = cfg.WeightDecay
 
 	rep := &Report{Model: m.Name()}
-	stopper := newEarlyStopper(cfg.Patience)
-	start := time.Now()
-	epochs := 0
 	defer opt.Reset()
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		epochs++
-		logits := m.net.Forward(ds.X, true)
-		_, grad := maskedLoss(logits, ds.Labels, ds.TrainIdx)
-		m.net.Backward(grad)
-		tensor.PutBuf(grad)
-		opt.Step(m.net.Params())
-		val := accuracyAt(m.net.Forward(ds.X, false), ds.Labels, ds.ValIdx)
-		if stopper.update(epoch, val) {
-			break
-		}
+	err := runLoop(cfg, rng, rep, train.Spec{
+		Source: train.FullBatch{},
+		Step: func(train.Batch) error {
+			logits := m.net.Forward(ds.X, true)
+			_, grad := maskedLoss(logits, ds.Labels, ds.TrainIdx)
+			m.net.Backward(grad)
+			tensor.PutBuf(grad)
+			opt.Step(m.net.Params())
+			return nil
+		},
+		Validate: func() (float64, error) {
+			return accuracyAt(m.net.Forward(ds.X, false), ds.Labels, ds.ValIdx), nil
+		},
+		Params: m.net.Params(),
+		// Full-batch resident floats: every layer's activations plus
+		// gradients over all n nodes — the term that scales with graph size.
+		PeakFloats: func() int {
+			n := ds.G.N
+			return 2*n*(ds.X.Cols+(m.Layers-1)*cfg.Hidden+ds.NumClasses) + m.net.NumParams()*3
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	rep.TrainTime = time.Since(start)
-	rep.Epochs = epochs
-	rep.EpochTime = rep.TrainTime / time.Duration(epochs)
-	// Full-batch resident floats: every layer's activations plus gradients
-	// over all n nodes — the term that scales with graph size.
-	n := ds.G.N
-	rep.PeakFloats = 2*n*(ds.X.Cols+(m.Layers-1)*cfg.Hidden+ds.NumClasses) + m.net.NumParams()*3
 
 	logits := m.net.Forward(ds.X, false)
 	fillAccuracies(func(idx []int) []int {

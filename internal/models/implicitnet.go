@@ -2,13 +2,13 @@ package models
 
 import (
 	"fmt"
-	"time"
 
 	"scalegnn/internal/dataset"
 	"scalegnn/internal/graph"
 	"scalegnn/internal/implicit"
 	"scalegnn/internal/nn"
 	"scalegnn/internal/tensor"
+	"scalegnn/internal/train"
 )
 
 // ImplicitNet is the EIGNN-style implicit GNN (§3.2.3): node states are the
@@ -108,77 +108,79 @@ func (m *ImplicitNet) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error)
 	opt.WeightDecay = cfg.WeightDecay
 
 	rep := &Report{Model: m.Name()}
-	stopper := newEarlyStopper(cfg.Patience)
-	start := time.Now()
-	epochs := 0
 	defer opt.Reset()
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		epochs++
-		zs, logits, err := m.forward(op, ds.X)
-		if err != nil {
-			return nil, fmt.Errorf("models: implicit forward: %w", err)
-		}
-		_, gLogits := maskedLoss(logits, ds.Labels, ds.TrainIdx)
-		// Head gradients. mean = (1/S)Σ z_i.
-		mean := tensor.GetZeroBuf(ds.G.N, m.hidden)
-		for _, z := range zs {
-			mean.AddScaled(1/float64(len(m.Scales)), z)
-		}
-		wg := tensor.GetBuf(m.hidden, ds.NumClasses)
-		tensor.TMatMulInto(mean, gLogits, wg)
-		m.wout.Grad.Add(wg)
-		tensor.PutBuf(wg)
-		tensor.PutBuf(mean)
-		bg := m.bout.Grad.Row(0)
-		for i := 0; i < gLogits.Rows; i++ {
-			for j, v := range gLogits.Row(i) {
-				bg[j] += v
-			}
-		}
-		gZ := tensor.GetBuf(ds.G.N, m.hidden)
-		tensor.MatMulTInto(gLogits, m.wout.Value, gZ)
-		tensor.PutBuf(gLogits)
-		gZ.Scale(1 / float64(len(m.Scales)))
-		// Per-scale adjoint solves.
-		gB := tensor.GetZeroBuf(ds.G.N, m.hidden)
-		for i, sc := range m.Scales {
-			solver, err := implicit.NewSolver(op, m.Gamma)
+	err := runLoop(cfg, rng, rep, train.Spec{
+		Source: train.FullBatch{},
+		Step: func(train.Batch) error {
+			zs, logits, err := m.forward(op, ds.X)
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("models: implicit forward: %w", err)
 			}
-			solver.Scale = sc
-			solver.Tol = 1e-7
-			u, _, err := solver.SolveAdjoint(gZ, m.wimp[i].Value)
+			_, gLogits := maskedLoss(logits, ds.Labels, ds.TrainIdx)
+			// Head gradients. mean = (1/S)Σ z_i.
+			mean := tensor.GetZeroBuf(ds.G.N, m.hidden)
+			for _, z := range zs {
+				mean.AddScaled(1/float64(len(m.Scales)), z)
+			}
+			wg := tensor.GetBuf(m.hidden, ds.NumClasses)
+			tensor.TMatMulInto(mean, gLogits, wg)
+			m.wout.Grad.Add(wg)
+			tensor.PutBuf(wg)
+			tensor.PutBuf(mean)
+			bg := m.bout.Grad.Row(0)
+			for i := 0; i < gLogits.Rows; i++ {
+				for j, v := range gLogits.Row(i) {
+					bg[j] += v
+				}
+			}
+			gZ := tensor.GetBuf(ds.G.N, m.hidden)
+			tensor.MatMulTInto(gLogits, m.wout.Value, gZ)
+			tensor.PutBuf(gLogits)
+			gZ.Scale(1 / float64(len(m.Scales)))
+			// Per-scale adjoint solves.
+			gB := tensor.GetZeroBuf(ds.G.N, m.hidden)
+			for i, sc := range m.Scales {
+				solver, err := implicit.NewSolver(op, m.Gamma)
+				if err != nil {
+					return err
+				}
+				solver.Scale = sc
+				solver.Tol = 1e-7
+				u, _, err := solver.SolveAdjoint(gZ, m.wimp[i].Value)
+				if err != nil {
+					return fmt.Errorf("models: implicit adjoint: %w", err)
+				}
+				m.wimp[i].Grad.Add(solver.GradW(zs[i], u))
+				gB.Add(u)
+			}
+			tensor.PutBuf(gZ)
+			ig := tensor.GetBuf(ds.X.Cols, m.hidden)
+			tensor.TMatMulInto(ds.X, gB, ig)
+			m.win.Grad.Add(ig)
+			tensor.PutBuf(ig)
+			tensor.PutBuf(gB)
+			nn.ClipGradNorm(params, 5)
+			opt.Step(params)
+			for i := range m.wimp {
+				implicit.ProjectSpectralNorm(m.wimp[i].Value, maxNorm)
+			}
+			return nil
+		},
+		Validate: func() (float64, error) {
+			_, valLogits, err := m.forward(op, ds.X)
 			if err != nil {
-				return nil, fmt.Errorf("models: implicit adjoint: %w", err)
+				return 0, err
 			}
-			m.wimp[i].Grad.Add(solver.GradW(zs[i], u))
-			gB.Add(u)
-		}
-		tensor.PutBuf(gZ)
-		ig := tensor.GetBuf(ds.X.Cols, m.hidden)
-		tensor.TMatMulInto(ds.X, gB, ig)
-		m.win.Grad.Add(ig)
-		tensor.PutBuf(ig)
-		tensor.PutBuf(gB)
-		nn.ClipGradNorm(params, 5)
-		opt.Step(params)
-		for i := range m.wimp {
-			implicit.ProjectSpectralNorm(m.wimp[i].Value, maxNorm)
-		}
-
-		_, valLogits, err := m.forward(op, ds.X)
-		if err != nil {
-			return nil, err
-		}
-		if stopper.update(epoch, accuracyAt(valLogits, ds.Labels, ds.ValIdx)) {
-			break
-		}
+			return accuracyAt(valLogits, ds.Labels, ds.ValIdx), nil
+		},
+		Params: params,
+		PeakFloats: func() int {
+			return ds.G.N*cfg.Hidden*(2+2*len(m.Scales)) + ds.G.N*ds.NumClasses
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	rep.TrainTime = time.Since(start)
-	rep.Epochs = epochs
-	rep.EpochTime = rep.TrainTime / time.Duration(epochs)
-	rep.PeakFloats = ds.G.N*cfg.Hidden*(2+2*len(m.Scales)) + ds.G.N*ds.NumClasses
 
 	_, logits, err := m.forward(op, ds.X)
 	if err != nil {

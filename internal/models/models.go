@@ -21,13 +21,16 @@
 package models
 
 import (
+	"context"
 	"fmt"
+	"math/rand/v2"
 	"time"
 
 	"scalegnn/internal/dataset"
 	"scalegnn/internal/metrics"
 	"scalegnn/internal/nn"
 	"scalegnn/internal/tensor"
+	"scalegnn/internal/train"
 )
 
 // TrainConfig holds the optimizer and schedule settings shared by all
@@ -43,6 +46,15 @@ type TrainConfig struct {
 	// Patience stops training after this many epochs without val-accuracy
 	// improvement; 0 disables early stopping.
 	Patience int
+	// RestoreBest restores the best-validation weights when training ends
+	// instead of keeping the final ones. Off by default: the legacy loops
+	// kept final weights, and fingerprint comparisons depend on that.
+	RestoreBest bool
+	// Ctx cancels training between batches (deadline or cancellation); nil
+	// means never.
+	Ctx context.Context
+	// Hooks observe the engine's per-batch/per-epoch progress.
+	Hooks []train.Hook
 }
 
 // DefaultTrainConfig returns the settings used across the benchmarks.
@@ -78,6 +90,11 @@ type Report struct {
 	TrainTime  time.Duration // total optimization time
 	EpochTime  time.Duration // TrainTime / Epochs
 	PeakFloats int           // peak resident float64s in one training step
+	// BestVal / BestEpoch track the best validation accuracy the engine saw
+	// during training and the epoch it occurred (engine accounting; with
+	// TrainConfig.RestoreBest the final weights come from that epoch).
+	BestVal   float64
+	BestEpoch int
 }
 
 func (r Report) String() string {
@@ -123,31 +140,31 @@ func accuracyAt(logits *tensor.Matrix, labels []int, idx []int) float64 {
 	return metrics.Accuracy(pred, dataset.LabelsAt(labels, idx))
 }
 
-// earlyStopper tracks validation accuracy with patience.
-type earlyStopper struct {
-	best     float64
-	bestAt   int
-	patience int
-}
-
-func newEarlyStopper(patience int) *earlyStopper {
-	return &earlyStopper{best: -1, patience: patience}
-}
-
-// update records the epoch's val accuracy and reports whether to stop.
-func (e *earlyStopper) update(epoch int, valAcc float64) bool {
-	if valAcc > e.best {
-		e.best = valAcc
-		e.bestAt = epoch
-		return false
+// runLoop adapts the model-level TrainConfig to the shared training engine
+// and copies the engine's accounting (epochs, wall-clock, peak floats, best
+// validation) into the model report. On cancellation the partial engine
+// accounting is still recorded before the error propagates.
+func runLoop(cfg TrainConfig, rng *rand.Rand, rep *Report, spec train.Spec) error {
+	tr, err := train.Run(train.Config{
+		Epochs: cfg.Epochs, Patience: cfg.Patience, RestoreBest: cfg.RestoreBest,
+		RNG: rng, Ctx: cfg.Ctx, Hooks: cfg.Hooks,
+	}, spec)
+	if tr != nil {
+		rep.Epochs = tr.Epochs
+		rep.TrainTime = tr.TrainTime
+		rep.EpochTime = tr.EpochTime
+		rep.PeakFloats = tr.PeakFloats
+		rep.BestVal = tr.BestVal
+		rep.BestEpoch = tr.BestEpoch
 	}
-	return e.patience > 0 && epoch-e.bestAt >= e.patience
+	return err
 }
 
 // decoupledHead trains an MLP on fixed per-node embeddings with mini-batch
-// SGD — the shared training loop of every decoupled model (SGC, SIGN, LD2,
-// GAMLP all reduce to this after their precompute step). Returns the
-// trained network and fills the timing/accuracy parts of the report.
+// SGD — the shared training path of every decoupled model (SGC, SIGN, LD2
+// all reduce to this after their precompute step), driven by the engine's
+// precomputed-embedding batch source. Returns the trained network and fills
+// the timing/accuracy parts of the report.
 func decoupledHead(emb *tensor.Matrix, ds *dataset.Dataset, cfg TrainConfig, hidden []int, rep *Report) (*nn.Sequential, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -160,56 +177,40 @@ func decoupledHead(emb *tensor.Matrix, ds *dataset.Dataset, cfg TrainConfig, hid
 	opt := nn.NewAdam(cfg.LR)
 	opt.WeightDecay = cfg.WeightDecay
 
-	batch := cfg.BatchSize
-	if batch <= 0 || batch > len(ds.TrainIdx) {
-		batch = len(ds.TrainIdx)
-	}
-	stopper := newEarlyStopper(cfg.Patience)
-	start := time.Now()
-	epochs := 0
-	// Batch scratch reused across the whole run: index slice, batch
-	// features, loss gradient, and the validation selection. Buf.Next
-	// recycles each buffer only after the batch that produced it has been
-	// fully consumed by Backward/Step.
-	idx := make([]int, batch)
-	var xb, vb tensor.Buf
-	defer xb.Release()
+	// The source owns the batch-index and gathered-feature scratch; vb holds
+	// the validation selection. All recycled across the run.
+	src := train.NewEmbeddingBatches(emb, ds.TrainIdx, cfg.BatchSize)
+	defer src.Release()
+	var vb tensor.Buf
 	defer vb.Release()
 	valLabels := dataset.LabelsAt(ds.Labels, ds.ValIdx)
 	valIota := rangeIdx(len(ds.ValIdx))
 	defer opt.Reset()
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		epochs++
-		perm := tensor.Perm(len(ds.TrainIdx), rng)
-		for off := 0; off < len(perm); off += batch {
-			end := min(off+batch, len(perm))
-			bIdx := idx[:end-off]
-			for i := range bIdx {
-				bIdx[i] = ds.TrainIdx[perm[off+i]]
-			}
-			x := xb.Next(len(bIdx), emb.Cols)
-			emb.SelectRowsInto(bIdx, x)
-			logits := mlp.Forward(x, true)
+	err := runLoop(cfg, rng, rep, train.Spec{
+		Source: src,
+		Step: func(b train.Batch) error {
+			logits := mlp.Forward(b.X, true)
 			grad := tensor.GetBuf(logits.Rows, logits.Cols)
-			nn.SoftmaxCrossEntropyInto(logits, dataset.LabelsAt(ds.Labels, bIdx), grad)
+			nn.SoftmaxCrossEntropyInto(logits, dataset.LabelsAt(ds.Labels, b.Indices), grad)
 			mlp.Backward(grad)
 			tensor.PutBuf(grad)
 			opt.Step(mlp.Params())
-		}
-		valX := vb.Next(len(ds.ValIdx), emb.Cols)
-		emb.SelectRowsInto(ds.ValIdx, valX)
-		val := accuracyAt(mlp.Forward(valX, false), valLabels, valIota)
-		if stopper.update(epoch, val) {
-			break
-		}
+			return nil
+		},
+		Validate: func() (float64, error) {
+			valX := vb.Next(len(ds.ValIdx), emb.Cols)
+			emb.SelectRowsInto(ds.ValIdx, valX)
+			return accuracyAt(mlp.Forward(valX, false), valLabels, valIota), nil
+		},
+		Params: mlp.Params(),
+		// Peak resident floats in one step: batch activations through the MLP.
+		PeakFloats: func() int {
+			return src.BatchSize()*(emb.Cols+2*cfg.Hidden+ds.NumClasses) + mlp.NumParams()*3
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	rep.TrainTime = time.Since(start)
-	rep.Epochs = epochs
-	if epochs > 0 {
-		rep.EpochTime = rep.TrainTime / time.Duration(epochs)
-	}
-	// Peak resident floats in one step: batch activations through the MLP.
-	rep.PeakFloats = batch*(emb.Cols+2*cfg.Hidden+ds.NumClasses) + mlp.NumParams()*3
 
 	fillAccuracies(func(idx []int) []int {
 		return nn.Argmax(mlp.Forward(emb.SelectRows(idx), false))

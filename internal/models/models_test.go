@@ -320,23 +320,47 @@ func TestTrainConfigValidation(t *testing.T) {
 	}
 }
 
-func TestEarlyStopper(t *testing.T) {
-	s := newEarlyStopper(3)
-	if s.update(0, 0.5) || s.update(1, 0.6) {
-		t.Error("improving should not stop")
+// TestRestoreBestValAccMatchesBestEpoch is the regression test for the
+// final-vs-best weight bug: the legacy loops early-stopped but kept the
+// weights of the last epoch, so the reported ValAcc could be worse than the
+// best the run ever saw. With RestoreBest the post-training evaluation must
+// reproduce the engine's recorded best validation accuracy. SGC is used
+// because its validation path is deterministic (no sampling during eval).
+func TestRestoreBestValAccMatchesBestEpoch(t *testing.T) {
+	ds := smallTask(t)
+	cfg := quickCfg()
+	cfg.Epochs = 30
+	cfg.Patience = 5
+	cfg.BatchSize = 64
+	cfg.RestoreBest = true
+	m, err := NewSGC(2)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if s.update(2, 0.55) || s.update(3, 0.55) {
-		t.Error("within patience should not stop")
+	rep, err := m.Fit(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !s.update(4, 0.55) {
-		t.Error("patience exhausted should stop")
+	if rep.BestEpoch < 0 || rep.BestVal < 0 {
+		t.Fatalf("engine did not record a best epoch: %+v", rep)
 	}
-	// patience 0 disables stopping.
-	s0 := newEarlyStopper(0)
-	s0.update(0, 0.9)
-	for e := 1; e < 10; e++ {
-		if s0.update(e, 0.1) {
-			t.Fatal("patience=0 must never stop")
-		}
+	if diff := rep.ValAcc - rep.BestVal; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("restored ValAcc %.17g != best-epoch val %.17g (best epoch %d of %d)",
+			rep.ValAcc, rep.BestVal, rep.BestEpoch, rep.Epochs)
+	}
+	// Same run without restoration must early-stop past the best epoch —
+	// otherwise this test isn't exercising the restore path at all.
+	m2, err := NewSGC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RestoreBest = false
+	rep2, err := m2.Fit(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Epochs <= rep2.BestEpoch+1 {
+		t.Fatalf("run ended at its best epoch (%d of %d); pick a harder config",
+			rep2.BestEpoch, rep2.Epochs)
 	}
 }

@@ -3,13 +3,13 @@ package models
 import (
 	"fmt"
 	"math/rand/v2"
-	"time"
 
 	"scalegnn/internal/dataset"
 	"scalegnn/internal/nn"
 	"scalegnn/internal/par"
 	"scalegnn/internal/sampling"
 	"scalegnn/internal/tensor"
+	"scalegnn/internal/train"
 )
 
 // sageLayer is one GraphSAGE mean-aggregator layer:
@@ -198,26 +198,18 @@ func (m *GraphSAGE) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	opt := nn.NewAdam(cfg.LR)
 	opt.WeightDecay = cfg.WeightDecay
 
-	batch := cfg.BatchSize
-	if batch <= 0 || batch > len(ds.TrainIdx) {
-		batch = len(ds.TrainIdx)
-	}
+	src := train.NewIndexBatches(ds.TrainIdx, cfg.BatchSize)
 	rep := &Report{Model: m.Name()}
-	stopper := newEarlyStopper(cfg.Patience)
-	start := time.Now()
-	epochs := 0
 	peakSrcs := 0
-	dsts := make([]int32, batch)
-	labels := make([]int, batch)
+	dsts := make([]int32, src.BatchSize())
+	labels := make([]int, src.BatchSize())
 	defer opt.Reset()
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		epochs++
-		perm := tensor.Perm(len(ds.TrainIdx), rng)
-		for off := 0; off < len(perm); off += batch {
-			end := min(off+batch, len(perm))
-			bDsts := dsts[:end-off]
-			for i := range bDsts {
-				bDsts[i] = int32(ds.TrainIdx[perm[off+i]])
+	err = runLoop(cfg, rng, rep, train.Spec{
+		Source: src,
+		Step: func(b train.Batch) error {
+			bDsts := dsts[:len(b.Indices)]
+			for i, v := range b.Indices {
+				bDsts[i] = int32(v)
 			}
 			blocks := sampler.SampleLayers(bDsts, m.Layers, rng)
 			if s := blocks[len(blocks)-1].NumUniqueSrcs(); s > peakSrcs {
@@ -233,22 +225,25 @@ func (m *GraphSAGE) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 			m.backwardBlocks(blocks, grad)
 			tensor.PutBuf(grad)
 			opt.Step(params)
-		}
-		val := m.evalAccuracy(ds, ds.ValIdx, rng)
-		if stopper.update(epoch, val) {
-			break
-		}
+			return nil
+		},
+		Validate: func() (float64, error) {
+			return m.evalAccuracy(ds, ds.ValIdx, rng), nil
+		},
+		Params: params,
+		// Peak resident floats: the sampled computation graph's activations,
+		// which scale with peakSrcs — not with n.
+		PeakFloats: func() int {
+			nParams := 0
+			for _, p := range params {
+				nParams += p.NumValues()
+			}
+			return 2*peakSrcs*(ds.X.Cols+cfg.Hidden) + nParams*3
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	rep.TrainTime = time.Since(start)
-	rep.Epochs = epochs
-	rep.EpochTime = rep.TrainTime / time.Duration(epochs)
-	nParams := 0
-	for _, p := range params {
-		nParams += p.NumValues()
-	}
-	// Peak resident floats: the sampled computation graph's activations,
-	// which scale with peakSrcs — not with n.
-	rep.PeakFloats = 2*peakSrcs*(ds.X.Cols+cfg.Hidden) + nParams*3
 
 	evalRng := tensor.NewRand(cfg.Seed + 999)
 	fillAccuracies(func(idx []int) []int {

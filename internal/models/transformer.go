@@ -9,6 +9,7 @@ import (
 	"scalegnn/internal/hublabel"
 	"scalegnn/internal/nn"
 	"scalegnn/internal/tensor"
+	"scalegnn/internal/train"
 )
 
 // GraphTransformer is a DHIL-GT-style mini graph Transformer (tutorial
@@ -165,45 +166,41 @@ func (m *GraphTransformer) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, e
 	if batch > 256 {
 		batch = 256 // attention is O(b²); keep batches transformer-sized
 	}
-	stopper := newEarlyStopper(cfg.Patience)
-	start := time.Now()
-	epochs := 0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		epochs++
-		perm := tensor.Perm(len(ds.TrainIdx), rng)
-		for off := 0; off < len(perm); off += batch {
-			end := min(off+batch, len(perm))
-			idx := make([]int, end-off)
-			for i := range idx {
-				idx[i] = ds.TrainIdx[perm[off+i]]
-			}
-			st, logits, err := m.batchForward(ds, idx)
+	src := train.NewIndexBatches(ds.TrainIdx, batch)
+	defer opt.Reset()
+	err = runLoop(cfg, rng, rep, train.Spec{
+		Source: src,
+		Step: func(b train.Batch) error {
+			st, logits, err := m.batchForward(ds, b.Indices)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			_, gLogits := nn.SoftmaxCrossEntropy(logits, dataset.LabelsAt(ds.Labels, idx))
+			_, gLogits := nn.SoftmaxCrossEntropy(logits, dataset.LabelsAt(ds.Labels, b.Indices))
 			m.backwardBatch(st, gLogits)
 			opt.Step(m.params())
-		}
-		valPred, err := m.predictIdx(ds, ds.ValIdx)
-		if err != nil {
-			return nil, err
-		}
-		correct := 0
-		for i, v := range ds.ValIdx {
-			if valPred[i] == ds.Labels[v] {
-				correct++
+			return nil
+		},
+		Validate: func() (float64, error) {
+			valPred, err := m.predictIdx(ds, ds.ValIdx)
+			if err != nil {
+				return 0, err
 			}
-		}
-		val := float64(correct) / float64(max(1, len(ds.ValIdx)))
-		if stopper.update(epoch, val) {
-			break
-		}
+			correct := 0
+			for i, v := range ds.ValIdx {
+				if valPred[i] == ds.Labels[v] {
+					correct++
+				}
+			}
+			return float64(correct) / float64(max(1, len(ds.ValIdx))), nil
+		},
+		Params: m.params(),
+		PeakFloats: func() int {
+			return batch*batch*2 + 4*batch*(ds.X.Cols+cfg.Hidden) + 3*(m.wq.NumValues()+m.wk.NumValues()+m.wv.NumValues()+m.wo.NumValues())
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	rep.TrainTime = time.Since(start)
-	rep.Epochs = epochs
-	rep.EpochTime = rep.TrainTime / time.Duration(epochs)
-	rep.PeakFloats = batch*batch*2 + 4*batch*(ds.X.Cols+cfg.Hidden) + 3*(m.wq.NumValues()+m.wk.NumValues()+m.wv.NumValues()+m.wo.NumValues())
 
 	fillAccuracies(func(idx []int) []int {
 		pred, err := m.predictIdx(ds, idx)

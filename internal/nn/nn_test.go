@@ -266,6 +266,7 @@ func TestMLPLearnsXOR(t *testing.T) {
 	mlp := NewMLP(MLPConfig{In: 2, Hidden: []int{16}, Out: 2, Bias: true}, rng)
 	opt := NewAdam(0.01)
 	var loss float64
+	//lint:ignore epoch-loop plain-SGD convergence unit test, not a model training schedule
 	for epoch := 0; epoch < 800; epoch++ {
 		y := mlp.Forward(x, true)
 		var grad *tensor.Matrix

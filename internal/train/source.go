@@ -1,0 +1,161 @@
+package train
+
+import (
+	"math/rand/v2"
+
+	"scalegnn/internal/tensor"
+)
+
+// Batch is one unit of optimization work within an epoch. Which fields are
+// populated depends on the BatchSource that produced it:
+//
+//   - full-batch sources leave Indices nil (the step sees the whole graph);
+//   - index sources fill Indices with dataset-global node IDs;
+//   - cluster sources fill Cluster with the partition to visit;
+//   - embedding sources additionally fill X with the gathered feature rows.
+type Batch struct {
+	// Epoch and Index locate the batch within the run (filled by the Loop).
+	Epoch int
+	Index int
+	// Indices are dataset-global node indices; nil means full batch. The
+	// slice is owned by the source and valid only until its next Batch or
+	// Shuffle call.
+	Indices []int
+	// Cluster is the partition ID for cluster batches; -1 otherwise.
+	Cluster int
+	// X holds gathered per-node features for embedding batches (pooled,
+	// recycled on the source's next Batch call); nil otherwise.
+	X *tensor.Matrix
+}
+
+// Size returns the number of nodes in the batch (0 for full-batch work,
+// where the step defines its own extent).
+func (b Batch) Size() int { return len(b.Indices) }
+
+// BatchSource is the axis along which the model families' training loops
+// differ (tutorial §3.1.2): full-batch iterative, sampled/index mini-batch,
+// partition batch, and precomputed-embedding mini-batch. The Loop drives
+// one source per run:
+//
+//	Shuffle(rng)      — once per epoch, before the first batch;
+//	Len()             — number of batches in the current epoch;
+//	Batch(i)          — the i-th batch of the current epoch.
+//
+// Sources own their scratch: slices and matrices returned by Batch are
+// valid only until the next Batch or Shuffle call.
+type BatchSource interface {
+	Shuffle(rng *rand.Rand)
+	Len() int
+	Batch(i int) Batch
+}
+
+// FullBatch is the degenerate source of full-batch models (GCN, APPNP,
+// implicit GNNs): one batch per epoch covering everything, no shuffling —
+// and, crucially for seed-stable migrations, no RNG consumption.
+type FullBatch struct{}
+
+// Shuffle implements BatchSource (no-op: nothing to permute).
+func (FullBatch) Shuffle(*rand.Rand) {}
+
+// Len implements BatchSource.
+func (FullBatch) Len() int { return 1 }
+
+// Batch implements BatchSource.
+func (FullBatch) Batch(int) Batch { return Batch{Cluster: -1} }
+
+// IndexBatches is the index-permuted mini-batch source: each epoch draws a
+// fresh permutation of the index set and slices it into contiguous batches,
+// mapping positions back through the permutation — the GraphSAGE-style
+// sampled-training schedule shared by every mini-batch family.
+type IndexBatches struct {
+	idx     []int
+	batch   int
+	perm    []int
+	scratch []int
+}
+
+// NewIndexBatches builds a source over idx (typically the training split).
+// batchSize <= 0 or larger than the set means one batch per epoch.
+func NewIndexBatches(idx []int, batchSize int) *IndexBatches {
+	b := batchSize
+	if b <= 0 || b > len(idx) {
+		b = len(idx)
+	}
+	return &IndexBatches{idx: idx, batch: b, scratch: make([]int, b)}
+}
+
+// BatchSize returns the effective (clamped) batch size.
+func (s *IndexBatches) BatchSize() int { return s.batch }
+
+// Shuffle implements BatchSource: one permutation draw per epoch.
+func (s *IndexBatches) Shuffle(rng *rand.Rand) { s.perm = tensor.Perm(len(s.idx), rng) }
+
+// Len implements BatchSource.
+func (s *IndexBatches) Len() int {
+	if len(s.idx) == 0 {
+		return 0
+	}
+	return (len(s.idx) + s.batch - 1) / s.batch
+}
+
+// Batch implements BatchSource. The returned Indices slice is reused on the
+// next call.
+func (s *IndexBatches) Batch(i int) Batch {
+	off := i * s.batch
+	end := min(off+s.batch, len(s.idx))
+	out := s.scratch[:end-off]
+	for j := range out {
+		out[j] = s.idx[s.perm[off+j]]
+	}
+	return Batch{Indices: out, Cluster: -1}
+}
+
+// ClusterBatches is the partition-batch source (Cluster-GCN schedule): each
+// epoch visits every cluster exactly once in a freshly permuted order. The
+// source deals only in cluster IDs; the step owns the per-cluster state.
+type ClusterBatches struct {
+	n    int
+	perm []int
+}
+
+// NewClusterBatches builds a source over n clusters.
+func NewClusterBatches(n int) *ClusterBatches { return &ClusterBatches{n: n} }
+
+// Shuffle implements BatchSource: one permutation draw per epoch.
+func (s *ClusterBatches) Shuffle(rng *rand.Rand) { s.perm = tensor.Perm(s.n, rng) }
+
+// Len implements BatchSource.
+func (s *ClusterBatches) Len() int { return s.n }
+
+// Batch implements BatchSource.
+func (s *ClusterBatches) Batch(i int) Batch { return Batch{Cluster: s.perm[i]} }
+
+// EmbeddingBatches is the precomputed-embedding source of decoupled models
+// (SGC/SIGN/LD2 heads): index-permuted mini-batches whose feature rows are
+// gathered from a fixed embedding matrix into a pooled buffer — training
+// with zero graph access.
+type EmbeddingBatches struct {
+	IndexBatches
+	emb *tensor.Matrix
+	xb  tensor.Buf
+}
+
+// NewEmbeddingBatches builds a source gathering rows of emb for each batch
+// of idx.
+func NewEmbeddingBatches(emb *tensor.Matrix, idx []int, batchSize int) *EmbeddingBatches {
+	return &EmbeddingBatches{IndexBatches: *NewIndexBatches(idx, batchSize), emb: emb}
+}
+
+// Batch implements BatchSource: the index batch plus its gathered features.
+// Both the Indices slice and X are recycled on the next call.
+func (s *EmbeddingBatches) Batch(i int) Batch {
+	b := s.IndexBatches.Batch(i)
+	x := s.xb.Next(len(b.Indices), s.emb.Cols)
+	s.emb.SelectRowsInto(b.Indices, x)
+	b.X = x
+	return b
+}
+
+// Release returns the gather buffer to the shared workspace. Call when
+// training completes (the Loop does not own source scratch).
+func (s *EmbeddingBatches) Release() { s.xb.Release() }

@@ -1,0 +1,250 @@
+// Package train is the unified training engine behind every model family
+// in internal/models. The tutorial's survey of scalable-GNN systems (§3.1.2)
+// shows that the families differ along exactly one axis — how an epoch is
+// sliced into batches (full-batch iterative, sampled index mini-batch,
+// partition batch, precomputed-embedding mini-batch) — while everything
+// around that axis is shared scaffolding: permutation draws, early stopping,
+// validation cadence, timing, and memory accounting. This package owns the
+// scaffolding once:
+//
+//   - BatchSource abstracts the batching axis (source.go);
+//   - Loop (Run) drives the epoch loop with RNG-seeded shuffling, early
+//     stopping with optional best-validation weight restoration,
+//     context.Context cancellation/deadline, and wall-clock plus
+//     peak-resident-float accounting;
+//   - Hook receives OnBatch/OnEpoch callbacks for metrics, tracing, and
+//     progress layers without touching the hot path.
+//
+// Determinism contract: with the same Config, Spec, and *rand.Rand stream,
+// Run consumes randomness in exactly the order of the hand-rolled loops it
+// replaced (one Shuffle per epoch, then the step's own draws batch by
+// batch), so migrated models produce bitwise-identical parameters and
+// predictions. RestoreBest is off by default because restoring changes
+// final weights relative to those legacy loops.
+package train
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"scalegnn/internal/nn"
+)
+
+// Config holds the engine-level schedule settings.
+type Config struct {
+	// Epochs is the maximum number of epochs (>= 1).
+	Epochs int
+	// Patience stops training after this many epochs without validation
+	// improvement; 0 disables early stopping.
+	Patience int
+	// RestoreBest restores the best-validation parameter snapshot (of
+	// Spec.Params) when training ends. Off by default: legacy loops kept
+	// the final weights, and fingerprint comparisons rely on that.
+	RestoreBest bool
+	// RNG drives the per-epoch shuffle and is shared with the model's own
+	// stochastic layers; required when the source shuffles.
+	RNG *rand.Rand
+	// Ctx cancels training between batches; nil means never.
+	Ctx context.Context
+	// Hooks observe the run. Hook errors are not possible by construction;
+	// hooks must not mutate model state.
+	Hooks []Hook
+}
+
+// Spec is what a model brings to the engine: its batch axis and the three
+// model-specific operations of one training run.
+type Spec struct {
+	// Source yields each epoch's batches. Required.
+	Source BatchSource
+	// Step runs forward/backward/optimizer-update for one batch. Required.
+	Step func(b Batch) error
+	// Validate returns the epoch's validation accuracy. Required.
+	Validate func() (float64, error)
+	// Params are the learnables snapshotted for Config.RestoreBest; may be
+	// nil when restoration is off.
+	Params []*nn.Param
+	// PeakFloats, when set, is called once after training to fill
+	// Report.PeakFloats (the resident-float peak of one step — the
+	// GPU-memory proxy reported by every family).
+	PeakFloats func() int
+}
+
+// StopReason records how a run ended.
+type StopReason string
+
+// Stop reasons.
+const (
+	StopCompleted StopReason = "completed"  // ran all configured epochs
+	StopEarly     StopReason = "early-stop" // patience exhausted
+	StopCancelled StopReason = "cancelled"  // context cancelled or expired
+)
+
+// Report is the engine's accounting of one run.
+type Report struct {
+	// Epochs actually run (the last one may be partial under cancellation).
+	Epochs int
+	// TrainTime is the wall-clock optimization time; EpochTime is
+	// TrainTime / Epochs.
+	TrainTime time.Duration
+	EpochTime time.Duration
+	// BestVal / BestEpoch track the best validation accuracy seen and when.
+	BestVal   float64
+	BestEpoch int
+	// PeakFloats is Spec.PeakFloats() (0 when unset).
+	PeakFloats int
+	// Stopped records why the run ended.
+	Stopped StopReason
+}
+
+// BatchEnd is the per-batch hook payload.
+type BatchEnd struct {
+	Epoch int
+	Batch int
+	// Size is the node count of the batch (0 for full-batch steps).
+	Size int
+}
+
+// EpochEnd is the per-epoch hook payload.
+type EpochEnd struct {
+	Epoch  int
+	ValAcc float64
+	// Improved reports whether this epoch set a new validation best.
+	Improved bool
+	Best     float64
+	// Elapsed is wall-clock time since training started.
+	Elapsed time.Duration
+}
+
+// Hook observes a training run. Implementations must be cheap or sample
+// internally: OnBatch sits on the hot path.
+type Hook interface {
+	OnBatch(BatchEnd)
+	OnEpoch(EpochEnd)
+}
+
+// earlyStop tracks validation accuracy with patience (strict improvement,
+// matching the legacy per-model stoppers).
+type earlyStop struct {
+	best     float64
+	bestAt   int
+	patience int
+}
+
+// update records an epoch's validation accuracy, returning whether it
+// improved the best and whether training should stop.
+func (e *earlyStop) update(epoch int, valAcc float64) (improved, stop bool) {
+	if valAcc > e.best {
+		e.best = valAcc
+		e.bestAt = epoch
+		return true, false
+	}
+	return false, e.patience > 0 && epoch-e.bestAt >= e.patience
+}
+
+// snapshot is a deep copy of parameter values.
+type snapshot [][]float64
+
+func takeSnapshot(params []*nn.Param, into snapshot) snapshot {
+	if into == nil {
+		into = make(snapshot, len(params))
+		for i, p := range params {
+			into[i] = make([]float64, len(p.Value.Data))
+		}
+	}
+	for i, p := range params {
+		copy(into[i], p.Value.Data)
+	}
+	return into
+}
+
+func (s snapshot) restore(params []*nn.Param) {
+	for i, p := range params {
+		copy(p.Value.Data, s[i])
+	}
+}
+
+// Run executes one training run. It returns a non-nil partial Report
+// together with a wrapped context error when cancelled mid-run; any other
+// error (step, validation, config) returns a nil report.
+func Run(cfg Config, spec Spec) (*Report, error) {
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("train: epochs %d < 1", cfg.Epochs)
+	}
+	if spec.Source == nil || spec.Step == nil || spec.Validate == nil {
+		return nil, fmt.Errorf("train: spec needs Source, Step, and Validate")
+	}
+	if cfg.RestoreBest && len(spec.Params) == 0 {
+		return nil, fmt.Errorf("train: RestoreBest needs Spec.Params")
+	}
+
+	stopper := earlyStop{best: -1, patience: cfg.Patience}
+	rep := &Report{BestVal: -1, BestEpoch: -1, Stopped: StopCompleted}
+	var best snapshot
+	start := time.Now()
+	finish := func(reason StopReason) {
+		rep.Stopped = reason
+		rep.TrainTime = time.Since(start)
+		if rep.Epochs > 0 {
+			rep.EpochTime = rep.TrainTime / time.Duration(rep.Epochs)
+		}
+		if cfg.RestoreBest && best != nil {
+			best.restore(spec.Params)
+		}
+		if spec.PeakFloats != nil {
+			rep.PeakFloats = spec.PeakFloats()
+		}
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rep.Epochs++
+		spec.Source.Shuffle(cfg.RNG)
+		n := spec.Source.Len()
+		for i := 0; i < n; i++ {
+			if err := ctxErr(cfg.Ctx); err != nil {
+				finish(StopCancelled)
+				return rep, fmt.Errorf("train: cancelled at epoch %d batch %d: %w", epoch, i, err)
+			}
+			b := spec.Source.Batch(i)
+			b.Epoch, b.Index = epoch, i
+			if err := spec.Step(b); err != nil {
+				return nil, fmt.Errorf("train: step (epoch %d batch %d): %w", epoch, i, err)
+			}
+			for _, h := range cfg.Hooks {
+				h.OnBatch(BatchEnd{Epoch: epoch, Batch: i, Size: b.Size()})
+			}
+		}
+		val, err := spec.Validate()
+		if err != nil {
+			return nil, fmt.Errorf("train: validate (epoch %d): %w", epoch, err)
+		}
+		improved, stop := stopper.update(epoch, val)
+		if improved {
+			rep.BestVal, rep.BestEpoch = val, epoch
+			if cfg.RestoreBest {
+				best = takeSnapshot(spec.Params, best)
+			}
+		}
+		for _, h := range cfg.Hooks {
+			h.OnEpoch(EpochEnd{
+				Epoch: epoch, ValAcc: val, Improved: improved,
+				Best: stopper.best, Elapsed: time.Since(start),
+			})
+		}
+		if stop {
+			finish(StopEarly)
+			return rep, nil
+		}
+	}
+	finish(StopCompleted)
+	return rep, nil
+}
+
+// ctxErr reports a context's error, treating nil as never-cancelled.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

@@ -27,6 +27,7 @@ RACE_PKGS=(
   ./internal/sampling
   ./internal/nn
   ./internal/models
+  ./internal/train
   ./internal/par
 )
 echo "== go test -race -short ${RACE_PKGS[*]}"
