@@ -24,6 +24,8 @@ import (
 	"scalegnn/internal/dataset"
 	"scalegnn/internal/graph"
 	"scalegnn/internal/models"
+	"scalegnn/internal/obs"
+	"scalegnn/internal/par"
 	"scalegnn/internal/tensor"
 	"scalegnn/internal/train"
 )
@@ -50,8 +52,31 @@ func main() {
 		restoreBest = flag.Bool("restore-best", false, "restore best-validation weights after training")
 		verbose     = flag.Bool("verbose", false, "print per-epoch validation accuracy")
 		seed        = flag.Uint64("seed", 42, "random seed")
+		traceOut    = flag.String("trace-out", "", "write the span timeline to this file as JSONL")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar metrics and pprof on this address (e.g. localhost:6060)")
+		pprofOut    = flag.String("pprof", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	sess, err := obs.StartSession(obs.Options{
+		TraceOut: *traceOut, MetricsAddr: *metricsAddr, CPUProfile: *pprofOut,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gnntrain: observability teardown: %v\n", err)
+		}
+	}()
+	if sess.Registry != nil {
+		tensor.EnablePoolMetrics(sess.Registry)
+		par.EnableMetrics(sess.Registry)
+		train.EnableMetrics(sess.Registry)
+	}
+	if addr := sess.Addr(); addr != "" {
+		fmt.Printf("metrics: http://%s/debug/vars  pprof: http://%s/debug/pprof/\n", addr, addr)
+	}
 
 	ds, err := buildDataset(*graphPath, *labelPath, dataset.Config{
 		Nodes: *nodes, Classes: *classes, AvgDegree: *degree, Homophily: *homophily,
@@ -83,6 +108,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cfg.Ctx = ctx
+	if sess.Registry != nil {
+		cfg.Hooks = append(cfg.Hooks, obs.NewTrainHook(sess.Registry))
+	}
 	if *verbose {
 		cfg.Hooks = append(cfg.Hooks, epochPrinter{})
 	}

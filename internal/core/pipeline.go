@@ -10,6 +10,7 @@ import (
 	"scalegnn/internal/dataset"
 	"scalegnn/internal/metrics"
 	"scalegnn/internal/models"
+	"scalegnn/internal/obs"
 	"scalegnn/internal/rewire"
 	"scalegnn/internal/sparsify"
 )
@@ -60,6 +61,8 @@ func (p *Pipeline) Run(orig *dataset.Dataset, cfg models.TrainConfig, rng *rand.
 		EdgesBefore: orig.G.NumEdges(),
 		NodesBefore: orig.G.N,
 	}
+	runSp := obs.Start("pipeline.run")
+	defer runSp.End()
 	ds := orig
 	var lifts []func([]int) []int
 	tStart := time.Now()
@@ -70,7 +73,13 @@ func (p *Pipeline) Run(orig *dataset.Dataset, cfg models.TrainConfig, rng *rand.
 		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 			return nil, fmt.Errorf("core: cancelled before transform %s: %w", tr.Name(), cfg.Ctx.Err())
 		}
+		trSp := runSp.Child("pipeline.transform")
+		if trSp.Active() {
+			// Transform names are fmt-built; only pay for them when traced.
+			trSp.SetLabel(tr.Name())
+		}
 		next, lift, err := tr.Apply(ds, rng)
+		trSp.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: transform %s: %w", tr.Name(), err)
 		}
@@ -82,13 +91,20 @@ func (p *Pipeline) Run(orig *dataset.Dataset, cfg models.TrainConfig, rng *rand.
 	rep.EdgesAfter = ds.G.NumEdges()
 	rep.NodesAfter = ds.G.N
 
+	fitSp := runSp.Child("pipeline.fit")
+	if fitSp.Active() {
+		fitSp.SetLabel(p.Model.Name())
+	}
 	fit, err := p.Model.Fit(ds, cfg)
+	fitSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: fit %s: %w", p.Model.Name(), err)
 	}
 	rep.Fit = fit
 
+	predSp := runSp.Child("pipeline.predict")
 	pred, err := p.Model.Predict(ds)
+	predSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: predict: %w", err)
 	}

@@ -14,6 +14,9 @@
 //     statement in internal/ and cmd/.
 //   - epoch-loop: no hand-rolled `for epoch := ...` training loops outside
 //     internal/train; models drive schedules through train.Run.
+//   - obs-span-end: tracing spans (internal/obs) acquired in a function are
+//     ended in that function or visibly handed off, so traced timelines
+//     never silently lose sections.
 //
 // The analyzer is built only on the stdlib go/parser, go/ast, go/types, and
 // go/token packages — the repo has no external dependencies and the linter
@@ -102,6 +105,11 @@ func Checks(modPath string) []*Check {
 			Doc:     "no error return dropped as a bare call statement",
 			Applies: inScope,
 			Run:     runUncheckedError,
+		},
+		{
+			Name: "obs-span-end",
+			Doc:  "tracing spans acquired in a function must be ended (End, deferred or on every path) in that function or handed off",
+			Run:  runSpanEnd,
 		},
 	}
 }

@@ -104,6 +104,7 @@ func TestBufReleaseFixture(t *testing.T)     { runFixture(t, "bufrelease", "buf-
 func TestGlobalRandFixture(t *testing.T)     { runFixture(t, "globalrand", "global-rand") }
 func TestEpochLoopFixture(t *testing.T)      { runFixture(t, "epochloop", "epoch-loop") }
 func TestUncheckedErrorFixture(t *testing.T) { runFixture(t, "uncheckederr", "unchecked-error") }
+func TestSpanEndFixture(t *testing.T)        { runFixture(t, "spanend", "obs-span-end") }
 
 // TestRepoIsClean is the self-hosting gate: the full suite must run clean
 // over the real repository. A regression anywhere in internal/ or cmd/

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runSpanEnd enforces the tracing discipline from the observability layer
+// (internal/obs): a span acquired inside a function — obs.Start,
+// obs.StartTimed, a Tracer.Start call, or a Child of another span — must be
+// ended inside that same function (sp.End(), directly or deferred) or must
+// visibly leave the function (returned, stored through an assignment, or
+// captured in a composite literal), which transfers the End obligation to
+// the holder. A span that is started and dropped never reaches the tracer
+// buffer, so the traced timeline silently loses the section — the exact
+// failure mode a timeline exists to prevent. Spans acquired as a bare
+// statement are reported unconditionally: the value is unrecoverable.
+func runSpanEnd(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncSpans(p, r, fd)
+		}
+	}
+}
+
+func checkFuncSpans(p *Package, r *Reporter, fd *ast.FuncDecl) {
+	// Pass 1: collect span acquisitions bound to local identifiers, and
+	// report acquisitions whose result is immediately discarded.
+	acquired := make(map[types.Object]*acquisition)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var names []*ast.Ident
+		var values []ast.Expr
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isSpanAcquisition(p, call) {
+				r.Report(n.Pos(), "span is started and immediately dropped; bind it and call End")
+			}
+			return true
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					names = append(names, id)
+					values = append(values, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			names = append(names, n.Names...)
+			values = append(values, n.Values...)
+		default:
+			return true
+		}
+		for i, id := range names {
+			call, ok := values[i].(*ast.CallExpr)
+			if !ok || !isSpanAcquisition(p, call) {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj != nil {
+				acquired[obj] = &acquisition{name: id.Name, pos: id}
+			}
+		}
+		return true
+	})
+	if len(acquired) == 0 {
+		return
+	}
+	// Pass 2: find an End call or an obligation-transferring escape for each.
+	resolved := make(map[types.Object]bool)
+	usesObj := func(e ast.Expr, want types.Object) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == want {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// sp.End(), direct or deferred (ast.Inspect descends into the
+			// DeferStmt's call and into func literals, so an End inside a
+			// `defer func() { ... }()` cleanup resolves too).
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; acquired[obj] != nil {
+						resolved[obj] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for obj := range acquired {
+				for _, res := range n.Results {
+					if usesObj(res, obj) {
+						resolved[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Appearing on the right-hand side of any assignment (field,
+			// map slot, alias) transfers the End obligation out of this
+			// analysis.
+			for obj := range acquired {
+				for _, rhs := range n.Rhs {
+					if usesObj(rhs, obj) {
+						resolved[obj] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for obj := range acquired {
+				for _, elt := range n.Elts {
+					if usesObj(elt, obj) {
+						resolved[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj, acq := range acquired {
+		if !resolved[obj] {
+			r.Report(acq.pos.Pos(), "span %q is started but never ended in this function (call End, deferred or on every path)", acq.name)
+		}
+	}
+}
+
+// isSpanAcquisition reports whether call produces a live obs.Span: the
+// package functions Start/StartTimed, the Tracer.Start method, or the
+// Span.Child method. Detection is by type-checked callee identity, so local
+// helpers that merely share a name are not matched.
+func isSpanAcquisition(p *Package, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return false
+	}
+	obj, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/obs") {
+		return false
+	}
+	switch obj.Name() {
+	case "Start", "StartTimed", "Child":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+// Package spanend is a gnnlint test fixture for the obs-span-end check.
+package spanend
+
+import "scalegnn/internal/obs"
+
+// leak starts a span and drops it: the section never reaches the tracer.
+func leak() {
+	sp := obs.Start("work") // want "never ended"
+	sp.SetCount(1)
+}
+
+// dropped discards the span value outright.
+func dropped() {
+	obs.Start("work") // want "immediately dropped"
+}
+
+// deferredEnd is the normal pattern.
+func deferredEnd() {
+	sp := obs.Start("work")
+	defer sp.End()
+}
+
+// explicitEnd ends on the straight-line path.
+func explicitEnd() int {
+	sp := obs.StartTimed("work")
+	n := 1 + 1
+	sp.End()
+	return n
+}
+
+// childLeak: children carry the same obligation as roots.
+func childLeak(tr *obs.Tracer) {
+	root := tr.Start("outer")
+	child := root.Child("inner") // want "never ended"
+	child.SetCount(1)
+	root.End()
+}
+
+// cleanupClosure ends inside a deferred closure (the count-then-end idiom).
+func cleanupClosure() (iters int) {
+	sp := obs.Start("loop")
+	defer func() { sp.SetCount(int64(iters)); sp.End() }()
+	iters = 3
+	return iters
+}
+
+// handoff transfers the End obligation to the caller by returning the span.
+func handoff() obs.Span {
+	sp := obs.Start("work")
+	return sp
+}
+
+// stored transfers the obligation into a struct field.
+type holder struct{ sp obs.Span }
+
+func (h *holder) begin() {
+	sp := obs.Start("work")
+	h.sp = sp
+}
+
+// suppressed documents an intentional leak (process-lifetime span).
+func suppressed() {
+	//lint:ignore obs-span-end process-lifetime span, ended at exit
+	sp := obs.Start("process")
+	sp.SetCount(1)
+}

@@ -9,6 +9,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"scalegnn/internal/obs"
 )
 
 // Accuracy returns the fraction of predictions equal to the labels.
@@ -85,11 +87,12 @@ func NewTimer() *Timer {
 	return &Timer{sections: make(map[string]time.Duration)}
 }
 
-// Section times fn under the given name, accumulating across calls.
+// Section times fn under the given name, accumulating across calls. The
+// stopwatch is obs.Section, the repo's single timing substrate: when a
+// tracer is installed the section also lands in the trace timeline under
+// the same name, so timer totals and span durations can never disagree.
 func (t *Timer) Section(name string, fn func()) {
-	start := time.Now()
-	fn()
-	t.Add(name, time.Since(start))
+	t.Add(name, obs.Section(name, fn))
 }
 
 // Add accumulates an externally measured duration.

@@ -4,6 +4,9 @@ import (
 	"testing"
 
 	"scalegnn/internal/dataset"
+	"scalegnn/internal/obs"
+	"scalegnn/internal/tensor"
+	"scalegnn/internal/train"
 )
 
 // smallTask returns a small, easy homophilous task every model should ace.
@@ -219,6 +222,90 @@ func TestDecoupledPeakMemoryBelowGCN(t *testing.T) {
 	}
 	if repS.PeakFloats >= repG.PeakFloats {
 		t.Errorf("SGC peak floats %d not below GCN %d", repS.PeakFloats, repG.PeakFloats)
+	}
+}
+
+// TestWorkspacePoolHitRateSteadyState pins the allocation-free hot-path
+// claim with the new pool counters: after the first epoch warms the
+// workspace, steady-state GCN training must serve most Get calls from the
+// pool rather than allocating.
+func TestWorkspacePoolHitRateSteadyState(t *testing.T) {
+	ds := smallTask(t)
+	reg := obs.NewRegistry()
+	tensor.EnablePoolMetrics(reg)
+	defer tensor.EnablePoolMetrics(nil)
+
+	m, err := NewGCN(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.Epochs = 10
+	cfg.Patience = 0
+	if _, err := m.Fit(ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	hits, misses := snap["tensor.pool_hits"], snap["tensor.pool_misses"]
+	if hits <= 0 {
+		t.Fatalf("no pool hits recorded (misses=%v) — counters not wired or pool never reused", misses)
+	}
+	if rate := hits / (hits + misses); rate < 0.5 {
+		t.Errorf("pool hit rate %.3f (hits=%v misses=%v); steady-state training should mostly reuse buffers",
+			rate, hits, misses)
+	}
+}
+
+// TestFingerprintParityWithTracing pins the observability determinism
+// contract: observation never touches RNG or model state, so a traced +
+// metered run must produce bitwise-identical predictions and accuracies to
+// a bare run with the same seed.
+func TestFingerprintParityWithTracing(t *testing.T) {
+	ds := smallTask(t)
+	cfg := quickCfg()
+	cfg.Epochs = 8
+	cfg.Patience = 0
+	cfg.BatchSize = 64
+
+	run := func() ([]int, float64) {
+		m, err := NewSGC(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.Fit(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := m.Predict(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pred, rep.TestAcc
+	}
+
+	barePred, bareAcc := run()
+
+	reg := obs.NewRegistry()
+	tensor.EnablePoolMetrics(reg)
+	defer tensor.EnablePoolMetrics(nil)
+	train.EnableMetrics(reg)
+	defer train.EnableMetrics(nil)
+	tr := obs.NewTracer()
+	obs.SetTracer(tr)
+	defer obs.SetTracer(nil)
+	tracedPred, tracedAcc := run()
+
+	if tracedAcc != bareAcc {
+		t.Errorf("test accuracy differs under tracing: %v vs %v", tracedAcc, bareAcc)
+	}
+	for i := range barePred {
+		if barePred[i] != tracedPred[i] {
+			t.Fatalf("prediction %d differs under tracing: %d vs %d", i, barePred[i], tracedPred[i])
+		}
+	}
+	if tr.Len() == 0 {
+		t.Error("traced run recorded no spans — instrumentation not active")
 	}
 }
 

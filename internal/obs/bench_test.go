@@ -1,0 +1,89 @@
+package obs_test
+
+import (
+	"testing"
+
+	"scalegnn/internal/obs"
+)
+
+// BenchmarkSpanDisabled is the overhead contract of the disabled tracer:
+// scripts/check.sh fails the build if this reports any allocations. The
+// whole Start/Child/SetCount/End sequence must compile down to an atomic
+// load and a handful of branches — no clock reads, 0 allocs/op.
+func BenchmarkSpanDisabled(b *testing.B) {
+	obs.SetTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := obs.Start("bench.disabled")
+		child := sp.Child("nested")
+		child.SetCount(int64(i))
+		child.End()
+		sp.End()
+	}
+}
+
+// BenchmarkSpanDisabledStartEnd is the minimal guarded pair — the cost a
+// single disabled instrumentation point adds to a kernel.
+func BenchmarkSpanDisabledStartEnd(b *testing.B) {
+	obs.SetTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := obs.Start("x")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanDisabledDeferred covers the dominant call pattern
+// (`sp := obs.Start(...); defer sp.End()`): the deferred pointer-receiver
+// call must not force the span to escape to the heap.
+func BenchmarkSpanDisabledDeferred(b *testing.B) {
+	obs.SetTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		func() {
+			sp := obs.Start("bench.disabled")
+			defer sp.End()
+		}()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := obs.NewTracer()
+	obs.SetTracer(tr)
+	defer obs.SetTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := obs.Start("bench.enabled")
+		sp.End()
+	}
+}
+
+// BenchmarkCounterRefDisabled pins the unbound-ref fast path: one atomic
+// pointer load, no increment, 0 allocs (the tensor pool / par.Range
+// instrumentation runs this on every call when metrics are off).
+func BenchmarkCounterRefDisabled(b *testing.B) {
+	var ref obs.CounterRef
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref.Add(1)
+	}
+}
+
+func BenchmarkCounterRefBound(b *testing.B) {
+	reg := obs.NewRegistry()
+	var ref obs.CounterRef
+	ref.Bind(reg.Counter("bench.bound"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("bench.hist", obs.DefaultDurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-5)
+	}
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// sortSpans orders records by start offset, breaking ties by ID (allocation
+// order), so exported timelines are deterministic for a fixed set of spans.
+func sortSpans(spans []SpanRecord) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+}
+
+// WriteJSONL writes every completed span as one JSON object per line,
+// ordered by start offset. The format is self-describing — each line holds
+// id, parent, name, start_ns, dur_ns, and the optional label/count — so a
+// timeline can be reassembled (or flame-graphed) by any JSONL consumer.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	spans := t.Snapshot()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline separator
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,238 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"scalegnn/internal/obs"
+	"scalegnn/internal/par"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("x.count")
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Errorf("counter = %d, want 7", c.Value())
+	}
+	if reg.Counter("x.count") != c {
+		t.Error("re-registration returned a different counter")
+	}
+	g := reg.Gauge("x.gauge")
+	g.Set(1.5)
+	g.Set(-2.25)
+	if g.Value() != -2.25 {
+		t.Errorf("gauge = %v, want -2.25", g.Value())
+	}
+
+	var nilC *obs.Counter
+	nilC.Add(1) // must not panic
+	if nilC.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var nilG *obs.Gauge
+	nilG.Set(1)
+	if nilG.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.7, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 556.2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Errorf("p50 = %v, want 10 (3rd of 5 obs lands in (1,10] bucket)", q)
+	}
+	if q := h.Quantile(0.99); !math.IsInf(q, 1) {
+		t.Errorf("p99 = %v, want +Inf (overflow bucket)", q)
+	}
+	var empty *obs.Histogram
+	empty.Observe(1)
+	if empty.Quantile(0.5) != 0 || empty.Count() != 0 {
+		t.Error("nil histogram misbehaves")
+	}
+}
+
+// TestHistogramConcurrent exercises the lock-free Observe path from
+// par.Range workers; the count must be exact. Runs under -race in check.sh.
+func TestHistogramConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("conc", obs.DefaultDurationBuckets)
+	prev := par.SetMaxWorkers(4)
+	defer par.SetMaxWorkers(prev)
+	const n = 4096
+	par.Range(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			h.Observe(float64(i%100) * 1e-4)
+		}
+	})
+	if h.Count() != n {
+		t.Errorf("count = %d, want %d", h.Count(), n)
+	}
+}
+
+func TestSnapshotAndString(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("a").Add(2)
+	reg.Gauge("b").Set(0.5)
+	reg.Histogram("h", []float64{1}).Observe(0.25)
+
+	snap := reg.Snapshot()
+	if snap["a"] != 2 || snap["b"] != 0.5 || snap["h.count"] != 1 {
+		t.Errorf("unexpected snapshot %v", snap)
+	}
+
+	// String must be valid JSON (it feeds expvar /debug/vars).
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(reg.String()), &decoded); err != nil {
+		t.Fatalf("Registry.String not valid JSON: %v\n%s", err, reg.String())
+	}
+	if decoded["a"].(float64) != 2 {
+		t.Errorf("decoded a = %v, want 2", decoded["a"])
+	}
+}
+
+func TestPublishIsIdempotent(t *testing.T) {
+	r1, r2 := obs.NewRegistry(), obs.NewRegistry()
+	r1.Counter("only.in.one").Add(1)
+	r1.Publish("obs-test-slot")
+	r1.Publish("obs-test-slot") // second publish of same registry: no panic
+	r2.Counter("only.in.two").Add(2)
+	r2.Publish("obs-test-slot") // swaps to r2
+}
+
+func TestCounterRefGating(t *testing.T) {
+	var ref obs.CounterRef
+	ref.Add(5) // unbound: dropped
+	reg := obs.NewRegistry()
+	c := reg.Counter("gated")
+	ref.Bind(c)
+	ref.Add(3)
+	if c.Value() != 3 {
+		t.Errorf("bound counter = %d, want 3 (pre-bind adds dropped)", c.Value())
+	}
+	ref.Bind(nil)
+	ref.Add(10)
+	if c.Value() != 3 {
+		t.Errorf("unbound ref still incremented: %d", c.Value())
+	}
+
+	var gref obs.GaugeRef
+	gref.Set(1) // unbound: dropped
+	g := reg.Gauge("gated.gauge")
+	gref.Bind(g)
+	gref.Set(0.75)
+	if g.Value() != 0.75 {
+		t.Errorf("bound gauge = %v, want 0.75", g.Value())
+	}
+}
+
+func TestTrainHook(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := obs.NewTrainHook(reg)
+	for b := 0; b < 4; b++ {
+		h.OnBatch(obs.BatchEnd{Epoch: 0, Batch: b, Size: 32})
+	}
+	h.OnEpoch(obs.EpochEnd{Epoch: 0, ValAcc: 0.8, Improved: true, Best: 0.8, Elapsed: 10 * time.Millisecond})
+	h.OnBatch(obs.BatchEnd{Epoch: 1, Batch: 0, Size: 32})
+	h.OnEpoch(obs.EpochEnd{Epoch: 1, ValAcc: 0.7, Best: 0.8, Elapsed: 20 * time.Millisecond})
+
+	snap := reg.Snapshot()
+	checks := map[string]float64{
+		"train.batches":             5,
+		"train.epochs":              2,
+		"train.batch_nodes":         160,
+		"train.val_acc":             0.7,
+		"train.best_val_acc":        0.8,
+		"train.epoch_seconds.count": 2,
+	}
+	for name, want := range checks {
+		if got := snap[name]; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if snap["train.batches_per_s"] <= 0 {
+		t.Errorf("batches_per_s = %v, want > 0", snap["train.batches_per_s"])
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("served.metric").Add(11)
+	srv, err := obs.ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	body := httpGet(t, fmt.Sprintf("http://%s/debug/vars", srv.Addr()))
+	if !strings.Contains(body, obs.ExpvarName) || !strings.Contains(body, "served.metric") {
+		t.Errorf("/debug/vars missing registry: %s", body)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(body), &decoded); err != nil {
+		t.Fatalf("/debug/vars not valid JSON: %v", err)
+	}
+
+	if body := httpGet(t, fmt.Sprintf("http://%s/debug/pprof/", srv.Addr())); !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ index missing profiles: %.200s", body)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Errorf("close body: %v", err)
+		}
+	}()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	return string(b)
+}
+
+func TestStartCPUProfile(t *testing.T) {
+	path := t.TempDir() + "/cpu.pprof"
+	stop, err := obs.StartCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to hold.
+	x := 0.0
+	for i := 0; i < 1_000_00; i++ {
+		x += math.Sqrt(float64(i))
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

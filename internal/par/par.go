@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"scalegnn/internal/obs"
 )
 
 // DefaultMinChunk is the minimum rows-per-worker below which Range runs
@@ -65,12 +67,15 @@ func Range(n, minChunk int, fn func(lo, hi int)) {
 	workers := Workers(n, minChunk)
 	if workers <= 1 {
 		if n > 0 {
+			inlineRanges.Add(1)
 			fn(0, n)
 		}
 		return
 	}
+	parallelRanges.Add(1)
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
+	spawned := 0
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -81,10 +86,40 @@ func Range(n, minChunk int, fn func(lo, hi int)) {
 			break
 		}
 		wg.Add(1)
+		spawned++
 		go func(lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)
 		}(lo, hi)
 	}
+	tasksSpawned.Add(int64(spawned))
 	wg.Wait()
+}
+
+// Partitioner metric refs, disabled until EnableMetrics binds them: with no
+// registry each Range pays one atomic pointer load, nothing more.
+var (
+	inlineRanges   obs.CounterRef
+	parallelRanges obs.CounterRef
+	tasksSpawned   obs.CounterRef
+)
+
+// EnableMetrics binds the partitioner's metrics to reg:
+//
+//	par.ranges_inline    counter  Range calls run inline (work too small)
+//	par.ranges_parallel  counter  Range calls that fanned out
+//	par.tasks            counter  worker chunks spawned across all Ranges
+//
+// A high inline share on large inputs points at minChunk tuning; tasks per
+// parallel range shows the effective fan-out. Pass nil to unbind.
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		inlineRanges.Bind(nil)
+		parallelRanges.Bind(nil)
+		tasksSpawned.Bind(nil)
+		return
+	}
+	inlineRanges.Bind(reg.Counter("par.ranges_inline"))
+	parallelRanges.Bind(reg.Counter("par.ranges_parallel"))
+	tasksSpawned.Bind(reg.Counter("par.tasks"))
 }

@@ -29,6 +29,7 @@ import (
 
 	"scalegnn/internal/coarsen"
 	"scalegnn/internal/graph"
+	"scalegnn/internal/obs"
 	"scalegnn/internal/par"
 	"scalegnn/internal/tensor"
 )
@@ -71,6 +72,9 @@ func LDG(g *graph.CSR, k int, slack float64, rng *rand.Rand) (*Assignment, error
 	if slack < 1 {
 		return nil, fmt.Errorf("partition: slack %v < 1", slack)
 	}
+	sp := obs.Start("partition.ldg")
+	sp.SetCount(int64(g.N))
+	defer sp.End()
 	capacity := slack * float64(g.N) / float64(k)
 	parts := make([]int, g.N)
 	for i := range parts {
@@ -110,6 +114,9 @@ func Fennel(g *graph.CSR, k int, rng *rand.Rand) (*Assignment, error) {
 	if err := validateK(g, k); err != nil {
 		return nil, err
 	}
+	sp := obs.Start("partition.fennel")
+	sp.SetCount(int64(g.N))
+	defer sp.End()
 	const gamma = 1.5
 	m := float64(g.NumEdges()) / 2
 	n := float64(g.N)
@@ -158,6 +165,9 @@ func Multilevel(g *graph.CSR, k, coarseTarget, refineRounds int, rng *rand.Rand)
 	if coarseTarget < k {
 		coarseTarget = k
 	}
+	sp := obs.Start("partition.multilevel")
+	sp.SetCount(int64(g.N))
+	defer sp.End()
 	res, err := coarsen.Coarsen(g, coarseTarget, coarsen.HeavyEdge, rng)
 	if err != nil {
 		return nil, fmt.Errorf("partition: coarsening: %w", err)
@@ -308,6 +318,9 @@ type Quality struct {
 
 // Evaluate computes partition quality metrics.
 func Evaluate(g *graph.CSR, a *Assignment) Quality {
+	sp := obs.Start("partition.evaluate")
+	sp.SetCount(int64(g.N))
+	defer sp.End()
 	var q Quality
 	sizes := make([]int, a.K)
 	for _, p := range a.Parts {
@@ -362,6 +375,9 @@ func Evaluate(g *graph.CSR, a *Assignment) Quality {
 // Subgraphs materializes the per-part induced subgraphs with their original
 // node IDs — the Cluster-GCN batch construction.
 func Subgraphs(g *graph.CSR, a *Assignment) ([]*graph.CSR, [][]int) {
+	sp := obs.Start("partition.subgraphs")
+	sp.SetCount(int64(a.K))
+	defer sp.End()
 	members := make([][]int, a.K)
 	for u, p := range a.Parts {
 		members[p] = append(members[p], u)

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"scalegnn/internal/graph"
+	"scalegnn/internal/obs"
 	"scalegnn/internal/par"
 	"scalegnn/internal/tensor"
 )
@@ -69,6 +70,8 @@ func PowerIteration(g *graph.CSR, s int, cfg Config) (p []float64, iters int, co
 	if s < 0 || s >= g.N {
 		return nil, 0, false, fmt.Errorf("ppr: source %d out of range [0,%d)", s, g.N)
 	}
+	sp := obs.Start("ppr.power_iteration")
+	defer func() { sp.SetCount(int64(iters)); sp.End() }()
 	p = make([]float64, g.N)
 	next := make([]float64, g.N)
 	p[s] = 1
@@ -249,10 +252,17 @@ func TopK(scores []float64, k int) []Entry {
 // into an atomic counter (integer addition is order-exact), keeping the
 // result bitwise identical to the sequential loop.
 func PushMatrix(g *graph.CSR, sources []int, cfg Config) ([]map[int32]float64, int, error) {
+	rootSp := obs.Start("ppr.push_matrix")
+	rootSp.SetCount(int64(len(sources)))
+	defer rootSp.End()
 	out := make([]map[int32]float64, len(sources))
 	errs := make([]error, len(sources))
 	var totalPushes atomic.Int64
 	par.Range(len(sources), 1, func(lo, hi int) {
+		// One child span per worker chunk: spans End concurrently from the
+		// par.Range goroutines (the tracer buffer is goroutine-safe) and
+		// carry the chunk's push count as its work measure.
+		chunkSp := rootSp.Child("ppr.push_chunk")
 		for i := lo; i < hi; i++ {
 			res, err := ForwardPush(g, sources[i], cfg)
 			if err != nil {
@@ -260,6 +270,7 @@ func PushMatrix(g *graph.CSR, sources []int, cfg Config) ([]map[int32]float64, i
 				continue
 			}
 			totalPushes.Add(int64(res.Pushes))
+			chunkSp.AddCount(int64(res.Pushes))
 			row := make(map[int32]float64)
 			for v, sc := range res.Estimate {
 				if sc > 0 {
@@ -268,6 +279,7 @@ func PushMatrix(g *graph.CSR, sources []int, cfg Config) ([]map[int32]float64, i
 			}
 			out[i] = row
 		}
+		chunkSp.End()
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -361,10 +373,14 @@ func DiffusionEmbedding(g *graph.CSR, x *tensor.Matrix, cfg Config) (*tensor.Mat
 	// per-chunk scratch column. Workers write disjoint output columns and
 	// the push counter is an order-exact integer sum, so the embedding is
 	// bitwise identical to the sequential loop.
+	rootSp := obs.Start("ppr.diffusion")
+	rootSp.SetCount(int64(x.Cols))
+	defer rootSp.End()
 	out := tensor.New(x.Rows, x.Cols)
 	errs := make([]error, x.Cols)
 	var totalPushes atomic.Int64
 	par.Range(x.Cols, 1, func(lo, hi int) {
+		chunkSp := rootSp.Child("ppr.diffusion_chunk")
 		col := make([]float64, g.N)
 		for j := lo; j < hi; j++ {
 			for i := 0; i < g.N; i++ {
@@ -376,10 +392,12 @@ func DiffusionEmbedding(g *graph.CSR, x *tensor.Matrix, cfg Config) (*tensor.Mat
 				continue
 			}
 			totalPushes.Add(int64(res.Pushes))
+			chunkSp.AddCount(int64(res.Pushes))
 			for i := 0; i < g.N; i++ {
 				out.Set(i, j, res.Estimate[i])
 			}
 		}
+		chunkSp.End()
 	})
 	for _, err := range errs {
 		if err != nil {

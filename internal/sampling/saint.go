@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 
 	"scalegnn/internal/graph"
+	"scalegnn/internal/obs"
 )
 
 // SubgraphSample is one subgraph-level training batch: an induced subgraph,
@@ -82,7 +83,10 @@ func (s *RandomWalkSampler) sampleNodeSet(rng *rand.Rand) []int {
 
 // Sample draws one subgraph batch.
 func (s *RandomWalkSampler) Sample(rng *rand.Rand) *SubgraphSample {
+	sp := obs.Start("sampling.saint_rw")
+	defer sp.End()
 	nodes := s.sampleNodeSet(rng)
+	sp.SetCount(int64(len(nodes)))
 	sub, ids := s.G.InducedSubgraph(nodes)
 	w := make([]float64, len(ids))
 	for i, orig := range ids {
@@ -133,6 +137,8 @@ func NewEdgeSampler(g *graph.CSR, budget int) (*EdgeSampler, error) {
 
 // Sample draws one edge-induced subgraph batch.
 func (s *EdgeSampler) Sample(rng *rand.Rand) *SubgraphSample {
+	sp := obs.Start("sampling.saint_edge")
+	defer sp.End()
 	seen := make(map[int]struct{}, s.Budget*2)
 	order := make([]int, 0, s.Budget*2)
 	visit := func(v int) {
@@ -146,6 +152,7 @@ func (s *EdgeSampler) Sample(rng *rand.Rand) *SubgraphSample {
 		visit(e.U)
 		visit(e.V)
 	}
+	sp.SetCount(int64(len(order)))
 	sub, ids := s.G.InducedSubgraph(order)
 	w := make([]float64, len(ids))
 	for i := range w {

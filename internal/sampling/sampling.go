@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"scalegnn/internal/graph"
+	"scalegnn/internal/obs"
 	"scalegnn/internal/tensor"
 )
 
@@ -152,12 +153,17 @@ func (s *NeighborSampler) SampleBlock(dsts []int32, rng *rand.Rand) *Block {
 // block aggregates into the previous block's sources — the recursive
 // expansion whose cost growth is the "neighborhood explosion" of §3.1.3.
 func (s *NeighborSampler) SampleLayers(batch []int32, layers int, rng *rand.Rand) []*Block {
+	// The span's count is the innermost frontier size — the per-batch cost
+	// figure the neighborhood-explosion curves plot.
+	sp := obs.Start("sampling.layers")
 	blocks := make([]*Block, layers)
 	dsts := batch
 	for l := 0; l < layers; l++ {
 		blocks[l] = s.SampleBlock(dsts, rng)
 		dsts = blocks[l].Srcs
 	}
+	sp.SetCount(int64(len(dsts)))
+	sp.End()
 	return blocks
 }
 

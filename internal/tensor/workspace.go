@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"unsafe"
+
+	"scalegnn/internal/obs"
 )
 
 // Workspace is a shape-keyed pool of matrices backing the allocation-free
@@ -38,10 +40,37 @@ func (w *Workspace) Get(rows, cols int) *Matrix {
 	p, ok := w.pools.Load(shapeKey{rows, cols})
 	if ok {
 		if m, _ := p.(*sync.Pool).Get().(*Matrix); m != nil {
+			poolHits.Add(1)
 			return m
 		}
 	}
+	poolMisses.Add(1)
 	return New(rows, cols)
+}
+
+// Pool hit/miss refs for every workspace in the process. Unbound (the
+// default) they cost one atomic pointer load per Get — nothing is counted
+// and nothing allocates; EnablePoolMetrics turns them on.
+var (
+	poolHits   obs.CounterRef
+	poolMisses obs.CounterRef
+)
+
+// EnablePoolMetrics binds the workspace pool counters to reg:
+//
+//	tensor.pool_hits    counter  Get calls served from the pool
+//	tensor.pool_misses  counter  Get calls that allocated a fresh matrix
+//
+// Steady-state training should show a hit rate near 1 (the allocation-free
+// hot path); a climbing miss count flags shape churn. Pass nil to unbind.
+func EnablePoolMetrics(reg *obs.Registry) {
+	if reg == nil {
+		poolHits.Bind(nil)
+		poolMisses.Bind(nil)
+		return
+	}
+	poolHits.Bind(reg.Counter("tensor.pool_hits"))
+	poolMisses.Bind(reg.Counter("tensor.pool_misses"))
 }
 
 // GetZero returns a zeroed rows x cols matrix.

@@ -45,8 +45,15 @@ func TestBufNextRecycles(t *testing.T) {
 	m1.Data[0] = 42
 	// Next returns the previous buffer to the pool before acquiring; with a
 	// single-threaded workspace the same allocation comes straight back.
-	m2 := b.Next(2, 2)
-	if m2 != m1 {
+	// Under the race detector sync.Pool deliberately drops a fraction of
+	// Puts, so allow a few rounds before declaring recycling broken.
+	recycled := false
+	for i := 0; i < 50 && !recycled; i++ {
+		m2 := b.Next(2, 2)
+		recycled = m2 == m1
+		m1 = m2
+	}
+	if !recycled {
 		t.Fatal("Buf.Next should recycle the previous same-shape buffer")
 	}
 	z := b.NextZero(2, 2)

@@ -3,6 +3,7 @@ package train
 import (
 	"math/rand/v2"
 
+	"scalegnn/internal/obs"
 	"scalegnn/internal/tensor"
 )
 
@@ -147,11 +148,17 @@ func NewEmbeddingBatches(emb *tensor.Matrix, idx []int, batchSize int) *Embeddin
 }
 
 // Batch implements BatchSource: the index batch plus its gathered features.
-// Both the Indices slice and X are recycled on the next call.
+// Both the Indices slice and X are recycled on the next call. The gather is
+// the data-movement cost decoupled training pays per batch, so it gets its
+// own span (train.gather) and feeds the train.rows_gathered counter.
 func (s *EmbeddingBatches) Batch(i int) Batch {
 	b := s.IndexBatches.Batch(i)
+	sp := obs.Start("train.gather")
+	sp.SetCount(int64(len(b.Indices)))
 	x := s.xb.Next(len(b.Indices), s.emb.Cols)
 	s.emb.SelectRowsInto(b.Indices, x)
+	sp.End()
+	rowsGathered.Add(int64(len(b.Indices)))
 	b.X = x
 	return b
 }

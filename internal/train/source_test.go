@@ -103,8 +103,15 @@ func TestEmbeddingBatchesScratchReuse(t *testing.T) {
 			}
 		}
 	}
-	b1 := s.Batch(1)
-	if b1.X != first {
+	// Under the race detector sync.Pool deliberately drops a fraction of
+	// Puts, so allow a few rounds before declaring recycling broken.
+	recycled := false
+	for i := 0; i < 50 && !recycled; i++ {
+		b1 := s.Batch(i % 2)
+		recycled = b1.X == first
+		first = b1.X
+	}
+	if !recycled {
 		t.Error("gather buffer not recycled between batches")
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"scalegnn/internal/nn"
+	"scalegnn/internal/obs"
 )
 
 // Config holds the engine-level schedule settings.
@@ -98,24 +99,14 @@ type Report struct {
 	Stopped StopReason
 }
 
-// BatchEnd is the per-batch hook payload.
-type BatchEnd struct {
-	Epoch int
-	Batch int
-	// Size is the node count of the batch (0 for full-batch steps).
-	Size int
-}
+// BatchEnd is the per-batch hook payload. It is an alias for the obs
+// package's type (observation payloads belong to the observability layer)
+// so that obs.TrainHook satisfies Hook without an import cycle: train
+// imports obs for its span instrumentation, never the reverse.
+type BatchEnd = obs.BatchEnd
 
-// EpochEnd is the per-epoch hook payload.
-type EpochEnd struct {
-	Epoch  int
-	ValAcc float64
-	// Improved reports whether this epoch set a new validation best.
-	Improved bool
-	Best     float64
-	// Elapsed is wall-clock time since training started.
-	Elapsed time.Duration
-}
+// EpochEnd is the per-epoch hook payload (alias, see BatchEnd).
+type EpochEnd = obs.EpochEnd
 
 // Hook observes a training run. Implementations must be cheap or sample
 // internally: OnBatch sits on the hot path.
@@ -183,6 +174,13 @@ func Run(cfg Config, spec Spec) (*Report, error) {
 	rep := &Report{BestVal: -1, BestEpoch: -1, Stopped: StopCompleted}
 	var best snapshot
 	start := time.Now()
+	// The engine is the span emitter for the training timeline: run → epoch
+	// → {shuffle, batch, validate}. With no tracer installed every span call
+	// below is a guarded no-op (see the obs overhead contract), so the hot
+	// path is unchanged; with one installed, observation still never touches
+	// cfg.RNG or model state, keeping outputs bitwise identical.
+	runSp := obs.Start("train.run")
+	defer runSp.End()
 	finish := func(reason StopReason) {
 		rep.Stopped = reason
 		rep.TrainTime = time.Since(start)
@@ -195,27 +193,40 @@ func Run(cfg Config, spec Spec) (*Report, error) {
 		if spec.PeakFloats != nil {
 			rep.PeakFloats = spec.PeakFloats()
 		}
+		peakFloats.Set(float64(rep.PeakFloats))
 	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rep.Epochs++
+		epSp := runSp.Child("train.epoch")
+		shSp := epSp.Child("train.shuffle")
 		spec.Source.Shuffle(cfg.RNG)
+		shSp.End()
 		n := spec.Source.Len()
 		for i := 0; i < n; i++ {
 			if err := ctxErr(cfg.Ctx); err != nil {
+				epSp.End()
 				finish(StopCancelled)
 				return rep, fmt.Errorf("train: cancelled at epoch %d batch %d: %w", epoch, i, err)
 			}
 			b := spec.Source.Batch(i)
 			b.Epoch, b.Index = epoch, i
-			if err := spec.Step(b); err != nil {
+			bSp := epSp.Child("train.batch")
+			bSp.SetCount(int64(b.Size()))
+			err := spec.Step(b)
+			bSp.End()
+			if err != nil {
+				epSp.End()
 				return nil, fmt.Errorf("train: step (epoch %d batch %d): %w", epoch, i, err)
 			}
 			for _, h := range cfg.Hooks {
 				h.OnBatch(BatchEnd{Epoch: epoch, Batch: i, Size: b.Size()})
 			}
 		}
+		vSp := epSp.Child("train.validate")
 		val, err := spec.Validate()
+		vSp.End()
+		epSp.End()
 		if err != nil {
 			return nil, fmt.Errorf("train: validate (epoch %d): %w", epoch, err)
 		}
@@ -239,6 +250,31 @@ func Run(cfg Config, spec Spec) (*Report, error) {
 	}
 	finish(StopCompleted)
 	return rep, nil
+}
+
+// Engine-level metric refs, disabled (one atomic load, no work) until
+// EnableMetrics binds them to a registry.
+var (
+	rowsGathered obs.CounterRef
+	peakFloats   obs.GaugeRef
+)
+
+// EnableMetrics binds the engine's metrics to reg (see DESIGN.md
+// "Observability" for the name registry):
+//
+//	train.rows_gathered  counter  feature rows gathered by embedding sources
+//	train.peak_floats    gauge    Report.PeakFloats of the latest run
+//
+// Call once at process start (the CLIs do, behind -metrics-addr); pass nil
+// to unbind.
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		rowsGathered.Bind(nil)
+		peakFloats.Bind(nil)
+		return
+	}
+	rowsGathered.Bind(reg.Counter("train.rows_gathered"))
+	peakFloats.Bind(reg.Gauge("train.peak_floats"))
 }
 
 // ctxErr reports a context's error, treating nil as never-cancelled.

@@ -29,8 +29,25 @@ RACE_PKGS=(
   ./internal/models
   ./internal/train
   ./internal/par
+  ./internal/obs
 )
 echo "== go test -race -short ${RACE_PKGS[*]}"
 go test -race -short "${RACE_PKGS[@]}"
+
+# Trace-overhead guard: the disabled tracer's fast path must stay free of
+# allocations (DESIGN.md "Observability", overhead contract). Any allocation
+# on a disabled span or unbound counter ref means every instrumentation
+# point in the hot path pays it — fail loudly.
+echo "== trace-overhead guard (BenchmarkSpanDisabled*, BenchmarkCounterRefDisabled)"
+BENCH_OUT=$(go test ./internal/obs -run '^$' \
+  -bench 'BenchmarkSpanDisabled|BenchmarkCounterRefDisabled' -benchmem -benchtime 100000x)
+echo "$BENCH_OUT"
+echo "$BENCH_OUT" | awk '
+  /^Benchmark/ {
+    allocs = $(NF-1)
+    if (allocs + 0 != 0) { bad = 1; print "FAIL: " $1 " allocates (" allocs " allocs/op)" }
+  }
+  END { exit bad }
+' || { echo "trace-overhead guard failed: disabled observability must be allocation-free"; exit 1; }
 
 echo "All checks passed."
