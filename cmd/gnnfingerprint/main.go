@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"path/filepath"
 
 	"scalegnn/internal/dataset"
 	"scalegnn/internal/models"
@@ -27,9 +28,13 @@ import (
 
 func main() {
 	var (
-		only  = flag.String("model", "", "fingerprint a single model (default: all)")
-		nodes = flag.Int("nodes", 600, "synthetic node count")
-		seed  = flag.Uint64("seed", 7, "dataset + training seed")
+		only     = flag.String("model", "", "fingerprint a single model (default: all)")
+		nodes    = flag.Int("nodes", 600, "synthetic node count")
+		seed     = flag.Uint64("seed", 7, "dataset + training seed")
+		epochs   = flag.Int("epochs", 30, "training epochs")
+		ckptDir  = flag.String("checkpoint-dir", "", "snapshot each model under this directory (per-model subdirs)")
+		ckptEvry = flag.Int("checkpoint-every", 1, "snapshot every N epochs")
+		resume   = flag.Bool("resume", false, "resume each model from its newest snapshot")
 	)
 	flag.Parse()
 
@@ -42,7 +47,7 @@ func main() {
 	}
 
 	cfg := models.DefaultTrainConfig()
-	cfg.Epochs = 30
+	cfg.Epochs = *epochs
 	cfg.Patience = 10
 	cfg.BatchSize = 64
 	cfg.Seed = *seed
@@ -71,6 +76,13 @@ func main() {
 		m, err := e.make()
 		if err != nil {
 			fatal("%s: %v", e.name, err)
+		}
+		// Each model gets its own subdirectory: run fingerprints differ per
+		// family, so sharing one directory would reject every resume.
+		if *ckptDir != "" {
+			cfg.Checkpoint.Dir = filepath.Join(*ckptDir, e.name)
+			cfg.Checkpoint.Every = *ckptEvry
+			cfg.Checkpoint.Resume = *resume
 		}
 		rep, err := m.Fit(ds, cfg)
 		if err != nil {

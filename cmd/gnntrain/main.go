@@ -7,6 +7,8 @@
 //	gnntrain -model sgc -nodes 20000 -homophily 0.8
 //	gnntrain -model ld2 -nodes 5000 -homophily 0.1 -epochs 150
 //	gnntrain -model gcn -graph graph.el -labels graph.el.labels
+//	gnntrain -model gcn -checkpoint-dir ckpts          # durable snapshots
+//	gnntrain -model gcn -checkpoint-dir ckpts -resume  # continue after a crash
 //
 // Models: gcn | sage | clustergcn | sgc | appnp | sign | gamlp | ld2 | implicit | transformer
 package main
@@ -21,6 +23,7 @@ import (
 	"strconv"
 	"syscall"
 
+	"scalegnn/internal/ckpt"
 	"scalegnn/internal/dataset"
 	"scalegnn/internal/graph"
 	"scalegnn/internal/models"
@@ -52,6 +55,10 @@ func main() {
 		restoreBest = flag.Bool("restore-best", false, "restore best-validation weights after training")
 		verbose     = flag.Bool("verbose", false, "print per-epoch validation accuracy")
 		seed        = flag.Uint64("seed", 42, "random seed")
+		ckptDir     = flag.String("checkpoint-dir", "", "write durable training snapshots to this directory")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "snapshot every N epochs (final epoch and cancellation always snapshot)")
+		ckptKeep    = flag.Int("checkpoint-keep", 2, "retain the newest N snapshots")
+		resume      = flag.Bool("resume", false, "resume from the newest usable snapshot in -checkpoint-dir")
 		traceOut    = flag.String("trace-out", "", "write the span timeline to this file as JSONL")
 		metricsAddr = flag.String("metrics-addr", "", "serve expvar metrics and pprof on this address (e.g. localhost:6060)")
 		pprofOut    = flag.String("pprof", "", "write a CPU profile of the run to this file")
@@ -73,6 +80,7 @@ func main() {
 		tensor.EnablePoolMetrics(sess.Registry)
 		par.EnableMetrics(sess.Registry)
 		train.EnableMetrics(sess.Registry)
+		ckpt.EnableMetrics(sess.Registry)
 	}
 	if addr := sess.Addr(); addr != "" {
 		fmt.Printf("metrics: http://%s/debug/vars  pprof: http://%s/debug/pprof/\n", addr, addr)
@@ -102,6 +110,14 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Patience = *patience
 	cfg.RestoreBest = *restoreBest
+	if *resume && *ckptDir == "" {
+		fatal("-resume needs -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		cfg.Checkpoint = train.CheckpointConfig{
+			Dir: *ckptDir, Every: *ckptEvery, KeepLast: *ckptKeep, Resume: *resume,
+		}
+	}
 
 	// Ctrl-C cancels between batches: the engine returns the partial report
 	// instead of killing the run mid-step.

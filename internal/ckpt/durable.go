@@ -1,0 +1,77 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"scalegnn/internal/fault"
+)
+
+// WriteFileDurable atomically replaces path with data, surviving a crash
+// at any instant: the bytes are written to a temp file in the same
+// directory, fsync'd, renamed over the final path, and the directory is
+// fsync'd so the rename itself is durable. A crash before the rename
+// leaves only a *.tmp file (ignored by Manager.Latest); a crash after it
+// leaves the complete new file. The final path is never open for write.
+//
+// Failpoints: ckpt.before-tmp-write, ckpt.after-tmp-write,
+// ckpt.before-rename, ckpt.after-rename.
+func WriteFileDurable(path string, data []byte) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("ckpt: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			//lint:ignore unchecked-error best-effort cleanup on an already-failed write
+			tmp.Close()
+			//lint:ignore unchecked-error best-effort cleanup on an already-failed write
+			os.Remove(tmpName)
+		}
+	}()
+	if err = fault.Inject("ckpt.before-tmp-write"); err != nil {
+		return err
+	}
+	if _, err = tmp.Write(data); err != nil {
+		return fmt.Errorf("ckpt: write temp: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("ckpt: fsync temp: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close temp: %w", err)
+	}
+	if err = fault.Inject("ckpt.after-tmp-write"); err != nil {
+		return err
+	}
+	if err = fault.Inject("ckpt.before-rename"); err != nil {
+		return err
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("ckpt: rename: %w", err)
+	}
+	if err = fault.Inject("ckpt.after-rename"); err != nil {
+		return err
+	}
+	if err = syncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: open dir: %w", err)
+	}
+	//lint:ignore unchecked-error directory handle is read-only; Close cannot lose data
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("ckpt: fsync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package distsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"scalegnn/internal/fault"
+	"scalegnn/internal/graph"
+	"scalegnn/internal/partition"
+	"scalegnn/internal/tensor"
+)
+
+// DefaultExchangeTimeout bounds how long a worker waits for boundary
+// features before declaring them lost. A synchronous step with a dropped
+// message would otherwise block forever — the failure mode this package
+// exists to surface, not exhibit.
+const DefaultExchangeTimeout = 5 * time.Second
+
+// boundaryMsg is one boundary-feature transfer: the global node id and its
+// feature row, sent from the owning worker to a part that aggregates it.
+type boundaryMsg struct {
+	node int
+	row  []float64
+}
+
+// transfer is one planned boundary send: node's features go to part to.
+type transfer struct{ node, to int }
+
+// Exchange executes one synchronous partition-parallel propagation step
+// (neighbor-sum aggregation of x) with real per-worker goroutines and real
+// message passing, rather than the closed-form cost model in Simulate:
+// every worker sends each of its boundary nodes' feature rows once to each
+// remote part that aggregates them, waits for the boundary rows it needs,
+// and then aggregates its own nodes using local rows for local neighbors
+// and received copies for remote ones. The result is bitwise identical to
+// the sequential aggregation (same CSR neighbor order per row).
+//
+// Failpoints (internal/fault): "distsim.send" is evaluated once per
+// boundary message. Arming it with "drop" loses that message — the
+// receiving worker then fails loudly after timeout with a count of the
+// missing rows instead of hanging the step; "sleep:<ms>" delays delivery;
+// "error" aborts the sending worker. timeout <= 0 means
+// DefaultExchangeTimeout.
+func Exchange(g *graph.CSR, a *partition.Assignment, x *tensor.Matrix, timeout time.Duration) (*tensor.Matrix, error) {
+	if len(a.Parts) != g.N {
+		return nil, fmt.Errorf("distsim: assignment covers %d of %d nodes", len(a.Parts), g.N)
+	}
+	if x.Rows != g.N {
+		return nil, fmt.Errorf("distsim: features have %d rows for %d nodes", x.Rows, g.N)
+	}
+	if a.K < 1 {
+		return nil, fmt.Errorf("distsim: k=%d < 1", a.K)
+	}
+	if timeout <= 0 {
+		timeout = DefaultExchangeTimeout
+	}
+
+	// Plan the exchange from the partition structure: sends[w] lists the
+	// distinct (node, remote part) transfers worker w originates, and
+	// expect[w] counts the boundary rows worker w must receive — the same
+	// quantities Simulate prices, but materialized as actual messages.
+	sends := make([][]transfer, a.K)
+	expect := make([]int, a.K)
+	seen := make(map[int]struct{}, a.K)
+	for u := 0; u < g.N; u++ {
+		pu := a.Parts[u]
+		clear(seen)
+		for _, v := range g.Neighbors(u) {
+			pv := a.Parts[v]
+			if pv == pu {
+				continue
+			}
+			if _, dup := seen[pv]; !dup {
+				seen[pv] = struct{}{}
+				sends[pu] = append(sends[pu], transfer{node: u, to: pv})
+				expect[pv]++
+			}
+		}
+	}
+
+	// Inboxes are buffered to their exact expected volume, so a sender
+	// never blocks on a slow receiver: the only way a worker stalls is a
+	// genuinely missing message, and that is bounded by the timeout.
+	inbox := make([]chan boundaryMsg, a.K)
+	for w := range inbox {
+		inbox[w] = make(chan boundaryMsg, expect[w])
+	}
+
+	out := tensor.New(x.Rows, x.Cols)
+	errs := make([]error, a.K)
+	done := make(chan int, a.K)
+	for w := 0; w < a.K; w++ {
+		//lint:ignore naked-go simulated cluster workers are long-lived message-passing actors, not data-parallel chunks for par.Range
+		go func(w int) {
+			defer func() { done <- w }()
+			errs[w] = runWorker(g, a, x, out, w, sends[w], expect[w], inbox, timeout)
+		}(w)
+	}
+	for i := 0; i < a.K; i++ {
+		<-done
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, fmt.Errorf("distsim: exchange step failed: %w", err)
+	}
+	return out, nil
+}
+
+// runWorker is one simulated worker's synchronous step: send boundary
+// rows, collect the expected remote rows (or time out loudly), aggregate.
+func runWorker(g *graph.CSR, a *partition.Assignment, x, out *tensor.Matrix, w int,
+	sends []transfer, expect int, inbox []chan boundaryMsg, timeout time.Duration) error {
+	dropped := 0
+	for _, tr := range sends {
+		if err := fault.Inject("distsim.send"); err != nil {
+			if errors.Is(err, fault.ErrDrop) {
+				dropped++ // message lost in transit; the receiver will notice
+				continue
+			}
+			return fmt.Errorf("worker %d: send %d->%d: %w", w, tr.node, tr.to, err)
+		}
+		inbox[tr.to] <- boundaryMsg{node: tr.node, row: x.Row(tr.node)}
+	}
+
+	remote := make(map[int][]float64, expect)
+	if expect > 0 {
+		deadline := time.NewTimer(timeout)
+		defer deadline.Stop()
+		for len(remote) < expect {
+			select {
+			case m := <-inbox[w]:
+				remote[m.node] = m.row
+			case <-deadline.C:
+				return fmt.Errorf("worker %d: received %d of %d boundary rows within %v (messages lost)",
+					w, len(remote), expect, timeout)
+			}
+		}
+	}
+	if dropped > 0 {
+		return fmt.Errorf("worker %d: dropped %d outgoing boundary messages", w, dropped)
+	}
+
+	for u := 0; u < g.N; u++ {
+		if a.Parts[u] != w {
+			continue
+		}
+		dst := out.Row(u)
+		for _, v32 := range g.Neighbors(u) {
+			v := int(v32)
+			src := x.Row(v)
+			if a.Parts[v] != w {
+				var ok bool
+				if src, ok = remote[v]; !ok {
+					return fmt.Errorf("worker %d: aggregating node %d: boundary row %d never arrived", w, u, v)
+				}
+			}
+			for j, s := range src {
+				dst[j] += s
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package distsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scalegnn/internal/fault"
+	"scalegnn/internal/graph"
+	"scalegnn/internal/partition"
+	"scalegnn/internal/tensor"
+)
+
+// exchangeFixture builds a connected-ish random graph, round-robin
+// partitioned so every worker has boundary traffic, plus its features.
+func exchangeFixture(t *testing.T, n, k int) (*graph.CSR, *partition.Assignment, *tensor.Matrix) {
+	t.Helper()
+	rng := tensor.NewRand(17)
+	g := graph.ErdosRenyi(n, 4*n, rng)
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = i % k
+	}
+	x := tensor.RandNormal(n, 6, 1.0, rng)
+	return g, &partition.Assignment{Parts: parts, K: k}, x
+}
+
+// sequentialAggregate is the single-worker reference: neighbor-sum in CSR
+// order, the exact order each Exchange worker uses for its own rows.
+func sequentialAggregate(g *graph.CSR, x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	for u := 0; u < g.N; u++ {
+		dst := out.Row(u)
+		for _, v := range g.Neighbors(u) {
+			for j, s := range x.Row(int(v)) {
+				dst[j] += s
+			}
+		}
+	}
+	return out
+}
+
+func assertSameMatrix(t *testing.T, got, want *tensor.Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("data[%d] = %v, want %v (not bitwise identical)", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestExchangeMatchesSequential: the partition-parallel step with real
+// message passing must be bitwise identical to the sequential aggregation.
+func TestExchangeMatchesSequential(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 7} {
+		g, a, x := exchangeFixture(t, 60, k)
+		got, err := Exchange(g, a, x, 0)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		assertSameMatrix(t, got, sequentialAggregate(g, x))
+	}
+}
+
+// TestExchangeFailsLoudlyUnderDrop: a dropped boundary message must turn
+// into a prompt, descriptive error on both ends — never a hung step.
+func TestExchangeFailsLoudlyUnderDrop(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	g, a, x := exchangeFixture(t, 60, 4)
+	if err := fault.Set("distsim.send", "drop@3"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := Exchange(g, a, x, 150*time.Millisecond)
+	if err == nil {
+		t.Fatal("exchange with a dropped message reported success")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "boundary") {
+		t.Fatalf("error does not describe the loss: %v", err)
+	}
+	// The receiver must give up at its timeout, not hang the step: allow
+	// generous slack for a loaded CI box, but nowhere near a deadlock.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("exchange took %v to fail; loss handling is hanging", elapsed)
+	}
+}
+
+// TestExchangeSendErrorAborts: an injected send error (I/O failure, not
+// silent loss) aborts the step with the worker and edge identified.
+func TestExchangeSendErrorAborts(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	g, a, x := exchangeFixture(t, 40, 3)
+	if err := fault.Set("distsim.send", "error@1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Exchange(g, a, x, 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("exchange with failing send reported success")
+	}
+	if !strings.Contains(err.Error(), "send") {
+		t.Fatalf("error does not identify the send site: %v", err)
+	}
+}
+
+// TestExchangeConvergesUnderDelay: delayed (but delivered) messages only
+// slow the step down; the result stays bitwise identical.
+func TestExchangeConvergesUnderDelay(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	g, a, x := exchangeFixture(t, 40, 3)
+	if err := fault.Set("distsim.send", "sleep:20@2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Exchange(g, a, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatrix(t, got, sequentialAggregate(g, x))
+}

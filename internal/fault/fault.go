@@ -1,0 +1,40 @@
+// Package fault is a failpoint-injection registry for crash and
+// degradation testing. Production code plants named sites with
+// fault.Inject("ckpt.before-rename"); by default every site is a single
+// atomic load and does nothing. Tests (or an operator reproducing a
+// failure) arm sites either programmatically via Set, or through the
+// SCALEGNN_FAILPOINTS environment variable read at process start:
+//
+//	SCALEGNN_FAILPOINTS="ckpt.before-rename=crash@2;net.send=drop"
+//
+// The value is a semicolon-separated list of site=action bindings, where
+// action is one of
+//
+//	error        Inject returns ErrInjected
+//	drop         Inject returns ErrDrop (callers treat as "message lost")
+//	sleep:<ms>   Inject blocks for <ms> milliseconds, then returns nil
+//	delay:<ms>   alias for sleep
+//	crash        the process exits immediately with status 137
+//	panic        Inject panics
+//
+// An optional @n suffix makes the action fire only on the n-th hit of the
+// site (1-based); earlier and later hits pass through. Without @n the
+// action fires on every hit.
+//
+// Building with -tags nofault compiles the registry out entirely: Inject
+// becomes a no-op that the inliner erases, and Set reports that failpoints
+// are unavailable. CI builds both ways so the sites cannot rot.
+package fault
+
+import "errors"
+
+// ErrInjected is returned by Inject for sites armed with the "error"
+// action. Callers should propagate it like any other I/O failure.
+var ErrInjected = errors.New("fault: injected error")
+
+// ErrDrop is returned for sites armed with the "drop" action. It models a
+// lost message: callers decide whether to retry, skip, or fail loudly.
+var ErrDrop = errors.New("fault: injected drop")
+
+// EnvVar is the environment variable parsed at init to arm failpoints.
+const EnvVar = "SCALEGNN_FAILPOINTS"

@@ -1,0 +1,34 @@
+//go:build nofault
+
+package fault
+
+import "errors"
+
+// Enabled reports whether failpoint support is compiled into this binary.
+func Enabled() bool { return false }
+
+// Inject is a no-op in nofault builds; the inliner erases call sites.
+func Inject(string) error { return nil }
+
+// Set always fails in nofault builds: a test arming a failpoint against a
+// binary that cannot fire it should find out immediately.
+func Set(string, string) error {
+	return errors.New("fault: failpoints compiled out (built with -tags nofault)")
+}
+
+// SetFromEnv rejects any non-empty binding list, mirroring Set.
+func SetFromEnv(env string) error {
+	if env == "" {
+		return nil
+	}
+	return errors.New("fault: failpoints compiled out (built with -tags nofault)")
+}
+
+// Clear is a no-op in nofault builds.
+func Clear(string) {}
+
+// Reset is a no-op in nofault builds.
+func Reset() {}
+
+// Hits always reports zero in nofault builds.
+func Hits(string) int64 { return 0 }

@@ -50,18 +50,37 @@ func WriteEdgeList(w io.Writer, g *CSR) error {
 // with '#' other than the header are ignored, so hand-written edge lists
 // with comments also load; in that case the node count is inferred as
 // max(endpoint)+1 and the graph is undirected.
+//
+// Malformed input fails with a positional error rather than loading a
+// silently wrong graph: negative or overflowing node ids, ids outside the
+// header's declared range, and a final line cut off without its newline
+// (the signature of a truncated download or torn copy — WriteEdgeList
+// always terminates the file with one) are all rejected.
 func ReadEdgeList(r io.Reader) (*CSR, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	br := bufio.NewReaderSize(r, 1<<16)
 	n := -1
 	directed := false
 	var edges []Edge
 	maxID := -1
 	lineNo := 0
-	for sc.Scan() {
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("graph: read: %w", err)
+		}
+		atEOF := err == io.EOF
+		if line == "" && atEOF {
+			break
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		if atEOF && strings.TrimSpace(line) != "" {
+			return nil, fmt.Errorf("graph: line %d: truncated final line (missing newline): %q", lineNo, line)
+		}
+		line = strings.TrimSpace(line)
 		if line == "" {
+			if atEOF {
+				break
+			}
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
@@ -69,6 +88,9 @@ func ReadEdgeList(r io.Reader) (*CSR, error) {
 				var d bool
 				var nn int
 				if _, err := fmt.Sscanf(line, "# nodes %d directed %t", &nn, &d); err == nil {
+					if nn < 0 {
+						return nil, fmt.Errorf("graph: line %d: header declares negative node count %d", lineNo, nn)
+					}
 					n, directed = nn, d
 				}
 			}
@@ -86,6 +108,12 @@ func ReadEdgeList(r io.Reader) (*CSR, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: bad target: %w", lineNo, err)
 		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id in edge (%d,%d)", lineNo, u, v)
+		}
+		if n >= 0 && (u >= n || v >= n) {
+			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) outside declared range [0,%d)", lineNo, u, v, n)
+		}
 		w := 1.0
 		if len(fields) == 3 {
 			w, err = strconv.ParseFloat(fields[2], 64)
@@ -100,9 +128,6 @@ func ReadEdgeList(r io.Reader) (*CSR, error) {
 			maxID = v
 		}
 		edges = append(edges, Edge{U: u, V: v, W: w})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: scan: %w", err)
 	}
 	if n < 0 {
 		n = maxID + 1

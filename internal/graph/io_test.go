@@ -86,22 +86,42 @@ func TestReadEdgeListBareFormat(t *testing.T) {
 	}
 }
 
+// TestReadEdgeListErrors is the malformed-input table: every rejection
+// must carry the offending line number so a multi-gigabyte edge list can
+// be triaged without bisecting it.
 func TestReadEdgeListErrors(t *testing.T) {
-	cases := []string{
-		"0\n",        // too few fields
-		"0 1 2 3\n",  // too many fields
-		"x 1\n",      // bad source
-		"0 y\n",      // bad target
-		"0 1 zz\n",   // bad weight
-		"0 999999\n", // builds fine (inferred n) — keep valid check below
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"too few fields", "0\n", "line 1"},
+		{"too many fields", "0 1 2 3\n", "line 1"},
+		{"bad source", "x 1\n", "bad source"},
+		{"bad target", "0 y\n", "bad target"},
+		{"bad weight", "0 1 zz\n", "bad weight"},
+		{"negative source", "-1 2\n", "negative node id"},
+		{"negative target", "0 1\n2 -7\n", "line 2"},
+		{"overflowing id", "0 99999999999999999999999999\n", "bad target"},
+		{"id outside declared range", "# nodes 3 directed false\n0 1\n1 5\n", "outside declared range [0,3)"},
+		{"negative header count", "# nodes -4 directed false\n0 1\n", "negative node count"},
+		{"truncated final line", "0 1\n1 2", "truncated final line"},
+		{"truncated after weight", "0 1 0.5\n2 3 0.", "truncated final line"},
 	}
-	for i, in := range cases[:5] {
-		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
-			t.Errorf("case %d (%q): expected error", i, in)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEdgeList(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("input %q: expected error", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("input %q: error %q does not mention %q", tc.in, err, tc.want)
+			}
+		})
 	}
+
 	// Large inferred ID is valid, just big.
-	g, err := ReadEdgeList(strings.NewReader(cases[5]))
+	g, err := ReadEdgeList(strings.NewReader("0 999999\n"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// runDurableWrite enforces the checkpoint durability contract (DESIGN.md
+// "Fault tolerance"): inside the ckpt package, files must reach their
+// final path only through the temp-file → fsync → rename → dir-fsync
+// helper (WriteFileDurable). Opening a final path for writing directly —
+// os.Create, os.OpenFile, os.WriteFile — would let a crash leave a torn
+// file under a checkpoint name, which resume would then have to treat as
+// corruption instead of never seeing it. os.CreateTemp is the sanctioned
+// entry point: a *.tmp name is invisible to Manager.Latest until renamed.
+//
+// Test files are exempt: corruption tests write torn bytes on purpose.
+func runDurableWrite(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		osName := osImportName(f)
+		if osName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != osName {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Create", "OpenFile", "WriteFile":
+				r.Report(call.Pos(),
+					"os.%s writes a final path directly; checkpoint files must go through WriteFileDurable (temp+rename) so a crash never leaves a torn file under a checkpoint name",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// osImportName returns the local name under which a file imports "os"
+// ("" when not imported).
+func osImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		if path, _ := strconv.Unquote(imp.Path.Value); path == "os" {
+			return orDefault(importLocalName(imp), "os")
+		}
+	}
+	return ""
+}
+
+func importLocalName(imp *ast.ImportSpec) string {
+	if imp.Name != nil {
+		return imp.Name.Name
+	}
+	return ""
+}

@@ -17,6 +17,9 @@
 //   - obs-span-end: tracing spans (internal/obs) acquired in a function are
 //     ended in that function or visibly handed off, so traced timelines
 //     never silently lose sections.
+//   - durable-write: the ckpt package never opens a final path for writing
+//     directly; checkpoint bytes reach disk only through the crash-safe
+//     temp+rename helper (ckpt.WriteFileDurable).
 //
 // The analyzer is built only on the stdlib go/parser, go/ast, go/types, and
 // go/token packages — the repo has no external dependencies and the linter
@@ -110,6 +113,14 @@ func Checks(modPath string) []*Check {
 			Name: "obs-span-end",
 			Doc:  "tracing spans acquired in a function must be ended (End, deferred or on every path) in that function or handed off",
 			Run:  runSpanEnd,
+		},
+		{
+			Name: "durable-write",
+			Doc:  "checkpoint files must go through WriteFileDurable (temp+rename); no direct os.Create/OpenFile/WriteFile on final paths in the ckpt package",
+			Applies: func(pkgPath string) bool {
+				return strings.HasSuffix(pkgPath, "/ckpt")
+			},
+			Run: runDurableWrite,
 		},
 	}
 }

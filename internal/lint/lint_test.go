@@ -105,6 +105,7 @@ func TestGlobalRandFixture(t *testing.T)     { runFixture(t, "globalrand", "glob
 func TestEpochLoopFixture(t *testing.T)      { runFixture(t, "epochloop", "epoch-loop") }
 func TestUncheckedErrorFixture(t *testing.T) { runFixture(t, "uncheckederr", "unchecked-error") }
 func TestSpanEndFixture(t *testing.T)        { runFixture(t, "spanend", "obs-span-end") }
+func TestDurableWriteFixture(t *testing.T)   { runFixture(t, "ckpt", "durable-write") }
 
 // TestRepoIsClean is the self-hosting gate: the full suite must run clean
 // over the real repository. A regression anywhere in internal/ or cmd/

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -157,6 +158,13 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		// Honor build constraints the way the go tool does: a file excluded
+		// under the default tag set (e.g. //go:build nofault alternates)
+		// must not be parsed into the same package as its enabled twin, or
+		// type checking sees every symbol declared twice.
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
 			continue
 		}
 		if strings.HasSuffix(name, "_test.go") {

@@ -1,0 +1,60 @@
+// Package ckpt is the durable-write fixture: it mimics the real checkpoint
+// package's file handling and must trip on every direct final-path write.
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func badDirectWrites(dir string, data []byte) error {
+	path := filepath.Join(dir, "ckpt-0001.bin")
+	f, err := os.Create(path) // want "WriteFileDurable"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want "WriteFileDurable"
+		return err
+	}
+	g, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // want "WriteFileDurable"
+	if err != nil {
+		return err
+	}
+	return g.Close()
+}
+
+func goodTempThenRename(dir string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp") // temp names are invisible to resume
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, "ckpt-0001.bin"))
+}
+
+func suppressed(dir string) error {
+	//lint:ignore durable-write fixture exercises the escape hatch
+	f, err := os.Create(filepath.Join(dir, "ckpt-0002.bin"))
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func readsAreFine(dir string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(dir, "ckpt-0001.bin"))
+}

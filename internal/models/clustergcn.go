@@ -58,7 +58,7 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := tensor.NewRand(cfg.Seed)
+	pcg, rng := newRunRNG(cfg.Seed)
 	rep := &Report{Model: m.Name()}
 
 	preStart := time.Now()
@@ -134,7 +134,7 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 	}
 
 	defer opt.Reset()
-	err = runLoop(cfg, rng, rep, train.Spec{
+	err = runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.Spec{
 		Source: train.NewClusterBatches(len(batches)),
 		Step: func(b train.Batch) error {
 			cb := batches[b.Cluster]
@@ -160,7 +160,8 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 		Validate: func() (float64, error) {
 			return m.valAccuracy(batches, ds, forward), nil
 		},
-		Params: params,
+		Params:    params,
+		Optimizer: opt,
 		PeakFloats: func() int {
 			nParams := 0
 			for _, p := range params {

@@ -43,7 +43,7 @@ func (m *SGC) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	m.emb = op.PowerApply(ds.X, m.K)
 	rep.Precompute = time.Since(start)
 
-	net, err := decoupledHead(m.emb, ds, cfg, nil, rep) // linear head: no hidden
+	net, err := decoupledHead(m.Name(), m.emb, ds, cfg, nil, rep) // linear head: no hidden
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +100,7 @@ func (m *SIGN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	m.emb = spectral.ConcatColumns(hopEmbeddings(ds, m.K))
 	rep.Precompute = time.Since(start)
 
-	net, err := decoupledHead(m.emb, ds, cfg, []int{cfg.Hidden}, rep)
+	net, err := decoupledHead(m.Name(), m.emb, ds, cfg, []int{cfg.Hidden}, rep)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +177,7 @@ func (m *APPNP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := tensor.NewRand(cfg.Seed)
+	pcg, rng := newRunRNG(cfg.Seed)
 	m.op = graph.NewOperator(ds.G, graph.NormSymmetric, true)
 	m.net = nn.NewMLP(nn.MLPConfig{
 		In: ds.X.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
@@ -188,7 +188,7 @@ func (m *APPNP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 
 	rep := &Report{Model: m.Name()}
 	defer opt.Reset()
-	err := runLoop(cfg, rng, rep, train.Spec{
+	err := runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.Spec{
 		Source: train.FullBatch{},
 		Step: func(train.Batch) error {
 			h := m.net.Forward(ds.X, true)
@@ -208,7 +208,8 @@ func (m *APPNP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 			tensor.PutBuf(valZ)
 			return val, nil
 		},
-		Params: m.net.Params(),
+		Params:    m.net.Params(),
+		Optimizer: opt,
 		PeakFloats: func() int {
 			n := ds.G.N
 			return 2*n*(ds.X.Cols+cfg.Hidden+2*ds.NumClasses) + m.net.NumParams()*3
@@ -305,7 +306,7 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	m.hops = hopEmbeddings(ds, m.K)
 	rep.Precompute = time.Since(start)
 
-	rng := tensor.NewRand(cfg.Seed)
+	pcg, rng := newRunRNG(cfg.Seed)
 	m.theta = nn.NewParam("gamlp.theta", tensor.New(1, m.K+1))
 	m.net = nn.NewMLP(nn.MLPConfig{
 		In: ds.X.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
@@ -323,7 +324,7 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	valLabels := dataset.LabelsAt(ds.Labels, ds.ValIdx)
 	valIota := rangeIdx(len(ds.ValIdx))
 	defer opt.Reset()
-	err := runLoop(cfg, rng, rep, train.Spec{
+	err := runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.Spec{
 		Source: src,
 		Step: func(b train.Batch) error {
 			bIdx := b.Indices
@@ -364,7 +365,8 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 			tensor.PutBuf(valX)
 			return accuracyAt(valLogits, valLabels, valIota), nil
 		},
-		Params: params,
+		Params:    params,
+		Optimizer: opt,
 		PeakFloats: func() int {
 			return src.BatchSize()*(ds.X.Cols*(m.K+2)+cfg.Hidden+ds.NumClasses) + m.net.NumParams()*3
 		},
@@ -446,7 +448,7 @@ func (m *LD2) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	m.emb = spectral.ConcatColumns(mats)
 	rep.Precompute = time.Since(start)
 
-	net, err := decoupledHead(m.emb, ds, cfg, []int{cfg.Hidden}, rep)
+	net, err := decoupledHead(m.Name(), m.emb, ds, cfg, []int{cfg.Hidden}, rep)
 	if err != nil {
 		return nil, err
 	}

@@ -67,7 +67,7 @@ func (m *GCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := tensor.NewRand(cfg.Seed)
+	pcg, rng := newRunRNG(cfg.Seed)
 	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
 
 	var layers []nn.Layer
@@ -92,7 +92,7 @@ func (m *GCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 
 	rep := &Report{Model: m.Name()}
 	defer opt.Reset()
-	err := runLoop(cfg, rng, rep, train.Spec{
+	err := runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.Spec{
 		Source: train.FullBatch{},
 		Step: func(train.Batch) error {
 			logits := m.net.Forward(ds.X, true)
@@ -105,7 +105,8 @@ func (m *GCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 		Validate: func() (float64, error) {
 			return accuracyAt(m.net.Forward(ds.X, false), ds.Labels, ds.ValIdx), nil
 		},
-		Params: m.net.Params(),
+		Params:    m.net.Params(),
+		Optimizer: opt,
 		// Full-batch resident floats: every layer's activations plus
 		// gradients over all n nodes — the term that scales with graph size.
 		PeakFloats: func() int {

@@ -90,7 +90,7 @@ func (m *ImplicitNet) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error)
 	}
 	m.ds = ds
 	m.hidden = cfg.Hidden
-	rng := tensor.NewRand(cfg.Seed)
+	pcg, rng := newRunRNG(cfg.Seed)
 	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
 
 	m.win = nn.NewParam("implicit.win", tensor.GlorotUniform(ds.X.Cols, cfg.Hidden, rng))
@@ -109,7 +109,7 @@ func (m *ImplicitNet) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error)
 
 	rep := &Report{Model: m.Name()}
 	defer opt.Reset()
-	err := runLoop(cfg, rng, rep, train.Spec{
+	err := runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.Spec{
 		Source: train.FullBatch{},
 		Step: func(train.Batch) error {
 			zs, logits, err := m.forward(op, ds.X)
@@ -173,7 +173,8 @@ func (m *ImplicitNet) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error)
 			}
 			return accuracyAt(valLogits, ds.Labels, ds.ValIdx), nil
 		},
-		Params: params,
+		Params:    params,
+		Optimizer: opt,
 		PeakFloats: func() int {
 			return ds.G.N*cfg.Hidden*(2+2*len(m.Scales)) + ds.G.N*ds.NumClasses
 		},

@@ -23,9 +23,11 @@ package models
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"time"
 
+	"scalegnn/internal/ckpt"
 	"scalegnn/internal/dataset"
 	"scalegnn/internal/metrics"
 	"scalegnn/internal/nn"
@@ -55,6 +57,12 @@ type TrainConfig struct {
 	Ctx context.Context
 	// Hooks observe the engine's per-batch/per-epoch progress.
 	Hooks []train.Hook
+	// Checkpoint enables durable snapshot/resume. Callers set Dir, Every,
+	// Resume, and KeepLast; the model fills RNG and Fingerprint itself (the
+	// fingerprint hashes model name + graph shape + config, so resuming
+	// against a different run is rejected). Epochs and Patience are
+	// deliberately not fingerprinted: extending a run is the point.
+	Checkpoint train.CheckpointConfig
 }
 
 // DefaultTrainConfig returns the settings used across the benchmarks.
@@ -140,14 +148,47 @@ func accuracyAt(logits *tensor.Matrix, labels []int, idx []int) float64 {
 	return metrics.Accuracy(pred, dataset.LabelsAt(labels, idx))
 }
 
+// newRunRNG returns the run's serializable RNG source alongside its
+// rand.Rand view. Models hold both: the view feeds every stochastic layer
+// (same stream as tensor.NewRand(seed)), while the concrete PCG is what a
+// checkpoint serializes — restoring it restores all views at once.
+func newRunRNG(seed uint64) (*rand.PCG, *rand.Rand) {
+	pcg := tensor.NewPCG(seed)
+	return pcg, rand.New(pcg)
+}
+
+// runFingerprint hashes the run identity a snapshot must match to be
+// resumable: the model family, the dataset's shape and splits, and every
+// config field that shapes weights or the training trajectory. Epochs and
+// Patience are excluded so a run can be extended or re-stopped.
+func runFingerprint(model string, ds *dataset.Dataset, cfg TrainConfig) uint64 {
+	return ckpt.NewFingerprint().
+		String(model).
+		U64(uint64(ds.G.N)).U64(uint64(ds.G.NumEdges())).
+		U64(uint64(ds.X.Cols)).U64(uint64(ds.NumClasses)).
+		U64(uint64(len(ds.TrainIdx))).U64(uint64(len(ds.ValIdx))).U64(uint64(len(ds.TestIdx))).
+		U64(math.Float64bits(cfg.LR)).U64(math.Float64bits(cfg.WeightDecay)).
+		U64(math.Float64bits(cfg.Dropout)).
+		U64(uint64(cfg.Hidden)).U64(uint64(int64(cfg.BatchSize))).
+		U64(cfg.Seed).
+		Sum()
+}
+
 // runLoop adapts the model-level TrainConfig to the shared training engine
 // and copies the engine's accounting (epochs, wall-clock, peak floats, best
 // validation) into the model report. On cancellation the partial engine
-// accounting is still recorded before the error propagates.
-func runLoop(cfg TrainConfig, rng *rand.Rand, rep *Report, spec train.Spec) error {
+// accounting is still recorded before the error propagates. When
+// cfg.Checkpoint is enabled, the engine-level config is completed here
+// with the run fingerprint and the serializable RNG source.
+func runLoop(model string, ds *dataset.Dataset, cfg TrainConfig, pcg *rand.PCG, rng *rand.Rand, rep *Report, spec train.Spec) error {
+	ck := cfg.Checkpoint
+	if ck.Dir != "" {
+		ck.RNG = pcg
+		ck.Fingerprint = runFingerprint(model, ds, cfg)
+	}
 	tr, err := train.Run(train.Config{
 		Epochs: cfg.Epochs, Patience: cfg.Patience, RestoreBest: cfg.RestoreBest,
-		RNG: rng, Ctx: cfg.Ctx, Hooks: cfg.Hooks,
+		RNG: rng, Ctx: cfg.Ctx, Hooks: cfg.Hooks, Checkpoint: ck,
 	}, spec)
 	if tr != nil {
 		rep.Epochs = tr.Epochs
@@ -165,11 +206,11 @@ func runLoop(cfg TrainConfig, rng *rand.Rand, rep *Report, spec train.Spec) erro
 // all reduce to this after their precompute step), driven by the engine's
 // precomputed-embedding batch source. Returns the trained network and fills
 // the timing/accuracy parts of the report.
-func decoupledHead(emb *tensor.Matrix, ds *dataset.Dataset, cfg TrainConfig, hidden []int, rep *Report) (*nn.Sequential, error) {
+func decoupledHead(model string, emb *tensor.Matrix, ds *dataset.Dataset, cfg TrainConfig, hidden []int, rep *Report) (*nn.Sequential, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := tensor.NewRand(cfg.Seed)
+	pcg, rng := newRunRNG(cfg.Seed)
 	mlp := nn.NewMLP(nn.MLPConfig{
 		In: emb.Cols, Hidden: hidden, Out: ds.NumClasses,
 		Dropout: cfg.Dropout, Bias: true,
@@ -186,7 +227,7 @@ func decoupledHead(emb *tensor.Matrix, ds *dataset.Dataset, cfg TrainConfig, hid
 	valLabels := dataset.LabelsAt(ds.Labels, ds.ValIdx)
 	valIota := rangeIdx(len(ds.ValIdx))
 	defer opt.Reset()
-	err := runLoop(cfg, rng, rep, train.Spec{
+	err := runLoop(model, ds, cfg, pcg, rng, rep, train.Spec{
 		Source: src,
 		Step: func(b train.Batch) error {
 			logits := mlp.Forward(b.X, true)
@@ -202,7 +243,8 @@ func decoupledHead(emb *tensor.Matrix, ds *dataset.Dataset, cfg TrainConfig, hid
 			emb.SelectRowsInto(ds.ValIdx, valX)
 			return accuracyAt(mlp.Forward(valX, false), valLabels, valIota), nil
 		},
-		Params: mlp.Params(),
+		Params:    mlp.Params(),
+		Optimizer: opt,
 		// Peak resident floats in one step: batch activations through the MLP.
 		PeakFloats: func() int {
 			return src.BatchSize()*(emb.Cols+2*cfg.Hidden+ds.NumClasses) + mlp.NumParams()*3

@@ -176,7 +176,7 @@ func (m *GraphSAGE) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := tensor.NewRand(cfg.Seed)
+	pcg, rng := newRunRNG(cfg.Seed)
 	sampler, err := sampling.NewNeighborSampler(ds.G, m.Fanout)
 	if err != nil {
 		return nil, err
@@ -204,7 +204,7 @@ func (m *GraphSAGE) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	dsts := make([]int32, src.BatchSize())
 	labels := make([]int, src.BatchSize())
 	defer opt.Reset()
-	err = runLoop(cfg, rng, rep, train.Spec{
+	err = runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.Spec{
 		Source: src,
 		Step: func(b train.Batch) error {
 			bDsts := dsts[:len(b.Indices)]
@@ -230,7 +230,8 @@ func (m *GraphSAGE) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 		Validate: func() (float64, error) {
 			return m.evalAccuracy(ds, ds.ValIdx, rng), nil
 		},
-		Params: params,
+		Params:    params,
+		Optimizer: opt,
 		// Peak resident floats: the sampled computation graph's activations,
 		// which scale with peakSrcs — not with n.
 		PeakFloats: func() int {

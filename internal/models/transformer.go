@@ -148,7 +148,7 @@ func (m *GraphTransformer) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, e
 	m.index = ix
 	rep.Precompute = time.Since(preStart)
 
-	rng := tensor.NewRand(cfg.Seed)
+	pcg, rng := newRunRNG(cfg.Seed)
 	m.hidden = cfg.Hidden
 	m.wq = nn.NewParam("gt.wq", tensor.GlorotUniform(ds.X.Cols, cfg.Hidden, rng))
 	m.wk = nn.NewParam("gt.wk", tensor.GlorotUniform(ds.X.Cols, cfg.Hidden, rng))
@@ -168,7 +168,7 @@ func (m *GraphTransformer) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, e
 	}
 	src := train.NewIndexBatches(ds.TrainIdx, batch)
 	defer opt.Reset()
-	err = runLoop(cfg, rng, rep, train.Spec{
+	err = runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.Spec{
 		Source: src,
 		Step: func(b train.Batch) error {
 			st, logits, err := m.batchForward(ds, b.Indices)
@@ -193,7 +193,8 @@ func (m *GraphTransformer) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, e
 			}
 			return float64(correct) / float64(max(1, len(ds.ValIdx))), nil
 		},
-		Params: m.params(),
+		Params:    m.params(),
+		Optimizer: opt,
 		PeakFloats: func() int {
 			return batch*batch*2 + 4*batch*(ds.X.Cols+cfg.Hidden) + 3*(m.wq.NumValues()+m.wk.NumValues()+m.wv.NumValues()+m.wo.NumValues())
 		},

@@ -66,13 +66,7 @@ func (o *Adam) Step(params []*Param) {
 	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
 	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
 	for _, p := range params {
-		m, ok := o.m[p]
-		if !ok {
-			m = tensor.GetZeroBuf(p.Value.Rows, p.Value.Cols)
-			o.m[p] = m
-			o.v[p] = tensor.GetZeroBuf(p.Value.Rows, p.Value.Cols)
-		}
-		v := o.v[p]
+		m, v := o.moments(p)
 		for i, g := range p.Grad.Data {
 			if o.WeightDecay != 0 {
 				g += o.WeightDecay * p.Value.Data[i]
@@ -85,6 +79,60 @@ func (o *Adam) Step(params []*Param) {
 		}
 		p.ZeroGrad()
 	}
+}
+
+// moments returns p's first/second moment buffers, lazily creating
+// zero-initialized state (the Adam definition for an unseen parameter).
+func (o *Adam) moments(p *Param) (m, v *tensor.Matrix) {
+	m, ok := o.m[p]
+	if !ok {
+		m = tensor.GetZeroBuf(p.Value.Rows, p.Value.Cols)
+		o.m[p] = m
+		o.v[p] = tensor.GetZeroBuf(p.Value.Rows, p.Value.Cols)
+	}
+	return m, o.v[p]
+}
+
+// ExportMoments returns the optimizer's step counter and, for each
+// parameter in order, its first then second moment matrix (2*len(params)
+// entries). Unseen parameters export freshly created zero moments, so the
+// result is always complete. The matrices alias live optimizer state:
+// serialize them before the next Step and do not retain them.
+func (o *Adam) ExportMoments(params []*Param) (step int, moments []*tensor.Matrix) {
+	moments = make([]*tensor.Matrix, 0, 2*len(params))
+	for _, p := range params {
+		m, v := o.moments(p)
+		moments = append(moments, m, v)
+	}
+	return o.t, moments
+}
+
+// ImportMoments restores state previously captured by ExportMoments
+// (checkpoint resume): moments holds m then v per parameter, shapes must
+// match, and step becomes the bias-correction counter. Values are copied
+// into the optimizer's own (pooled) buffers.
+func (o *Adam) ImportMoments(params []*Param, step int, moments []*tensor.Matrix) error {
+	if len(moments) != 2*len(params) {
+		return fmt.Errorf("nn: ImportMoments got %d matrices for %d params (want %d)",
+			len(moments), len(params), 2*len(params))
+	}
+	if step < 0 {
+		return fmt.Errorf("nn: ImportMoments negative step %d", step)
+	}
+	for i, p := range params {
+		sm, sv := moments[2*i], moments[2*i+1]
+		if !sm.SameShape(p.Value) || !sv.SameShape(p.Value) {
+			return fmt.Errorf("nn: ImportMoments param %d is %dx%d, moments %dx%d/%dx%d",
+				i, p.Value.Rows, p.Value.Cols, sm.Rows, sm.Cols, sv.Rows, sv.Cols)
+		}
+	}
+	for i, p := range params {
+		m, v := o.moments(p)
+		copy(m.Data, moments[2*i].Data)
+		copy(v.Data, moments[2*i+1].Data)
+	}
+	o.t = step
+	return nil
 }
 
 // Reset drops all accumulated moment state and the step counter, returning

@@ -5,10 +5,19 @@ import (
 	"math/rand/v2"
 )
 
+// NewPCG returns the seeded PCG source underlying NewRand. Callers that
+// need to serialize RNG state (checkpoint/resume) hold the concrete *PCG —
+// which implements encoding.BinaryMarshaler/Unmarshaler — while sharing
+// its stream with model code through rand.New(pcg): the Rand is a
+// stateless view, so restoring the PCG restores every alias at once.
+func NewPCG(seed uint64) *rand.PCG {
+	return rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+}
+
 // NewRand returns a new seeded PRNG. All randomized code in scalegnn threads
 // explicit *rand.Rand values so that every experiment is reproducible.
 func NewRand(seed uint64) *rand.Rand {
-	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return rand.New(NewPCG(seed))
 }
 
 // RandNormal fills a new rows x cols matrix with N(0, std²) entries.

@@ -29,6 +29,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"scalegnn/internal/fault"
 	"scalegnn/internal/nn"
 	"scalegnn/internal/obs"
 )
@@ -52,6 +53,9 @@ type Config struct {
 	// Hooks observe the run. Hook errors are not possible by construction;
 	// hooks must not mutate model state.
 	Hooks []Hook
+	// Checkpoint enables durable snapshot/resume (see checkpoint.go). The
+	// zero value disables it.
+	Checkpoint CheckpointConfig
 }
 
 // Spec is what a model brings to the engine: its batch axis and the three
@@ -63,9 +67,12 @@ type Spec struct {
 	Step func(b Batch) error
 	// Validate returns the epoch's validation accuracy. Required.
 	Validate func() (float64, error)
-	// Params are the learnables snapshotted for Config.RestoreBest; may be
-	// nil when restoration is off.
+	// Params are the learnables snapshotted for Config.RestoreBest and
+	// serialized by checkpointing; may be nil when both are off.
 	Params []*nn.Param
+	// Optimizer exposes moment state for checkpointing; required when
+	// Config.Checkpoint is enabled, ignored otherwise.
+	Optimizer OptimizerState
 	// PeakFloats, when set, is called once after training to fill
 	// Report.PeakFloats (the resident-float peak of one step — the
 	// GPU-memory proxy reported by every family).
@@ -170,9 +177,31 @@ func Run(cfg Config, spec Spec) (*Report, error) {
 		return nil, fmt.Errorf("train: RestoreBest needs Spec.Params")
 	}
 
+	var ck *ckptRunner
+	if cfg.Checkpoint.Dir != "" {
+		var err error
+		if ck, err = newCkptRunner(&cfg, &spec); err != nil {
+			return nil, err
+		}
+	}
+
 	stopper := earlyStop{best: -1, patience: cfg.Patience}
 	rep := &Report{BestVal: -1, BestEpoch: -1, Stopped: StopCompleted}
 	var best snapshot
+	// Resume before the clock starts: a restored run reports only the time
+	// it spent training after the snapshot.
+	startEpoch, resumeBatch := 0, -1
+	if ck != nil && cfg.Checkpoint.Resume {
+		snap, restoredBest, err := ck.resume(&stopper, rep)
+		if err != nil {
+			return nil, err
+		}
+		if snap != nil {
+			best = restoredBest
+			startEpoch = snap.Epoch
+			resumeBatch = snap.Batch // -1 at a boundary, else mid-epoch cursor
+		}
+	}
 	start := time.Now()
 	// The engine is the span emitter for the training timeline: run → epoch
 	// → {shuffle, batch, validate}. With no tracer installed every span call
@@ -196,18 +225,59 @@ func Run(cfg Config, spec Spec) (*Report, error) {
 		peakFloats.Set(float64(rep.PeakFloats))
 	}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	// A boundary snapshot can capture a run whose patience was already
+	// exhausted at its final epoch (the early stop and the snapshot happen
+	// at the same boundary). Re-evaluate before training: running even one
+	// more epoch would diverge from the uninterrupted run.
+	if startEpoch > 0 && resumeBatch < 0 &&
+		stopper.patience > 0 && (startEpoch-1)-stopper.bestAt >= stopper.patience {
+		finish(StopEarly)
+		return rep, nil
+	}
+
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		rep.Epochs++
 		epSp := runSp.Child("train.epoch")
+		// A mid-epoch resume replays this epoch's shuffle from the restored
+		// pre-shuffle RNG state — re-deriving the exact permutation the
+		// interrupted run drew — then jumps the RNG to the snapshot cursor.
+		// Every other epoch records the pre-shuffle state first so it can be
+		// replayed the same way later.
+		midResume := ck != nil && resumeBatch >= 0 && epoch == startEpoch
+		if ck != nil && !midResume {
+			if err := ck.beginEpoch(); err != nil {
+				epSp.End()
+				return nil, err
+			}
+		}
 		shSp := epSp.Child("train.shuffle")
 		spec.Source.Shuffle(cfg.RNG)
 		shSp.End()
+		firstBatch := 0
+		if midResume {
+			if err := ck.replayedShuffle(); err != nil {
+				epSp.End()
+				return nil, err
+			}
+			firstBatch = resumeBatch
+			resumeBatch = -1
+		}
 		n := spec.Source.Len()
-		for i := 0; i < n; i++ {
+		for i := firstBatch; i < n; i++ {
 			if err := ctxErr(cfg.Ctx); err != nil {
+				err = fmt.Errorf("train: cancelled at epoch %d batch %d: %w", epoch, i, err)
+				if ck != nil {
+					if serr := ck.save(epoch, i, &stopper, rep, best); serr != nil {
+						err = fmt.Errorf("%w (cancellation snapshot also failed: %v)", err, serr)
+					}
+				}
 				epSp.End()
 				finish(StopCancelled)
-				return rep, fmt.Errorf("train: cancelled at epoch %d batch %d: %w", epoch, i, err)
+				return rep, err
+			}
+			if err := fault.Inject("train.batch"); err != nil {
+				epSp.End()
+				return nil, fmt.Errorf("train: batch failpoint (epoch %d batch %d): %w", epoch, i, err)
 			}
 			b := spec.Source.Batch(i)
 			b.Epoch, b.Index = epoch, i
@@ -242,6 +312,11 @@ func Run(cfg Config, spec Spec) (*Report, error) {
 				Epoch: epoch, ValAcc: val, Improved: improved,
 				Best: stopper.best, Elapsed: time.Since(start),
 			})
+		}
+		if ck != nil && ck.boundary(epoch, cfg.Epochs, stop) {
+			if err := ck.save(epoch+1, -1, &stopper, rep, best); err != nil {
+				return nil, err
+			}
 		}
 		if stop {
 			finish(StopEarly)

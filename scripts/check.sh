@@ -12,6 +12,12 @@ cd "$(dirname "$0")/.."
 echo "== go build ./..."
 go build ./...
 
+# Both sides of the failpoint build tag must always compile: the default
+# build carries the armed registry (so crash tests can fire it), and the
+# nofault build proves the production-oriented variant hasn't rotted.
+echo "== go build -tags nofault ./..."
+go build -tags nofault ./...
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -30,9 +36,19 @@ RACE_PKGS=(
   ./internal/train
   ./internal/par
   ./internal/obs
+  ./internal/ckpt
+  ./internal/fault
+  ./internal/distsim
 )
 echo "== go test -race -short ${RACE_PKGS[*]}"
 go test -race -short "${RACE_PKGS[@]}"
+
+# Crash-recovery gate: SIGKILL a real training subprocess in the middle of
+# a checkpoint write and require a clean, bitwise-identical resume (torn
+# temps ignored, corrupt snapshots rejected, previous snapshot used). Runs
+# under -race per the fault-tolerance acceptance contract.
+echo "== crash recovery (go test -race -run 'TestCrash' ./cmd/gnntrain)"
+go test -race -count=1 -run 'TestCrash' ./cmd/gnntrain
 
 # Trace-overhead guard: the disabled tracer's fast path must stay free of
 # allocations (DESIGN.md "Observability", overhead contract). Any allocation
