@@ -1,4 +1,4 @@
-// Command gnnbench runs the reproduction experiments (F1, E1–E13 from
+// Command gnnbench runs the reproduction experiments (F1, E1–E21 from
 // DESIGN.md) and prints their tables.
 //
 // Usage:

@@ -1,0 +1,374 @@
+// Command gnnserve serves per-node predictions from a trained decoupled
+// model (sgc | sign | appnp | gamlp | ld2) over HTTP. It rebuilds the
+// dataset and the graph-side precompute from the same flags the model was
+// trained with, loads the head weights from a checkpoint snapshot (the
+// fingerprint guards against mismatched flags), and serves:
+//
+//	GET/POST /predict     — predictions (and logits) for node ids
+//	GET      /healthz     — served model, generation, fingerprint
+//	GET      /stats       — QPS counters and latency quantiles
+//	POST     /admin/swap  — hot-swap to a new snapshot, zero downtime
+//
+// Usage:
+//
+//	gnntrain -model sgc -nodes 20000 -checkpoint-dir ckpts
+//	gnnserve -model sgc -nodes 20000 -checkpoint-dir ckpts -addr :8080
+//	curl 'localhost:8080/predict?nodes=17,42'
+//	curl -X POST -d '{"source":"ckpts"}' localhost:8080/admin/swap
+//
+//	gnnserve -selftest -bench-out BENCH_serve.json   # offline correctness + load benchmark
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scalegnn/internal/ckpt"
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/models"
+	"scalegnn/internal/obs"
+	"scalegnn/internal/serve"
+	"scalegnn/internal/tensor"
+	"scalegnn/internal/train"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "sgc", "decoupled model name: sgc | sign | appnp | gamlp | ld2")
+		hops      = flag.Int("hops", 2, "propagation hops")
+		nodes     = flag.Int("nodes", 5000, "synthetic node count")
+		classes   = flag.Int("classes", 5, "class count")
+		degree    = flag.Float64("deg", 10, "average degree")
+		homophily = flag.Float64("homophily", 0.8, "edge homophily")
+		noise     = flag.Float64("noise", 1.2, "feature noise std")
+		dim       = flag.Int("dim", 32, "feature dimension")
+		graphPath = flag.String("graph", "", "optional edge-list file (overrides synthetic graph)")
+		labelPath = flag.String("labels", "", "optional label file (one class per line)")
+		seed      = flag.Uint64("seed", 42, "random seed (must match training)")
+
+		lr          = flag.Float64("lr", 0.01, "learning rate used in training")
+		weightDecay = flag.Float64("weight-decay", 5e-4, "L2 weight decay used in training")
+		dropout     = flag.Float64("dropout", 0.5, "dropout used in training")
+		hidden      = flag.Int("hidden", 64, "hidden width used in training")
+		batch       = flag.Int("batch", 512, "mini-batch size used in training")
+
+		ckptDir  = flag.String("checkpoint-dir", "", "serve the newest matching snapshot from this directory")
+		snapshot = flag.String("snapshot", "", "serve this one snapshot file")
+
+		addr        = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		window      = flag.Duration("window", 0, "fixed request-coalescing window; 0 (default) drains queued requests per batch without waiting, which E21 measures as the best closed-loop policy")
+		maxBatch    = flag.Int("max-batch", 256, "max node rows per coalesced forward")
+		cacheSize   = flag.Int("cache", 4096, "hot-node logit LRU size (0 disables)")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar metrics and pprof on this address")
+
+		selftest    = flag.Bool("selftest", false, "train, snapshot, restore, verify parity, then load-test in-process")
+		benchOut    = flag.String("bench-out", "BENCH_serve.json", "selftest: write the load-test report here")
+		duration    = flag.Duration("duration", 2*time.Second, "selftest: load-generation duration")
+		concurrency = flag.Int("concurrency", 8, "selftest: closed-loop load workers")
+		slo         = flag.Duration("slo", 25*time.Millisecond, "selftest: p99 latency SLO (informational)")
+		epochs      = flag.Int("epochs", 20, "selftest: training epochs")
+	)
+	flag.Parse()
+
+	sess, err := obs.StartSession(obs.Options{MetricsAddr: *metricsAddr})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gnnserve: observability teardown: %v\n", err)
+		}
+	}()
+	if sess.Registry != nil {
+		tensor.EnablePoolMetrics(sess.Registry)
+	}
+	if a := sess.Addr(); a != "" {
+		fmt.Printf("metrics: http://%s/debug/vars  pprof: http://%s/debug/pprof/\n", a, a)
+	}
+
+	ds, err := dataset.Load(*graphPath, *labelPath, dataset.Config{
+		Nodes: *nodes, Classes: *classes, AvgDegree: *degree, Homophily: *homophily,
+		FeatureDim: *dim, NoiseStd: *noise, TrainFrac: 0.5, ValFrac: 0.2, Seed: *seed,
+	})
+	if err != nil {
+		fatal("dataset: %v", err)
+	}
+
+	cfg := models.DefaultTrainConfig()
+	cfg.LR = *lr
+	cfg.WeightDecay = *weightDecay
+	cfg.Dropout = *dropout
+	cfg.Hidden = *hidden
+	cfg.BatchSize = *batch
+	cfg.Seed = *seed
+	cfg.Epochs = *epochs
+
+	engCfg := serve.Config{
+		Window: *window, MaxBatch: *maxBatch, CacheSize: *cacheSize, Registry: sess.Registry,
+	}
+
+	if *selftest {
+		if err := runSelftest(ds, *model, *hops, cfg, engCfg, *benchOut, *duration, *concurrency, *slo); err != nil {
+			fatal("selftest: %v", err)
+		}
+		return
+	}
+
+	if (*ckptDir == "") == (*snapshot == "") {
+		fatal("need exactly one of -checkpoint-dir or -snapshot")
+	}
+	source := *ckptDir
+	if source == "" {
+		source = *snapshot
+	}
+	loader := snapshotLoader(ds, *model, *hops, cfg)
+	m, info, err := loader(source)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	eng := serve.NewEngine(engCfg)
+	defer eng.Close()
+	eng.Swap(m, info)
+	srv := serve.NewServer(eng, loader)
+	if err := srv.Start(*addr); err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gnnserve: server close: %v\n", err)
+		}
+	}()
+	fmt.Printf("serving %s (fingerprint %016x, %d nodes, %d classes) on http://%s\n",
+		m.Name(), info.Fingerprint, m.Nodes(), m.Classes(), srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("gnnserve: shutting down")
+}
+
+// servable is what serving needs from a model family: trainable (for
+// -selftest), restorable from a snapshot, and batch-scorable.
+type servable interface {
+	models.Trainer
+	models.NodeScorer
+	models.Restorer
+}
+
+func makeModel(name string, hops int) (servable, error) {
+	switch name {
+	case "sgc":
+		return models.NewSGC(hops)
+	case "sign":
+		return models.NewSIGN(hops)
+	case "appnp":
+		return models.NewAPPNP(10, 0.15)
+	case "gamlp":
+		return models.NewGAMLP(hops)
+	case "ld2":
+		return models.NewLD2(hops)
+	default:
+		return nil, fmt.Errorf("gnnserve: model %q is not a servable decoupled family", name)
+	}
+}
+
+// snapshotLoader builds the serve.Loader used both at startup and by
+// /admin/swap: every load constructs a fresh model instance, so a swap
+// never mutates the one currently serving.
+func snapshotLoader(ds *dataset.Dataset, name string, hops int, cfg models.TrainConfig) serve.Loader {
+	return func(source string) (serve.Model, serve.SwapInfo, error) {
+		m, err := makeModel(name, hops)
+		if err != nil {
+			return nil, serve.SwapInfo{}, err
+		}
+		// The fingerprint hashes the model's own Name() ("SGC-K2"), not the
+		// CLI flag spelling ("sgc").
+		snap, err := readSnapshot(source, m.Name(), ds, cfg)
+		if err != nil {
+			return nil, serve.SwapInfo{}, err
+		}
+		if err := m.Restore(ds, cfg, snap); err != nil {
+			return nil, serve.SwapInfo{}, err
+		}
+		if err := warm(m); err != nil {
+			return nil, serve.SwapInfo{}, err
+		}
+		return m, serve.SwapInfo{Fingerprint: snap.Fingerprint, Source: source}, nil
+	}
+}
+
+// readSnapshot loads a snapshot from a file path or, for a directory, the
+// newest snapshot matching the run fingerprint.
+func readSnapshot(source, name string, ds *dataset.Dataset, cfg models.TrainConfig) (*ckpt.Snapshot, error) {
+	fi, err := os.Stat(source)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
+		mgr, err := ckpt.NewManager(source, 0)
+		if err != nil {
+			return nil, err
+		}
+		snap, path, err := mgr.Latest(models.RunFingerprint(name, ds, cfg))
+		if err != nil {
+			return nil, err
+		}
+		if snap == nil {
+			return nil, fmt.Errorf("gnnserve: no snapshots in %s", source)
+		}
+		fmt.Printf("loading %s\n", path)
+		return snap, nil
+	}
+	data, err := os.ReadFile(source)
+	if err != nil {
+		return nil, err
+	}
+	return ckpt.Decode(data)
+}
+
+// warm forces any lazy per-model caches (APPNP's diffused logits, the
+// GAMLP attention combine) to materialize before the first request hits.
+func warm(m models.NodeScorer) error {
+	out := tensor.New(1, m.Classes())
+	return m.Score([]int{0}, out)
+}
+
+// runSelftest is the offline gate behind scripts/check.sh's serve smoke
+// test: train → snapshot → restore → verify the served path is byte-equal
+// to offline Predict → serve over HTTP → hot-swap once → load-test and
+// write the benchmark report. It fails on any correctness violation or
+// request errors; missing the latency SLO is reported, not fatal.
+func runSelftest(ds *dataset.Dataset, model string, hops int, cfg models.TrainConfig, engCfg serve.Config,
+	benchOut string, duration time.Duration, concurrency int, slo time.Duration) error {
+	dir, err := os.MkdirTemp("", "gnnserve-selftest-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := os.RemoveAll(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "gnnserve: selftest cleanup: %v\n", err)
+		}
+	}()
+
+	cfg.Checkpoint = train.CheckpointConfig{Dir: dir, Every: 1, KeepLast: 2}
+	trained, err := makeModel(model, hops)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selftest: training %s on %d nodes\n", trained.Name(), ds.G.N)
+	if _, err := trained.Fit(ds, cfg); err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
+	want, err := trained.Predict(ds)
+	if err != nil {
+		return err
+	}
+
+	loader := snapshotLoader(ds, model, hops, cfg)
+	m, info, err := loader(dir)
+	if err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+
+	// Byte-equal parity: the restored, served model must score every node
+	// to the same class as the offline Predict of the model just trained.
+	got := make([]int, 0, ds.G.N)
+	out := tensor.New(ds.G.N, ds.NumClasses)
+	idx := make([]int, ds.G.N)
+	for i := range idx {
+		idx[i] = i
+	}
+	if err := m.Score(idx, out); err != nil {
+		return err
+	}
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		got = append(got, best)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("parity: node %d served class %d, offline Predict %d", i, got[i], want[i])
+		}
+	}
+	fmt.Printf("selftest: restored snapshot serves all %d nodes identically to offline Predict\n", ds.G.N)
+
+	eng := serve.NewEngine(engCfg)
+	defer eng.Close()
+	eng.Swap(m, info)
+	srv := serve.NewServer(eng, loader)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gnnserve: server close: %v\n", err)
+		}
+	}()
+
+	res, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL:     "http://" + srv.Addr(),
+		Nodes:       ds.G.N,
+		Concurrency: concurrency,
+		Duration:    duration,
+		SLO:         slo,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	res.Label = "selftest"
+	res.WindowMicros = float64(engCfg.Window.Nanoseconds()) / 1e3
+	res.MaxBatch = engCfg.MaxBatch
+	res.CacheSize = engCfg.CacheSize
+	st := eng.Stats()
+	if st.CacheHits+st.CacheMisses > 0 {
+		res.CacheHitRate = float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("loadgen: %d request errors", res.Errors)
+	}
+
+	// Exercise the swap path end-to-end: reload the same snapshot; the
+	// generation must advance and serving must continue.
+	m2, info2, err := loader(dir)
+	if err != nil {
+		return fmt.Errorf("swap restore: %w", err)
+	}
+	if gen := eng.Swap(m2, info2); gen != 2 {
+		return fmt.Errorf("swap generation = %d, want 2", gen)
+	}
+	probe, err := eng.Predict(context.Background(), []int{0})
+	if err != nil || probe.Predictions[0] != want[0] {
+		return fmt.Errorf("post-swap probe: pred=%v err=%v", probe, err)
+	}
+	fmt.Println("selftest: hot swap to generation 2 verified")
+
+	if err := serve.WriteBenchJSON(benchOut, []*serve.LoadResult{res}); err != nil {
+		return err
+	}
+	verdict := "met"
+	if !res.SLOMet {
+		verdict = "MISSED (informational)"
+	}
+	fmt.Printf("selftest: %d requests, %.0f QPS, p50 %.2fms p99 %.2fms (SLO %.0fms %s), cache hit rate %.0f%%\n",
+		res.Requests, res.QPS, res.P50Ms, res.P99Ms, res.SLOMs, verdict, res.CacheHitRate*100)
+	fmt.Printf("selftest: wrote %s\n", benchOut)
+	return nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gnnserve: "+format+"\n", args...)
+	os.Exit(1)
+}

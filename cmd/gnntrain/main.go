@@ -14,18 +14,15 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
 	"syscall"
 
 	"scalegnn/internal/ckpt"
 	"scalegnn/internal/dataset"
-	"scalegnn/internal/graph"
 	"scalegnn/internal/models"
 	"scalegnn/internal/obs"
 	"scalegnn/internal/par"
@@ -86,7 +83,7 @@ func main() {
 		fmt.Printf("metrics: http://%s/debug/vars  pprof: http://%s/debug/pprof/\n", addr, addr)
 	}
 
-	ds, err := buildDataset(*graphPath, *labelPath, dataset.Config{
+	ds, err := dataset.Load(*graphPath, *labelPath, dataset.Config{
 		Nodes: *nodes, Classes: *classes, AvgDegree: *degree, Homophily: *homophily,
 		FeatureDim: *dim, NoiseStd: *noise, TrainFrac: 0.5, ValFrac: 0.2, Seed: *seed,
 	})
@@ -177,81 +174,6 @@ func makeModel(name string, hops int) (models.Trainer, error) {
 	default:
 		return nil, fmt.Errorf("gnntrain: unknown model %q", name)
 	}
-}
-
-// buildDataset loads a graph+labels from disk if given, otherwise generates
-// a synthetic task.
-func buildDataset(graphPath, labelPath string, cfg dataset.Config) (*dataset.Dataset, error) {
-	if graphPath == "" {
-		return dataset.Generate(cfg)
-	}
-	f, err := os.Open(graphPath)
-	if err != nil {
-		return nil, err
-	}
-	//lint:ignore unchecked-error file is open read-only; Close cannot lose data
-	defer f.Close()
-	g, err := graph.ReadEdgeList(f)
-	if err != nil {
-		return nil, err
-	}
-	var labels []int
-	numClasses := cfg.Classes
-	if labelPath != "" {
-		labels, numClasses, err = readLabels(labelPath, g.N)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		// No labels: synthesize block labels by round-robin (toy fallback).
-		labels = make([]int, g.N)
-		for i := range labels {
-			labels[i] = i % numClasses
-		}
-	}
-	rng := tensor.NewRand(cfg.Seed)
-	x := tensor.RandNormal(g.N, cfg.FeatureDim, cfg.NoiseStd, rng)
-	means := tensor.RandNormal(numClasses, cfg.FeatureDim, 1, rng)
-	for i, y := range labels {
-		row := x.Row(i)
-		for j, m := range means.Row(y) {
-			row[j] += m
-		}
-	}
-	train, val, test := dataset.Split(g.N, cfg.TrainFrac, cfg.ValFrac, rng)
-	return &dataset.Dataset{
-		G: g, X: x, Labels: labels, NumClasses: numClasses,
-		TrainIdx: train, ValIdx: val, TestIdx: test,
-	}, nil
-}
-
-func readLabels(path string, n int) ([]int, int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
-	}
-	//lint:ignore unchecked-error file is open read-only; Close cannot lose data
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	labels := make([]int, 0, n)
-	maxLabel := 0
-	for sc.Scan() {
-		y, err := strconv.Atoi(sc.Text())
-		if err != nil {
-			return nil, 0, fmt.Errorf("line %d: %w", len(labels)+1, err)
-		}
-		labels = append(labels, y)
-		if y > maxLabel {
-			maxLabel = y
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, err
-	}
-	if len(labels) != n {
-		return nil, 0, fmt.Errorf("%d labels for %d nodes", len(labels), n)
-	}
-	return labels, maxLabel + 1, nil
 }
 
 func fatal(format string, args ...any) {

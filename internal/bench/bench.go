@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: one runner per
-// experiment in DESIGN.md's index (F1, E1–E20), each reproducing the
+// experiment in DESIGN.md's index (F1, E1–E21), each reproducing the
 // scalability claim of one tutorial section on synthetic workloads and
 // printing a table. cmd/gnnbench drives it from the command line and the
 // root-level benchmarks reuse its kernels.

@@ -8,13 +8,13 @@ import (
 
 func TestAllRegisteredAndOrdered(t *testing.T) {
 	all := All()
-	if len(all) != 21 { // F1 + E1..E20
-		t.Fatalf("registered %d experiments, want 21", len(all))
+	if len(all) != 22 { // F1 + E1..E21
+		t.Fatalf("registered %d experiments, want 22", len(all))
 	}
 	if all[0].ID != "F1" {
 		t.Errorf("first experiment = %s, want F1", all[0].ID)
 	}
-	want := []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	want := []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"}
 	for i, e := range all {
 		if e.ID != want[i] {
 			t.Errorf("position %d: %s, want %s", i, e.ID, want[i])

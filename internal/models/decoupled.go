@@ -20,8 +20,10 @@ import (
 type SGC struct {
 	K int // propagation hops
 
-	emb *tensor.Matrix
-	net *nn.Sequential
+	emb     *tensor.Matrix
+	net     *nn.Sequential
+	classes int
+	logits  *tensor.Matrix // cached full-graph logits, nil until first Predict
 }
 
 // NewSGC constructs SGC with K propagation hops.
@@ -41,6 +43,8 @@ func (m *SGC) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	start := time.Now()
 	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
 	m.emb = op.PowerApply(ds.X, m.K)
+	m.classes = ds.NumClasses
+	m.logits = nil // refit invalidates the cached predictions
 	rep.Precompute = time.Since(start)
 
 	net, err := decoupledHead(m.Name(), m.emb, ds, cfg, nil, rep) // linear head: no hidden
@@ -51,12 +55,34 @@ func (m *SGC) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	return rep, nil
 }
 
-// Predict implements Trainer.
+// Predict implements Trainer. Predictions come from the logits cached on
+// first use after Fit/Restore: the head no longer reruns over every node on
+// every call.
 func (m *SGC) Predict(ds *dataset.Dataset) ([]int, error) {
 	if m.net == nil {
 		return nil, fmt.Errorf("models: SGC.Predict before Fit")
 	}
-	return nn.Argmax(m.net.Forward(m.emb, false)), nil
+	return nn.Argmax(headLogits(m.net, m.emb, &m.logits)), nil
+}
+
+// Nodes implements NodeScorer.
+func (m *SGC) Nodes() int {
+	if m.emb == nil {
+		return 0
+	}
+	return m.emb.Rows
+}
+
+// Classes implements NodeScorer.
+func (m *SGC) Classes() int { return m.classes }
+
+// Score implements NodeScorer: batched per-node logits via one pooled
+// gather + head forward.
+func (m *SGC) Score(idx []int, out *tensor.Matrix) error {
+	if m.net == nil {
+		return fmt.Errorf("models: SGC.Score before Fit or Restore")
+	}
+	return scoreHead(m.Name(), m.net, m.emb, m.classes, idx, out)
 }
 
 // SIGN precomputes the multi-hop embedding [X | ÂX | Â²X | … | Â^K X] and
@@ -65,8 +91,10 @@ func (m *SGC) Predict(ds *dataset.Dataset) ([]int, error) {
 type SIGN struct {
 	K int
 
-	emb *tensor.Matrix
-	net *nn.Sequential
+	emb     *tensor.Matrix
+	net     *nn.Sequential
+	classes int
+	logits  *tensor.Matrix // cached full-graph logits, nil until first Predict
 }
 
 // NewSIGN constructs SIGN with hops 0..K.
@@ -98,6 +126,8 @@ func (m *SIGN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	rep := &Report{Model: m.Name()}
 	start := time.Now()
 	m.emb = spectral.ConcatColumns(hopEmbeddings(ds, m.K))
+	m.classes = ds.NumClasses
+	m.logits = nil // refit invalidates the cached predictions
 	rep.Precompute = time.Since(start)
 
 	net, err := decoupledHead(m.Name(), m.emb, ds, cfg, []int{cfg.Hidden}, rep)
@@ -108,12 +138,32 @@ func (m *SIGN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	return rep, nil
 }
 
-// Predict implements Trainer.
+// Predict implements Trainer. Predictions come from the logits cached on
+// first use after Fit/Restore.
 func (m *SIGN) Predict(ds *dataset.Dataset) ([]int, error) {
 	if m.net == nil {
 		return nil, fmt.Errorf("models: SIGN.Predict before Fit")
 	}
-	return nn.Argmax(m.net.Forward(m.emb, false)), nil
+	return nn.Argmax(headLogits(m.net, m.emb, &m.logits)), nil
+}
+
+// Nodes implements NodeScorer.
+func (m *SIGN) Nodes() int {
+	if m.emb == nil {
+		return 0
+	}
+	return m.emb.Rows
+}
+
+// Classes implements NodeScorer.
+func (m *SIGN) Classes() int { return m.classes }
+
+// Score implements NodeScorer.
+func (m *SIGN) Score(idx []int, out *tensor.Matrix) error {
+	if m.net == nil {
+		return fmt.Errorf("models: SIGN.Score before Fit or Restore")
+	}
+	return scoreHead(m.Name(), m.net, m.emb, m.classes, idx, out)
 }
 
 // APPNP is predict-then-propagate: an MLP produces per-node logits, which
@@ -125,8 +175,11 @@ type APPNP struct {
 	K     int
 	Alpha float64
 
-	net *nn.Sequential
-	op  *graph.Operator
+	net     *nn.Sequential
+	op      *graph.Operator
+	x       *tensor.Matrix // features the model was fit on (diffusion input)
+	classes int
+	logits  *tensor.Matrix // cached diffused full-graph logits, nil until first Predict
 }
 
 // NewAPPNP constructs APPNP with K propagation steps and restart α.
@@ -179,6 +232,9 @@ func (m *APPNP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	}
 	pcg, rng := newRunRNG(cfg.Seed)
 	m.op = graph.NewOperator(ds.G, graph.NormSymmetric, true)
+	m.x = ds.X
+	m.classes = ds.NumClasses
+	m.logits = nil // refit invalidates the cached predictions
 	m.net = nn.NewMLP(nn.MLPConfig{
 		In: ds.X.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
 		Dropout: cfg.Dropout, Bias: true,
@@ -227,15 +283,60 @@ func (m *APPNP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	return rep, nil
 }
 
-// Predict implements Trainer.
+// Predict implements Trainer. The diffused logits are cached on first use
+// after Fit/Restore: Predict used to rerun the full K-hop propagation on
+// every call — the recompute bug that made decoupled serving pay the
+// whole-graph cost per request.
 func (m *APPNP) Predict(ds *dataset.Dataset) ([]int, error) {
 	if m.net == nil {
 		return nil, fmt.Errorf("models: APPNP.Predict before Fit")
 	}
-	z := m.propagate(m.net.Forward(ds.X, false))
-	pred := nn.Argmax(z)
-	tensor.PutBuf(z)
-	return pred, nil
+	return nn.Argmax(m.fullLogits()), nil
+}
+
+// fullLogits returns (computing and caching on first call) the propagated
+// full-graph logits over the features the model was fit on.
+func (m *APPNP) fullLogits() *tensor.Matrix {
+	if m.logits == nil {
+		z := m.propagate(m.net.Forward(m.x, false))
+		m.logits = z.Clone()
+		tensor.PutBuf(z)
+	}
+	return m.logits
+}
+
+// Nodes implements NodeScorer.
+func (m *APPNP) Nodes() int {
+	if m.x == nil {
+		return 0
+	}
+	return m.x.Rows
+}
+
+// Classes implements NodeScorer.
+func (m *APPNP) Classes() int { return m.classes }
+
+// Score implements NodeScorer. Propagation couples every node, so per-node
+// serving reads rows of the cached diffused logits instead of recomputing
+// the K-hop walk per request.
+func (m *APPNP) Score(idx []int, out *tensor.Matrix) error {
+	if m.net == nil {
+		return fmt.Errorf("models: APPNP.Score before Fit or Restore")
+	}
+	z := m.fullLogits()
+	if out.Rows != len(idx) || out.Cols != m.classes {
+		return fmt.Errorf("models: APPNP.Score dst %dx%d, want %dx%d", out.Rows, out.Cols, len(idx), m.classes)
+	}
+	if tensor.Overlaps(out.Data, z.Data) {
+		return fmt.Errorf("models: APPNP.Score dst aliases the cached logits")
+	}
+	for _, n := range idx {
+		if n < 0 || n >= z.Rows {
+			return fmt.Errorf("models: APPNP.Score node %d outside [0,%d)", n, z.Rows)
+		}
+	}
+	z.SelectRowsInto(idx, out)
+	return nil
 }
 
 // GAMLP is SIGN with learnable hop attention: per-hop embeddings are
@@ -245,9 +346,11 @@ func (m *APPNP) Predict(ds *dataset.Dataset) ([]int, error) {
 type GAMLP struct {
 	K int
 
-	hops  []*tensor.Matrix
-	theta *nn.Param // raw attention logits, 1 x (K+1)
-	net   *nn.Sequential
+	hops    []*tensor.Matrix
+	theta   *nn.Param // raw attention logits, 1 x (K+1)
+	net     *nn.Sequential
+	classes int
+	logits  *tensor.Matrix // cached full-graph logits, nil until first Predict
 }
 
 // NewGAMLP constructs GAMLP with hops 0..K.
@@ -304,6 +407,8 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	rep := &Report{Model: m.Name()}
 	start := time.Now()
 	m.hops = hopEmbeddings(ds, m.K)
+	m.classes = ds.NumClasses
+	m.logits = nil // refit invalidates the cached predictions
 	rep.Precompute = time.Since(start)
 
 	pcg, rng := newRunRNG(cfg.Seed)
@@ -385,16 +490,64 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	return rep, nil
 }
 
-// Predict implements Trainer.
+// Predict implements Trainer. The attention-combined logits are cached on
+// first use after Fit/Restore: Predict used to recombine every hop
+// embedding and rerun the head over the whole graph on every call.
 func (m *GAMLP) Predict(ds *dataset.Dataset) ([]int, error) {
 	if m.net == nil {
 		return nil, fmt.Errorf("models: GAMLP.Predict before Fit")
 	}
+	return nn.Argmax(m.fullLogits()), nil
+}
+
+// fullLogits returns (computing and caching on first call) the full-graph
+// logits under the learned hop attention.
+func (m *GAMLP) fullLogits() *tensor.Matrix {
+	if m.logits == nil {
+		att := m.attention()
+		x := m.combine(att, rangeIdx(m.hops[0].Rows))
+		m.logits = m.net.Forward(x, false).Clone()
+		tensor.PutBuf(x)
+	}
+	return m.logits
+}
+
+// Nodes implements NodeScorer.
+func (m *GAMLP) Nodes() int {
+	if len(m.hops) == 0 {
+		return 0
+	}
+	return m.hops[0].Rows
+}
+
+// Classes implements NodeScorer.
+func (m *GAMLP) Classes() int { return m.classes }
+
+// Score implements NodeScorer: attention-combine the requested rows, then
+// one pooled head forward.
+func (m *GAMLP) Score(idx []int, out *tensor.Matrix) error {
+	if m.net == nil {
+		return fmt.Errorf("models: GAMLP.Score before Fit or Restore")
+	}
+	if out.Rows != len(idx) || out.Cols != m.classes {
+		return fmt.Errorf("models: GAMLP.Score dst %dx%d, want %dx%d", out.Rows, out.Cols, len(idx), m.classes)
+	}
+	for _, n := range idx {
+		if n < 0 || n >= m.hops[0].Rows {
+			return fmt.Errorf("models: GAMLP.Score node %d outside [0,%d)", n, m.hops[0].Rows)
+		}
+	}
+	for _, h := range m.hops {
+		if tensor.Overlaps(out.Data, h.Data) {
+			return fmt.Errorf("models: GAMLP.Score dst aliases a hop embedding")
+		}
+	}
 	att := m.attention()
-	x := m.combine(att, rangeIdx(ds.G.N))
-	pred := nn.Argmax(m.net.Forward(x, false))
+	x := m.combine(att, idx)
+	y := m.net.Forward(x, false)
+	copy(out.Data, y.Data)
 	tensor.PutBuf(x)
-	return pred, nil
+	return nil
 }
 
 // HopAttention exposes the learned softmax hop weights (for the ablation
@@ -408,8 +561,10 @@ func (m *GAMLP) HopAttention() []float64 { return m.attention() }
 type LD2 struct {
 	Hops int
 
-	emb *tensor.Matrix
-	net *nn.Sequential
+	emb     *tensor.Matrix
+	net     *nn.Sequential
+	classes int
+	logits  *tensor.Matrix // cached full-graph logits, nil until first Predict
 }
 
 // NewLD2 constructs LD2 with K-hop low/high-pass channels.
@@ -423,10 +578,8 @@ func NewLD2(hops int) (*LD2, error) {
 // Name implements Trainer.
 func (m *LD2) Name() string { return fmt.Sprintf("LD2-K%d", m.Hops) }
 
-// Fit precomputes the multi-filter embedding and trains the head.
-func (m *LD2) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
-	rep := &Report{Model: m.Name()}
-	start := time.Now()
+// embed precomputes the multi-filter embedding — shared by Fit and Restore.
+func (m *LD2) embed(ds *dataset.Dataset) (*tensor.Matrix, error) {
 	// Self-looped operator: the low-pass channel is then exactly Â^K (self
 	// signal diluted by degree normalization), and the high-pass channel is
 	// the complementary L̂^K neighbor-disagreement signal.
@@ -445,7 +598,20 @@ func (m *LD2) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 		normalizeChannel(one)
 		mats[i] = one
 	}
-	m.emb = spectral.ConcatColumns(mats)
+	return spectral.ConcatColumns(mats), nil
+}
+
+// Fit precomputes the multi-filter embedding and trains the head.
+func (m *LD2) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	rep := &Report{Model: m.Name()}
+	start := time.Now()
+	emb, err := m.embed(ds)
+	if err != nil {
+		return nil, err
+	}
+	m.emb = emb
+	m.classes = ds.NumClasses
+	m.logits = nil // refit invalidates the cached predictions
 	rep.Precompute = time.Since(start)
 
 	net, err := decoupledHead(m.Name(), m.emb, ds, cfg, []int{cfg.Hidden}, rep)
@@ -473,10 +639,30 @@ func normalizeChannel(m *tensor.Matrix) {
 	}
 }
 
-// Predict implements Trainer.
+// Predict implements Trainer. Predictions come from the logits cached on
+// first use after Fit/Restore.
 func (m *LD2) Predict(ds *dataset.Dataset) ([]int, error) {
 	if m.net == nil {
 		return nil, fmt.Errorf("models: LD2.Predict before Fit")
 	}
-	return nn.Argmax(m.net.Forward(m.emb, false)), nil
+	return nn.Argmax(headLogits(m.net, m.emb, &m.logits)), nil
+}
+
+// Nodes implements NodeScorer.
+func (m *LD2) Nodes() int {
+	if m.emb == nil {
+		return 0
+	}
+	return m.emb.Rows
+}
+
+// Classes implements NodeScorer.
+func (m *LD2) Classes() int { return m.classes }
+
+// Score implements NodeScorer.
+func (m *LD2) Score(idx []int, out *tensor.Matrix) error {
+	if m.net == nil {
+		return fmt.Errorf("models: LD2.Score before Fit or Restore")
+	}
+	return scoreHead(m.Name(), m.net, m.emb, m.classes, idx, out)
 }

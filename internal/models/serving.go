@@ -1,0 +1,246 @@
+// Serving support for the decoupled families (§3.1.2): the
+// precompute-then-MLP split means a trained model is an embedding matrix
+// plus a small head, so per-node inference is a row gather and one batched
+// forward — no graph access on the request path. This file defines the
+// NodeScorer contract internal/serve drives, and Restore, which rebuilds a
+// servable model from a ckpt snapshot without retraining.
+package models
+
+import (
+	"fmt"
+
+	"scalegnn/internal/ckpt"
+	"scalegnn/internal/dataset"
+	"scalegnn/internal/graph"
+	"scalegnn/internal/nn"
+	"scalegnn/internal/spectral"
+	"scalegnn/internal/tensor"
+)
+
+// NodeScorer is the per-node inference contract of the decoupled families.
+// Score computes class logits for a set of nodes in one batched head
+// forward; implementations reuse pooled scratch and layer-internal buffers,
+// so a NodeScorer is NOT safe for concurrent Score calls — the serving
+// layer funnels all scoring through one dispatcher.
+type NodeScorer interface {
+	// Name identifies the model family (matches Trainer.Name).
+	Name() string
+	// Nodes returns the number of servable node ids (0 before Fit/Restore).
+	Nodes() int
+	// Classes returns the logit width (0 before Fit/Restore).
+	Classes() int
+	// Score writes class logits for the given nodes into out, which must be
+	// len(idx) x Classes() and must not alias model-held storage.
+	Score(idx []int, out *tensor.Matrix) error
+}
+
+// Restorer rebuilds a trained model from a checkpoint snapshot without
+// retraining: the graph-side precompute reruns, the head weights come from
+// the snapshot. The dataset and config must describe the run that produced
+// the snapshot — Restore rejects a mismatched ckpt.ErrFingerprint.
+type Restorer interface {
+	Restore(ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error
+}
+
+// The five decoupled families are servable and restorable.
+var (
+	_ NodeScorer = (*SGC)(nil)
+	_ NodeScorer = (*SIGN)(nil)
+	_ NodeScorer = (*APPNP)(nil)
+	_ NodeScorer = (*GAMLP)(nil)
+	_ NodeScorer = (*LD2)(nil)
+
+	_ Restorer = (*SGC)(nil)
+	_ Restorer = (*SIGN)(nil)
+	_ Restorer = (*APPNP)(nil)
+	_ Restorer = (*GAMLP)(nil)
+	_ Restorer = (*LD2)(nil)
+)
+
+// RunFingerprint exposes the snapshot-compatibility hash for a model name,
+// dataset, and config — what ckpt.Manager.Latest needs to pick the right
+// snapshot before a model instance exists.
+func RunFingerprint(name string, ds *dataset.Dataset, cfg TrainConfig) uint64 {
+	return runFingerprint(name, ds, cfg)
+}
+
+// headLogits lazily computes and caches the full-graph head output — the
+// forward pass every decoupled Predict used to rerun per call.
+func headLogits(net *nn.Sequential, emb *tensor.Matrix, cache **tensor.Matrix) *tensor.Matrix {
+	if *cache == nil {
+		*cache = net.Forward(emb, false).Clone()
+	}
+	return *cache
+}
+
+// scoreHead gathers embedding rows for idx and runs them through the head —
+// the batched serving kernel shared by the embedding+head families. Row
+// independence of the dense kernels makes the result bitwise-equal to the
+// same rows of a full-graph forward.
+func scoreHead(name string, net *nn.Sequential, emb *tensor.Matrix, classes int, idx []int, out *tensor.Matrix) error {
+	if out.Rows != len(idx) || out.Cols != classes {
+		return fmt.Errorf("models: %s.Score dst %dx%d, want %dx%d", name, out.Rows, out.Cols, len(idx), classes)
+	}
+	if tensor.Overlaps(out.Data, emb.Data) {
+		return fmt.Errorf("models: %s.Score dst aliases the embedding", name)
+	}
+	for _, n := range idx {
+		if n < 0 || n >= emb.Rows {
+			return fmt.Errorf("models: %s.Score node %d outside [0,%d)", name, n, emb.Rows)
+		}
+	}
+	sel := tensor.GetBuf(len(idx), emb.Cols)
+	emb.SelectRowsInto(idx, sel)
+	y := net.Forward(sel, false)
+	copy(out.Data, y.Data)
+	tensor.PutBuf(sel)
+	return nil
+}
+
+// checkSnapshotFingerprint rejects restoring a snapshot produced by a
+// different model, dataset, or hyperparameter set.
+func checkSnapshotFingerprint(name string, ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error {
+	want := runFingerprint(name, ds, cfg)
+	if snap.Fingerprint != want {
+		return fmt.Errorf("models: restore %s: %w: snapshot %016x, run %016x",
+			name, ckpt.ErrFingerprint, snap.Fingerprint, want)
+	}
+	return nil
+}
+
+// restoreParams copies the snapshot's param.* blocks into the freshly built
+// parameter list, in the same order the training engine saved them.
+func restoreParams(name string, params []*nn.Param, snap *ckpt.Snapshot) error {
+	blocks := make(map[string]ckpt.Block, len(snap.Blocks))
+	for _, b := range snap.Blocks {
+		blocks[b.Name] = b
+	}
+	for i, p := range params {
+		key := fmt.Sprintf("param.%d", i)
+		b, ok := blocks[key]
+		if !ok {
+			return fmt.Errorf("models: restore %s: snapshot has no block %q", name, key)
+		}
+		if b.Rows != p.Value.Rows || b.Cols != p.Value.Cols {
+			return fmt.Errorf("models: restore %s: block %q is %dx%d, model wants %dx%d",
+				name, key, b.Rows, b.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		copy(p.Value.Data, b.Data)
+	}
+	if _, extra := blocks[fmt.Sprintf("param.%d", len(params))]; extra {
+		return fmt.Errorf("models: restore %s: snapshot has more than %d parameter blocks", name, len(params))
+	}
+	return nil
+}
+
+// Restore implements Restorer: rerun the Â^K X precompute, rebuild the
+// linear head, and load its weights from the snapshot.
+func (m *SGC) Restore(ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if err := checkSnapshotFingerprint(m.Name(), ds, cfg, snap); err != nil {
+		return err
+	}
+	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
+	emb := op.PowerApply(ds.X, m.K)
+	_, rng := newRunRNG(cfg.Seed)
+	net := nn.NewMLP(nn.MLPConfig{
+		In: emb.Cols, Out: ds.NumClasses, Dropout: cfg.Dropout, Bias: true,
+	}, rng)
+	if err := restoreParams(m.Name(), net.Params(), snap); err != nil {
+		return err
+	}
+	m.emb, m.net, m.classes, m.logits = emb, net, ds.NumClasses, nil
+	return nil
+}
+
+// Restore implements Restorer for SIGN.
+func (m *SIGN) Restore(ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if err := checkSnapshotFingerprint(m.Name(), ds, cfg, snap); err != nil {
+		return err
+	}
+	emb := spectral.ConcatColumns(hopEmbeddings(ds, m.K))
+	_, rng := newRunRNG(cfg.Seed)
+	net := nn.NewMLP(nn.MLPConfig{
+		In: emb.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
+		Dropout: cfg.Dropout, Bias: true,
+	}, rng)
+	if err := restoreParams(m.Name(), net.Params(), snap); err != nil {
+		return err
+	}
+	m.emb, m.net, m.classes, m.logits = emb, net, ds.NumClasses, nil
+	return nil
+}
+
+// Restore implements Restorer for LD2.
+func (m *LD2) Restore(ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if err := checkSnapshotFingerprint(m.Name(), ds, cfg, snap); err != nil {
+		return err
+	}
+	emb, err := m.embed(ds)
+	if err != nil {
+		return err
+	}
+	_, rng := newRunRNG(cfg.Seed)
+	net := nn.NewMLP(nn.MLPConfig{
+		In: emb.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
+		Dropout: cfg.Dropout, Bias: true,
+	}, rng)
+	if err := restoreParams(m.Name(), net.Params(), snap); err != nil {
+		return err
+	}
+	m.emb, m.net, m.classes, m.logits = emb, net, ds.NumClasses, nil
+	return nil
+}
+
+// Restore implements Restorer for APPNP. The MLP weights come from the
+// snapshot; the diffused logits cache repopulates on first use.
+func (m *APPNP) Restore(ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if err := checkSnapshotFingerprint(m.Name(), ds, cfg, snap); err != nil {
+		return err
+	}
+	_, rng := newRunRNG(cfg.Seed)
+	net := nn.NewMLP(nn.MLPConfig{
+		In: ds.X.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
+		Dropout: cfg.Dropout, Bias: true,
+	}, rng)
+	if err := restoreParams(m.Name(), net.Params(), snap); err != nil {
+		return err
+	}
+	m.op = graph.NewOperator(ds.G, graph.NormSymmetric, true)
+	m.net, m.x, m.classes, m.logits = net, ds.X, ds.NumClasses, nil
+	return nil
+}
+
+// Restore implements Restorer for GAMLP. The snapshot's parameter order is
+// the MLP weights followed by the hop-attention logits θ, matching Fit.
+func (m *GAMLP) Restore(ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if err := checkSnapshotFingerprint(m.Name(), ds, cfg, snap); err != nil {
+		return err
+	}
+	hops := hopEmbeddings(ds, m.K)
+	theta := nn.NewParam("gamlp.theta", tensor.New(1, m.K+1))
+	_, rng := newRunRNG(cfg.Seed)
+	net := nn.NewMLP(nn.MLPConfig{
+		In: ds.X.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
+		Dropout: cfg.Dropout, Bias: true,
+	}, rng)
+	if err := restoreParams(m.Name(), append(net.Params(), theta), snap); err != nil {
+		return err
+	}
+	m.hops, m.theta, m.net, m.classes, m.logits = hops, theta, net, ds.NumClasses, nil
+	return nil
+}

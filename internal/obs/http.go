@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"os"
 	runtimepprof "runtime/pprof"
+	"time"
 )
 
 // ExpvarName is the expvar slot the debug server publishes registries under.
@@ -49,7 +50,17 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listener %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{
+		Handler: mux,
+		// A slow or stalled client must not be able to wedge the listener.
+		// WriteTimeout stays generous because /debug/pprof/profile and
+		// /debug/pprof/trace stream for their ?seconds= duration (30s by
+		// default) before the response body is written.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	//lint:ignore naked-go background HTTP listener, not data-parallel work; lifetime bounded by Close
 	go func() {
 		// Serve returns ErrServerClosed on Close; anything else means the

@@ -76,6 +76,7 @@ type Histogram struct {
 	bounds []float64      // ascending upper bounds
 	counts []atomic.Int64 // len(bounds)+1, last is +Inf overflow
 	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	max    atomic.Uint64  // float64 bits of the largest observation, CAS-maxed
 	n      atomic.Int64
 }
 
@@ -90,7 +91,11 @@ var DefaultDurationBuckets = []float64{
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	h := &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	// -Inf is below every observation, so the CAS-max in Observe needs no
+	// "first observation" special case.
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
 // Observe records one value; no-op on nil.
@@ -109,6 +114,12 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.counts[lo].Add(1)
 	h.n.Add(1)
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
 	for {
 		old := h.sum.Load()
 		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
@@ -133,9 +144,19 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Max returns the largest observation so far (0 with no observations).
+func (h *Histogram) Max() float64 {
+	if h == nil || h.n.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
 // Quantile returns the upper bound of the bucket containing the q-quantile
-// observation (math.Inf(1) if it falls in the overflow bucket, 0 with no
-// observations) — the streaming approximation used for p50/p99 reporting.
+// observation (0 with no observations) — the streaming approximation used
+// for p50/p99 reporting. When the quantile lands in the +Inf overflow
+// bucket the tracked maximum observation is returned instead of +Inf, so
+// latency-SLO arithmetic downstream always sees a finite number.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -153,12 +174,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 		seen += h.counts[i].Load()
 		if seen >= rank {
 			if i == len(h.bounds) {
-				return math.Inf(1)
+				return h.Max()
 			}
 			return h.bounds[i]
 		}
 	}
-	return math.Inf(1)
+	return h.Max()
 }
 
 // Counter returns (registering on first use) the named counter.

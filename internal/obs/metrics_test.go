@@ -59,12 +59,18 @@ func TestHistogram(t *testing.T) {
 	if q := h.Quantile(0.5); q != 10 {
 		t.Errorf("p50 = %v, want 10 (3rd of 5 obs lands in (1,10] bucket)", q)
 	}
-	if q := h.Quantile(0.99); !math.IsInf(q, 1) {
-		t.Errorf("p99 = %v, want +Inf (overflow bucket)", q)
+	// The p99 observation lands in the overflow bucket; the quantile must
+	// report the tracked maximum (500), never +Inf — serve-side SLO math
+	// multiplies and compares these values.
+	if q := h.Quantile(0.99); q != 500 {
+		t.Errorf("p99 = %v, want 500 (max observation, overflow bucket)", q)
+	}
+	if m := h.Max(); m != 500 {
+		t.Errorf("max = %v, want 500", m)
 	}
 	var empty *obs.Histogram
 	empty.Observe(1)
-	if empty.Quantile(0.5) != 0 || empty.Count() != 0 {
+	if empty.Quantile(0.5) != 0 || empty.Count() != 0 || empty.Max() != 0 {
 		t.Error("nil histogram misbehaves")
 	}
 }

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded node→logits cache. Each model state owns one, so a
+// hit can only ever return logits computed by that state's weights. Cached
+// slices are shared with callers and must be treated as immutable.
+//
+// The nil *lruCache is valid and caches nothing — the engine holds one
+// unconditionally whether or not caching is configured.
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[int]*list.Element
+}
+
+type lruEntry struct {
+	node   int
+	logits []float64
+}
+
+// newLRU returns a cache bounded to capacity entries, or nil (disabled)
+// when capacity <= 0.
+func newLRU(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[int]*list.Element, capacity)}
+}
+
+// get returns the cached logits for node, refreshing its recency.
+func (c *lruCache) get(node int) ([]float64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[node]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).logits, true
+}
+
+// add inserts (or refreshes) node's logits, evicting the least recently
+// used entry when full.
+func (c *lruCache) add(node int, logits []float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[node]; ok {
+		el.Value.(*lruEntry).logits = logits
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).node)
+	}
+	c.m[node] = c.ll.PushFront(&lruEntry{node: node, logits: logits})
+}
+
+// len reports the number of cached entries (0 when disabled).
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

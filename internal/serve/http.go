@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"scalegnn/internal/ckpt"
+)
+
+// Loader materializes a Model from a source string (a snapshot path or
+// checkpoint directory) for /admin/swap. It returns the model and its
+// provenance; an error wrapping ckpt.ErrFingerprint means the snapshot
+// belongs to a different run configuration and the swap is rejected with
+// 409 Conflict.
+type Loader func(source string) (Model, SwapInfo, error)
+
+// Server is the HTTP front end over an Engine:
+//
+//	GET/POST /predict     — class predictions (and logits) for node ids
+//	GET      /healthz     — 200 + model info once a model is loaded
+//	GET      /stats       — engine counters and latency quantiles
+//	POST     /admin/swap  — hot-swap the model from a new snapshot
+type Server struct {
+	eng    *Engine
+	loader Loader
+	srv    *http.Server
+	ln     net.Listener
+}
+
+// NewServer wires the handlers. loader may be nil, which disables
+// /admin/swap (501).
+func NewServer(eng *Engine, loader Loader) *Server {
+	s := &Server{eng: eng, loader: loader}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/admin/swap", s.handleSwap)
+	s.srv = &http.Server{
+		Handler: mux,
+		// A stalled client must not wedge a serving thread; predictions are
+		// small, so unlike the obs debug listener nothing here streams.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return s
+}
+
+// Start binds addr (":0" picks a free port) and serves until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	//lint:ignore naked-go HTTP accept loop, not data-parallel work; lifetime bounded by Close
+	go func() {
+		// Serve returns ErrServerClosed on Close; anything else means the
+		// listener died out from under us.
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "serve: http server: %v\n", err)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and tears the listener down. The engine is owned
+// by the caller and is not closed here.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// predictRequest is the POST /predict body.
+type predictRequest struct {
+	Nodes  []int `json:"nodes"`
+	Logits bool  `json:"logits"`
+}
+
+// predictResponse is the /predict reply.
+type predictResponse struct {
+	Model       string      `json:"model"`
+	Generation  uint64      `json:"generation"`
+	Nodes       []int       `json:"nodes"`
+	Predictions []int       `json:"predictions"`
+	Logits      [][]float64 `json:"logits,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// An encode failure here means the client hung up mid-response; there
+	// is no channel left to report it on.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// parseNodes reads node ids from ?node=/?nodes= (GET) or the JSON body
+// (POST).
+func parseNodes(r *http.Request) ([]int, bool, error) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		raw := q.Get("nodes")
+		if raw == "" {
+			raw = q.Get("node")
+		}
+		if raw == "" {
+			return nil, false, fmt.Errorf("missing ?node= or ?nodes=")
+		}
+		parts := strings.Split(raw, ",")
+		nodes := make([]int, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, false, fmt.Errorf("bad node id %q", p)
+			}
+			nodes = append(nodes, v)
+		}
+		wantLogits := q.Get("logits") == "1" || q.Get("logits") == "true"
+		return nodes, wantLogits, nil
+	case http.MethodPost:
+		var req predictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return nil, false, fmt.Errorf("bad JSON body: %v", err)
+		}
+		return req.Nodes, req.Logits, nil
+	default:
+		return nil, false, fmt.Errorf("method %s not allowed", r.Method)
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	nodes, wantLogits, err := parseNodes(r)
+	if err != nil {
+		status := http.StatusBadRequest
+		if r.Method != http.MethodGet && r.Method != http.MethodPost {
+			status = http.StatusMethodNotAllowed
+		}
+		writeError(w, status, err)
+		return
+	}
+	pred, err := s.eng.Predict(r.Context(), nodes)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNoModel), errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrBadNode):
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	resp := predictResponse{
+		Model:       pred.Model,
+		Generation:  pred.Generation,
+		Nodes:       pred.Nodes,
+		Predictions: pred.Predictions,
+	}
+	if wantLogits {
+		resp.Logits = pred.Logits
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.eng.Current()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, ErrNoModel)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// Stats is the /stats payload: model info plus engine counters and
+// request-latency quantiles in milliseconds.
+type Stats struct {
+	Info        *Info   `json:"info,omitempty"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"request_errors"`
+	Batches     int64   `json:"batches"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	Swaps       int64   `json:"swaps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Requests:    e.mRequests.Value(),
+		Errors:      e.mErrors.Value(),
+		Batches:     e.mBatches.Value(),
+		CacheHits:   e.mCacheHits.Value(),
+		CacheMisses: e.mCacheMiss.Value(),
+		Swaps:       e.mSwaps.Value(),
+		P50Ms:       e.hLatency.Quantile(0.5) * 1e3,
+		P99Ms:       e.hLatency.Quantile(0.99) * 1e3,
+		MaxMs:       e.hLatency.Max() * 1e3,
+	}
+	if info, ok := e.Current(); ok {
+		st.Info = &info
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+// swapRequest is the POST /admin/swap body.
+type swapRequest struct {
+	Source string `json:"source"`
+}
+
+// swapResponse reports the installed generation.
+type swapResponse struct {
+	Model       string `json:"model"`
+	Generation  uint64 `json:"generation"`
+	Fingerprint string `json:"fingerprint"`
+	Source      string `json:"source"`
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	if s.loader == nil {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("no snapshot loader configured"))
+		return
+	}
+	var req swapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %v", err))
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing source"))
+		return
+	}
+	m, info, err := s.loader(req.Source)
+	if err != nil {
+		switch {
+		case errors.Is(err, ckpt.ErrFingerprint):
+			// The snapshot belongs to a different run configuration: the
+			// currently served model keeps serving, untouched.
+			writeError(w, http.StatusConflict, err)
+		case errors.Is(err, os.ErrNotExist):
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeError(w, http.StatusUnprocessableEntity, err)
+		}
+		return
+	}
+	gen := s.eng.Swap(m, info)
+	writeJSON(w, http.StatusOK, swapResponse{
+		Model:       m.Name(),
+		Generation:  gen,
+		Fingerprint: fmt.Sprintf("%016x", info.Fingerprint),
+		Source:      req.Source,
+	})
+}

@@ -1,0 +1,407 @@
+// Package serve implements the online inference engine: it holds a trained
+// decoupled model (precomputed propagation embeddings + head) behind an
+// atomic pointer, coalesces concurrent per-node requests into one pooled
+// batched forward, caches hot-node logits in a per-model LRU, and supports
+// zero-downtime model hot-swap.
+//
+// Consistency contract: every request binds exactly one model state at
+// entry — its cache lookups and its batched scoring both go through that
+// state — so a request in flight during a swap is answered entirely by the
+// old model or entirely by the new one, never a mix.
+//
+// The scoring path deliberately has one consumer: model Score calls reuse
+// layer-internal buffers and are not concurrency-safe, so all scoring is
+// funneled through a single dispatcher goroutine. Batching is therefore
+// not just a throughput trick; it is what turns N concurrent single-node
+// requests into one matmul instead of N serialized ones.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scalegnn/internal/obs"
+	"scalegnn/internal/tensor"
+)
+
+// Model is the per-node inference contract the engine drives;
+// models.NodeScorer satisfies it. Implementations are not required to be
+// safe for concurrent Score calls — the engine serializes scoring.
+type Model interface {
+	Name() string
+	Nodes() int
+	Classes() int
+	Score(idx []int, out *tensor.Matrix) error
+}
+
+// Engine errors.
+var (
+	// ErrNoModel means Predict was called before any model was swapped in.
+	ErrNoModel = errors.New("serve: no model loaded")
+	// ErrClosed means the engine is shutting down.
+	ErrClosed = errors.New("serve: engine closed")
+	// ErrBadNode means a requested node id is outside the served graph.
+	ErrBadNode = errors.New("serve: node id out of range")
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Window is how long the dispatcher waits after the first queued
+	// request for more to coalesce into one batch. 0 disables waiting
+	// (requests already queued are still drained into the batch).
+	Window time.Duration
+	// MaxBatch caps the node rows scored in one pooled forward; <= 0
+	// means 256.
+	MaxBatch int
+	// CacheSize bounds the per-model hot-node logit LRU; <= 0 disables
+	// caching.
+	CacheSize int
+	// Registry receives the engine's metrics (request latency histogram,
+	// batch sizes, cache hit counters). Nil allocates a private registry;
+	// pass an obs session registry to expose them via expvar.
+	Registry *obs.Registry
+}
+
+// SwapInfo describes where a model state came from, for /healthz and logs.
+type SwapInfo struct {
+	Fingerprint uint64
+	Source      string // snapshot path or "fit" for in-process training
+	LoadedAt    time.Time
+}
+
+// state is one immutable serving generation: a model, its provenance, and
+// its cache. Swapping installs a whole new state, so a cache can never
+// hold logits from a different generation's weights.
+type state struct {
+	m     Model
+	gen   uint64
+	info  SwapInfo
+	cache *lruCache // nil when caching is disabled
+}
+
+// request is one Predict's cache-miss remainder, queued to the dispatcher.
+type request struct {
+	st      *state
+	miss    []int       // node ids needing computation
+	missPos []int       // position of each miss in the caller's node list
+	scores  [][]float64 // caller-owned, len(original nodes); filled at missPos
+	done    chan error  // buffered(1); dispatcher never blocks sending
+}
+
+// Prediction is one answered request.
+type Prediction struct {
+	Model       string
+	Generation  uint64
+	Nodes       []int
+	Predictions []int
+	Logits      [][]float64
+}
+
+// Engine is the serving core. Create with NewEngine, install a model with
+// Swap, answer requests with Predict, and Close when done.
+type Engine struct {
+	window   time.Duration
+	maxBatch int
+	cacheCap int
+
+	cur     atomic.Pointer[state]
+	gen     atomic.Uint64
+	reqs    chan *request
+	quit    chan struct{}
+	done    chan struct{}
+	closing sync.Once
+
+	reg        *obs.Registry
+	mRequests  *obs.Counter
+	mErrors    *obs.Counter
+	mBatches   *obs.Counter
+	mCacheHits *obs.Counter
+	mCacheMiss *obs.Counter
+	mSwaps     *obs.Counter
+	hLatency   *obs.Histogram
+	hBatchRows *obs.Histogram
+}
+
+// batchRowBuckets is the bucket layout for batch-size histograms.
+var batchRowBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// NewEngine starts the dispatcher and returns a ready (but model-less)
+// engine.
+func NewEngine(cfg Config) *Engine {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	e := &Engine{
+		window:   cfg.Window,
+		maxBatch: cfg.MaxBatch,
+		cacheCap: cfg.CacheSize,
+		reqs:     make(chan *request, 1024),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+
+		reg:        cfg.Registry,
+		mRequests:  cfg.Registry.Counter("serve.requests"),
+		mErrors:    cfg.Registry.Counter("serve.request_errors"),
+		mBatches:   cfg.Registry.Counter("serve.batches"),
+		mCacheHits: cfg.Registry.Counter("serve.cache_hits"),
+		mCacheMiss: cfg.Registry.Counter("serve.cache_misses"),
+		mSwaps:     cfg.Registry.Counter("serve.swaps"),
+		hLatency:   cfg.Registry.Histogram("serve.request_seconds", obs.DefaultDurationBuckets),
+		hBatchRows: cfg.Registry.Histogram("serve.batch_rows", batchRowBuckets),
+	}
+	//lint:ignore naked-go serving dispatcher, not data-parallel work; lifetime bounded by Close
+	go e.dispatch()
+	return e
+}
+
+// Registry returns the engine's metrics registry (for /stats and expvar).
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Swap atomically installs a new model with a fresh (cold) cache and
+// returns its generation. In-flight requests bound to the previous state
+// complete against it; new requests see the new model immediately.
+func (e *Engine) Swap(m Model, info SwapInfo) uint64 {
+	if info.LoadedAt.IsZero() {
+		info.LoadedAt = time.Now()
+	}
+	gen := e.gen.Add(1)
+	e.cur.Store(&state{m: m, gen: gen, info: info, cache: newLRU(e.cacheCap)})
+	e.mSwaps.Add(1)
+	return gen
+}
+
+// Info describes the currently served model.
+type Info struct {
+	Model       string `json:"model"`
+	Generation  uint64 `json:"generation"`
+	Nodes       int    `json:"nodes"`
+	Classes     int    `json:"classes"`
+	Fingerprint string `json:"fingerprint"`
+	Source      string `json:"source"`
+	LoadedAt    string `json:"loaded_at"`
+	CachedNodes int    `json:"cached_nodes"`
+}
+
+// Current returns the served model's Info, or ok=false before any Swap.
+func (e *Engine) Current() (Info, bool) {
+	st := e.cur.Load()
+	if st == nil {
+		return Info{}, false
+	}
+	return Info{
+		Model:       st.m.Name(),
+		Generation:  st.gen,
+		Nodes:       st.m.Nodes(),
+		Classes:     st.m.Classes(),
+		Fingerprint: fmt.Sprintf("%016x", st.info.Fingerprint),
+		Source:      st.info.Source,
+		LoadedAt:    st.info.LoadedAt.UTC().Format(time.RFC3339Nano),
+		CachedNodes: st.cache.len(),
+	}, true
+}
+
+// Predict answers class predictions (and logits) for the given nodes. The
+// whole answer comes from one model generation. Safe for concurrent use.
+func (e *Engine) Predict(ctx context.Context, nodes []int) (*Prediction, error) {
+	start := time.Now()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("serve: empty node list")
+	}
+	st := e.cur.Load()
+	if st == nil {
+		return nil, ErrNoModel
+	}
+	n := st.m.Nodes()
+	for _, v := range nodes {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("%w: node %d outside [0,%d)", ErrBadNode, v, n)
+		}
+	}
+	e.mRequests.Add(1)
+
+	scores := make([][]float64, len(nodes))
+	var miss, missPos []int
+	var hits int64
+	for i, v := range nodes {
+		if l, ok := st.cache.get(v); ok {
+			scores[i] = l
+			hits++
+		} else {
+			miss = append(miss, v)
+			missPos = append(missPos, i)
+		}
+	}
+	e.mCacheHits.Add(hits)
+	e.mCacheMiss.Add(int64(len(miss)))
+
+	if len(miss) > 0 {
+		r := &request{st: st, miss: miss, missPos: missPos, scores: scores, done: make(chan error, 1)}
+		select {
+		case e.reqs <- r:
+		case <-e.quit:
+			return nil, ErrClosed
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		select {
+		case err := <-r.done:
+			if err != nil {
+				e.mErrors.Add(1)
+				return nil, err
+			}
+		case <-e.quit:
+			return nil, ErrClosed
+		case <-ctx.Done():
+			// The dispatcher may still fill scores; done is buffered so it
+			// never blocks on an abandoned request.
+			return nil, ctx.Err()
+		}
+	}
+
+	preds := make([]int, len(nodes))
+	for i, l := range scores {
+		best := 0
+		for j, v := range l {
+			if v > l[best] {
+				best = j
+			}
+		}
+		preds[i] = best
+	}
+	e.hLatency.Observe(time.Since(start).Seconds())
+	return &Prediction{
+		Model:       st.m.Name(),
+		Generation:  st.gen,
+		Nodes:       nodes,
+		Predictions: preds,
+		Logits:      scores,
+	}, nil
+}
+
+// Close stops the dispatcher and fails queued requests with ErrClosed.
+// Idempotent.
+func (e *Engine) Close() {
+	e.closing.Do(func() { close(e.quit) })
+	<-e.done
+}
+
+// dispatch is the single scoring goroutine: it forms batches from queued
+// requests and answers them.
+func (e *Engine) dispatch() {
+	defer close(e.done)
+	for {
+		select {
+		case r := <-e.reqs:
+			e.collect(r)
+		case <-e.quit:
+			e.failQueued()
+			return
+		}
+	}
+}
+
+// collect gathers more requests after the first — waiting up to the
+// batching window when one is configured, otherwise just draining what is
+// already queued — and scores the batch.
+func (e *Engine) collect(first *request) {
+	batch := []*request{first}
+	rows := len(first.miss)
+	if e.window > 0 {
+		timer := time.NewTimer(e.window)
+	windowed:
+		for rows < e.maxBatch {
+			select {
+			case r := <-e.reqs:
+				batch = append(batch, r)
+				rows += len(r.miss)
+			case <-timer.C:
+				break windowed
+			case <-e.quit:
+				break windowed // score what we have; dispatch fails the rest
+			}
+		}
+		timer.Stop()
+	} else {
+	drain:
+		for rows < e.maxBatch {
+			select {
+			case r := <-e.reqs:
+				batch = append(batch, r)
+				rows += len(r.miss)
+			default:
+				break drain
+			}
+		}
+	}
+	e.runBatch(batch)
+}
+
+// runBatch groups the batch by model state (a swap can land between
+// enqueues) and scores each group in one pooled forward.
+func (e *Engine) runBatch(batch []*request) {
+	for len(batch) > 0 {
+		st := batch[0].st
+		var group, rest []*request
+		for _, r := range batch {
+			if r.st == st {
+				group = append(group, r)
+			} else {
+				rest = append(rest, r)
+			}
+		}
+		e.scoreGroup(st, group)
+		batch = rest
+	}
+}
+
+// scoreGroup runs one batched Score for every miss in the group, fills
+// caller score slots and the state's cache, and signals completion.
+func (e *Engine) scoreGroup(st *state, group []*request) {
+	total := 0
+	for _, r := range group {
+		total += len(r.miss)
+	}
+	nodes := make([]int, 0, total)
+	for _, r := range group {
+		nodes = append(nodes, r.miss...)
+	}
+	out := tensor.GetBuf(len(nodes), st.m.Classes())
+	err := st.m.Score(nodes, out)
+	if err == nil {
+		row := 0
+		for _, r := range group {
+			for i := range r.miss {
+				logits := append([]float64(nil), out.Row(row)...)
+				r.scores[r.missPos[i]] = logits
+				st.cache.add(r.miss[i], logits)
+				row++
+			}
+		}
+	}
+	tensor.PutBuf(out)
+	for _, r := range group {
+		r.done <- err
+	}
+	e.mBatches.Add(1)
+	e.hBatchRows.Observe(float64(total))
+}
+
+// failQueued drains whatever is still queued at shutdown. Racing senders
+// are safe: Predict also selects on the closed quit channel.
+func (e *Engine) failQueued() {
+	for {
+		select {
+		case r := <-e.reqs:
+			r.done <- ErrClosed
+		default:
+			return
+		}
+	}
+}

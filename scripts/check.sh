@@ -39,6 +39,7 @@ RACE_PKGS=(
   ./internal/ckpt
   ./internal/fault
   ./internal/distsim
+  ./internal/serve
 )
 echo "== go test -race -short ${RACE_PKGS[*]}"
 go test -race -short "${RACE_PKGS[@]}"
@@ -49,6 +50,18 @@ go test -race -short "${RACE_PKGS[@]}"
 # under -race per the fault-tolerance acceptance contract.
 echo "== crash recovery (go test -race -run 'TestCrash' ./cmd/gnntrain)"
 go test -race -count=1 -run 'TestCrash' ./cmd/gnntrain
+
+# Serving smoke gate: gnnserve -selftest trains, snapshots, restores,
+# verifies the served path answers byte-equal to offline Predict, hot-swaps
+# once, and load-tests over real HTTP. The report must land non-empty —
+# a served-prediction mismatch or any request error fails the run.
+echo "== serve smoke (gnnserve -selftest)"
+SERVE_TMP=$(mktemp -d)
+trap 'rm -rf "$SERVE_TMP"' EXIT
+go run ./cmd/gnnserve -selftest -nodes 2000 -epochs 5 -duration 500ms \
+  -bench-out "$SERVE_TMP/BENCH_serve.json"
+[ -s "$SERVE_TMP/BENCH_serve.json" ] || {
+  echo "serve smoke failed: BENCH_serve.json missing or empty"; exit 1; }
 
 # Trace-overhead guard: the disabled tracer's fast path must stay free of
 # allocations (DESIGN.md "Observability", overhead contract). Any allocation
