@@ -8,6 +8,8 @@
 //	gnnlint ./...                      # run every check over the module
 //	gnnlint ./internal/tensor          # one package
 //	gnnlint -checks naked-go,global-rand ./...
+//	gnnlint -tags nofault ./...        # analyze under a custom build-tag set
+//	gnnlint -json ./...                # one JSON object per finding, per line
 //	gnnlint -list                      # describe the checks
 //
 // Exit status is 1 when findings are reported, 2 on usage or load errors.
@@ -16,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +29,10 @@ import (
 
 func main() {
 	var (
-		checks = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-		list   = flag.Bool("list", false, "list available checks and exit")
+		checks  = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list    = flag.Bool("list", false, "list available checks and exit")
+		tags    = flag.String("tags", "", "comma-separated build tags (as with go build -tags)")
+		jsonOut = flag.Bool("json", false, "emit findings as one JSON object per line")
 	)
 	flag.Parse()
 
@@ -38,6 +43,15 @@ func main() {
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
 		fatal("%v", err)
+	}
+	if *tags != "" {
+		var ts []string
+		for _, tag := range strings.Split(*tags, ",") {
+			if tag = strings.TrimSpace(tag); tag != "" {
+				ts = append(ts, tag)
+			}
+		}
+		loader.SetTags(ts...)
 	}
 
 	if *list {
@@ -70,8 +84,17 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(d); err != nil {
+				fatal("%v", err)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "gnnlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -75,6 +75,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// The root context is signal-bound from the start so that shutdown
+	// during warm-up (selftest probes included) cancels cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	sess, err := obs.StartSession(obs.Options{MetricsAddr: *metricsAddr})
 	if err != nil {
 		fatal("%v", err)
@@ -113,7 +118,7 @@ func main() {
 	}
 
 	if *selftest {
-		if err := runSelftest(ds, *model, *hops, cfg, engCfg, *benchOut, *duration, *concurrency, *slo); err != nil {
+		if err := runSelftest(ctx, ds, *model, *hops, cfg, engCfg, *benchOut, *duration, *concurrency, *slo); err != nil {
 			fatal("selftest: %v", err)
 		}
 		return
@@ -147,8 +152,6 @@ func main() {
 	fmt.Printf("serving %s (fingerprint %016x, %d nodes, %d classes) on http://%s\n",
 		m.Name(), info.Fingerprint, m.Nodes(), m.Classes(), srv.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	<-ctx.Done()
 	fmt.Println("gnnserve: shutting down")
 }
@@ -244,7 +247,7 @@ func warm(m models.NodeScorer) error {
 // to offline Predict → serve over HTTP → hot-swap once → load-test and
 // write the benchmark report. It fails on any correctness violation or
 // request errors; missing the latency SLO is reported, not fatal.
-func runSelftest(ds *dataset.Dataset, model string, hops int, cfg models.TrainConfig, engCfg serve.Config,
+func runSelftest(ctx context.Context, ds *dataset.Dataset, model string, hops int, cfg models.TrainConfig, engCfg serve.Config,
 	benchOut string, duration time.Duration, concurrency int, slo time.Duration) error {
 	dir, err := os.MkdirTemp("", "gnnserve-selftest-*")
 	if err != nil {
@@ -349,7 +352,7 @@ func runSelftest(ds *dataset.Dataset, model string, hops int, cfg models.TrainCo
 	if gen := eng.Swap(m2, info2); gen != 2 {
 		return fmt.Errorf("swap generation = %d, want 2", gen)
 	}
-	probe, err := eng.Predict(context.Background(), []int{0})
+	probe, err := eng.Predict(ctx, []int{0})
 	if err != nil || probe.Predictions[0] != want[0] {
 		return fmt.Errorf("post-swap probe: pred=%v err=%v", probe, err)
 	}

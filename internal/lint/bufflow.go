@@ -1,0 +1,564 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// bufflow.go implements buf-flow, the path-sensitive successor to PR 2's
+// buf-release: pooled workspace buffers (tensor.GetBuf/GetZeroBuf,
+// Workspace.Get/GetZero, tensor.NewBuf handles) are tracked through the
+// CFG with a per-object state machine
+//
+//	Live → Released        (Put/PutBuf/ws.Put/Release, or a callee whose
+//	                        summary says it releases that parameter)
+//	Live → DeferReleased   (the same calls under defer)
+//	Live → Escaped         (returned, stored, captured, sent, handed to a
+//	                        callee that may store it — ownership left)
+//
+// and three bug classes fall out of the fixpoint facts:
+//
+//   - use-after-release: any read of an object whose incoming state set
+//     contains Released on some path;
+//   - double-release: a release applied to an object already Released (or
+//     already scheduled for release by defer) on some path;
+//   - leak: a locally acquired buffer still Live on a normal exit path —
+//     reported at the early return that leaks it, or at the acquisition
+//     site when the function falls off its end or loops back while the
+//     previous buffer is still owed. Paths ending in panic/os.Exit are
+//     exempt.
+//
+// Function parameters of buffer type are tracked for use-after-release and
+// double-release but carry no leak obligation (the caller owns them). The
+// call-graph summaries close the interprocedural gap buf-release papered
+// over with "released somewhere in this function": a helper that releases
+// its parameter on every normal exit releases the caller's buffer at the
+// call site, and releasing again afterward is a reported double-release
+// instead of an invisible pool corruption. Unresolved callees and callees
+// that may (but need not) release swallow the obligation — the analysis
+// fails toward silence, never toward a false report.
+
+const (
+	bufLive flowState = 1 << iota
+	bufDeferReleased
+	bufReleased
+	bufEscaped
+)
+
+// bufParamEffect classifies what a callee does with one buffer-typed
+// parameter.
+type bufParamEffect int
+
+const (
+	bufParamUses     bufParamEffect = iota // reads only; caller still owns
+	bufParamReleases                       // returns it to the pool on every normal exit
+	bufParamEscapes                        // stores/returns/may-release; caller obligation ends
+)
+
+// bufSummary is a callee's per-parameter effect vector, indexed by
+// flattened parameter position.
+type bufSummary struct {
+	effects []bufParamEffect
+}
+
+// bufSumInProgress marks a summary computation on the stack; a recursive
+// lookup gets nil (treated as unknown → escape, silent).
+var bufSumInProgress = &bufSummary{}
+
+type acquisition struct {
+	name string
+	pos  ast.Node
+}
+
+func runBufFlow(prog *Program, p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeBufFunc(prog, p, r, fd.Type, fd.Body)
+			// Nested literals are separate analysis units with their own CFG.
+			forEachFuncLit(fd.Body, func(lit *ast.FuncLit) {
+				analyzeBufFunc(prog, p, r, lit.Type, lit.Body)
+			})
+		}
+	}
+}
+
+// forEachFuncLit visits every function literal under root, including
+// literals nested inside other literals.
+func forEachFuncLit(root ast.Node, fn func(*ast.FuncLit)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			fn(lit)
+		}
+		return true
+	})
+}
+
+// isBufType reports whether t is pooled tensor storage: tensor.Matrix or a
+// tensor.Buf handle (value or pointer).
+func isBufType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if !strings.HasSuffix(named.Obj().Pkg().Path(), "internal/tensor") {
+		return false
+	}
+	return named.Obj().Name() == "Matrix" || named.Obj().Name() == "Buf"
+}
+
+// bufAnalysis is the per-function context shared by the transfer function
+// and the reporting pass.
+type bufAnalysis struct {
+	prog     *Program
+	p        *Package
+	acquired map[types.Object]*acquisition // acquired here: leak obligation
+	tracked  map[types.Object]bool         // acquired + buffer-typed params
+	reports  map[string]bool               // dedupe across exit paths
+}
+
+func analyzeBufFunc(prog *Program, p *Package, r *Reporter, ftype *ast.FuncType, body *ast.BlockStmt) {
+	a := &bufAnalysis{
+		prog:     prog,
+		p:        p,
+		acquired: make(map[types.Object]*acquisition),
+		tracked:  make(map[types.Object]bool),
+		reports:  make(map[string]bool),
+	}
+	entry := make(flowFact)
+	// Buffer-typed parameters are tracked (for misuse) but not owed.
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, id := range field.Names {
+				obj := p.Info.Defs[id]
+				if obj != nil && isBufType(obj.Type()) {
+					a.tracked[obj] = true
+					entry[obj] = bufLive
+				}
+			}
+		}
+	}
+	// Pre-pass: find acquisitions bound to local identifiers, skipping
+	// nested literals (they are their own units).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		names, values := bindings(n)
+		for i, id := range names {
+			call, ok := values[i].(*ast.CallExpr)
+			if !ok || !isBufAcquisition(p, call) {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj != nil {
+				a.acquired[obj] = &acquisition{name: id.Name, pos: id}
+				a.tracked[obj] = true
+			}
+		}
+		return true
+	})
+	if len(a.tracked) == 0 {
+		return
+	}
+	cfg := FuncCFG(body)
+	in := forwardFlow(cfg, entry, func(n ast.Node, fact flowFact) {
+		a.transfer(n, fact, nil)
+	})
+	// Reporting pass: re-run transfers from each block's stable entry fact
+	// so each site is diagnosed exactly once, then check exit obligations.
+	for _, blk := range cfg.Blocks {
+		fact, ok := in[blk]
+		if !ok || blk == cfg.Exit {
+			continue // unreachable
+		}
+		fact = fact.clone()
+		for _, n := range blk.Nodes {
+			a.transfer(n, fact, r)
+		}
+		if !blockExits(blk, cfg) || blk.Terminates {
+			continue
+		}
+		for obj, acq := range a.acquired {
+			if fact[obj]&bufLive == 0 {
+				continue
+			}
+			if blk.Return != nil {
+				a.reportOnce(r, blk.Return.Pos(), "workspace buffer %q may leak: this return path does not release it (add Put/PutBuf/Release before returning, or defer the release)", acq.name)
+			} else {
+				a.reportOnce(r, acq.pos.Pos(), "workspace buffer %q is acquired but never released on some path through this function", acq.name)
+			}
+		}
+	}
+}
+
+// blockExits reports whether blk flows into the synthetic exit block.
+func blockExits(blk *Block, cfg *CFG) bool {
+	for _, s := range blk.Succs {
+		if s == cfg.Exit {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *bufAnalysis) reportOnce(r *Reporter, pos token.Pos, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	key := fmt.Sprintf("%d:%s", pos, fmt.Sprintf(format, args...))
+	if a.reports[key] {
+		return
+	}
+	a.reports[key] = true
+	r.Report(pos, format, args...)
+}
+
+// identObj resolves e to the object of a plain identifier use, or nil.
+func (a *bufAnalysis) identObj(e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return a.p.Info.Uses[id]
+	}
+	return nil
+}
+
+// ---- transfer function ----
+
+// transfer applies one CFG node's effect to fact. With r == nil it only
+// computes states (fixpoint phase); with r set it also reports.
+func (a *bufAnalysis) transfer(n ast.Node, fact flowFact, r *Reporter) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		a.transferAssign(s, fact, r)
+	case *ast.DeclStmt:
+		a.transferBindings(s, fact, r)
+	case *ast.DeferStmt:
+		a.transferDefer(s, fact, r)
+	case *ast.GoStmt:
+		// The spawned goroutine owns whatever it receives or captures.
+		for _, arg := range s.Call.Args {
+			a.evalExpr(arg, fact, r, true)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			a.captureObjs(lit, fact, r, true)
+		} else {
+			a.evalExpr(s.Call.Fun, fact, r, false)
+		}
+	case *ast.SendStmt:
+		a.evalExpr(s.Chan, fact, r, false)
+		a.evalExpr(s.Value, fact, r, true)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			a.evalExpr(res, fact, r, true)
+		}
+	case *ast.ExprStmt:
+		a.evalExpr(s.X, fact, r, false)
+	case *ast.IncDecStmt:
+		a.evalExpr(s.X, fact, r, false)
+	case *ast.RangeStmt:
+		// Only the range operand evaluates at the loop head; the body is in
+		// its own blocks.
+		a.evalExpr(s.X, fact, r, false)
+	case ast.Expr:
+		a.evalExpr(s, fact, r, false)
+	}
+}
+
+// transferAssign handles acquisitions, the swap idiom, and escapes through
+// assignment.
+func (a *bufAnalysis) transferAssign(s *ast.AssignStmt, fact flowFact, r *Reporter) {
+	if a.applyPermutation(s, fact) {
+		return
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		// Multi-value unpack: the RHS call is evaluated normally; a tracked
+		// LHS identifier is overwritten (state forgotten — silent).
+		for _, rhs := range s.Rhs {
+			a.evalExpr(rhs, fact, r, true)
+		}
+		for _, lhs := range s.Lhs {
+			a.killLHS(lhs, fact, r)
+		}
+		return
+	}
+	for i := range s.Lhs {
+		id, isIdent := s.Lhs[i].(*ast.Ident)
+		if isIdent && id.Name != "_" {
+			if call, ok := s.Rhs[i].(*ast.CallExpr); ok && isBufAcquisition(a.p, call) {
+				a.applyAcquire(id, call, fact, r)
+				continue
+			}
+		}
+		a.evalExpr(s.Rhs[i], fact, r, true)
+		a.killLHS(s.Lhs[i], fact, r)
+	}
+}
+
+// transferBindings handles `var x = acquire()` declarations.
+func (a *bufAnalysis) transferBindings(n ast.Node, fact flowFact, r *Reporter) {
+	names, values := bindings(n)
+	for i, id := range names {
+		if call, ok := values[i].(*ast.CallExpr); ok && isBufAcquisition(a.p, call) {
+			a.applyAcquire(id, call, fact, r)
+			continue
+		}
+		a.evalExpr(values[i], fact, r, true)
+	}
+}
+
+// applyAcquire processes one `id := acquire(...)` binding.
+func (a *bufAnalysis) applyAcquire(id *ast.Ident, call *ast.CallExpr, fact flowFact, r *Reporter) {
+	// The acquisition call itself: receiver and size args are plain reads.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		a.evalExpr(sel.X, fact, r, false)
+	}
+	for _, arg := range call.Args {
+		a.evalExpr(arg, fact, r, false)
+	}
+	obj := a.p.Info.Defs[id]
+	if obj == nil {
+		obj = a.p.Info.Uses[id]
+	}
+	if obj == nil || a.acquired[obj] == nil {
+		return
+	}
+	if fact[obj]&bufLive != 0 {
+		a.reportOnce(r, id.Pos(), "workspace buffer %q is reacquired while a previously acquired buffer is still live (leaked on a loop or branch path)", id.Name)
+	}
+	fact[obj] = bufLive
+}
+
+// killLHS forgets the state of a tracked identifier overwritten by a
+// non-acquisition value, and evaluates compound targets as reads.
+func (a *bufAnalysis) killLHS(lhs ast.Expr, fact flowFact, r *Reporter) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := a.p.Info.Defs[id]
+		if obj == nil {
+			obj = a.p.Info.Uses[id]
+		}
+		if obj != nil && a.tracked[obj] {
+			delete(fact, obj)
+		}
+		return
+	}
+	a.evalExpr(lhs, fact, r, false)
+}
+
+// applyPermutation recognizes `a, b = b, a`-style swaps over tracked
+// buffers (the ping-pong idiom in propagation loops) and moves states
+// without treating either side as an escape.
+func (a *bufAnalysis) applyPermutation(s *ast.AssignStmt, fact flowFact) bool {
+	if s.Tok != token.ASSIGN || len(s.Lhs) < 2 || len(s.Lhs) != len(s.Rhs) {
+		return false
+	}
+	lhsObjs := make([]types.Object, len(s.Lhs))
+	rhsObjs := make([]types.Object, len(s.Rhs))
+	anyTracked := false
+	seen := make(map[types.Object]int)
+	for i := range s.Lhs {
+		lo := a.identObj(s.Lhs[i])
+		ro := a.identObj(s.Rhs[i])
+		if lo == nil || ro == nil {
+			return false
+		}
+		lhsObjs[i], rhsObjs[i] = lo, ro
+		seen[lo]++
+		seen[ro]--
+		if a.tracked[lo] || a.tracked[ro] {
+			anyTracked = true
+		}
+	}
+	if !anyTracked {
+		return false
+	}
+	for _, d := range seen {
+		if d != 0 {
+			return false // not a permutation of the same variables
+		}
+	}
+	next := make(map[types.Object]flowState, len(lhsObjs))
+	for i := range lhsObjs {
+		next[lhsObjs[i]] = fact[rhsObjs[i]]
+	}
+	for obj, st := range next {
+		fact[obj] = st
+	}
+	return true
+}
+
+// transferDefer handles deferred releases: direct (defer PutBuf(b),
+// defer b.Release()), closed-over (defer func(){ PutBuf(b) }()), and
+// summarized (defer helper(b) where helper RELEASES).
+func (a *bufAnalysis) transferDefer(s *ast.DeferStmt, fact flowFact, r *Reporter) {
+	call := s.Call
+	if isTensorFunc(a.p, call, "Put", "PutBuf") {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			a.evalExpr(sel.X, fact, r, false)
+		}
+		for _, arg := range call.Args {
+			if obj := a.identObj(arg); obj != nil && a.tracked[obj] {
+				a.deferRelease(obj, fact, r, arg.Pos(), exprName(arg))
+			} else {
+				a.evalExpr(arg, fact, r, false)
+			}
+		}
+		return
+	}
+	if isTensorFunc(a.p, call, "Release") {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if obj := a.identObj(sel.X); obj != nil && a.tracked[obj] {
+				a.deferRelease(obj, fact, r, sel.X.Pos(), exprName(sel.X))
+				return
+			}
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// Releases of tracked objects inside a deferred closure count as
+		// deferred releases; other captures are exit-time reads (unchecked).
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isTensorFunc(a.p, c, "Put", "PutBuf") {
+				for _, arg := range c.Args {
+					if obj := a.identObj(arg); obj != nil && a.tracked[obj] {
+						a.deferRelease(obj, fact, r, s.Pos(), exprName(arg))
+					}
+				}
+			} else if isTensorFunc(a.p, c, "Release") {
+				if sel, ok := c.Fun.(*ast.SelectorExpr); ok {
+					if obj := a.identObj(sel.X); obj != nil && a.tracked[obj] {
+						a.deferRelease(obj, fact, r, s.Pos(), exprName(sel.X))
+					}
+				}
+			}
+			return true
+		})
+		return
+	}
+	// defer helper(b): apply the callee summary with deferred releases.
+	a.applyCall(call, fact, r, true)
+}
+
+func (a *bufAnalysis) deferRelease(obj types.Object, fact flowFact, r *Reporter, pos token.Pos, name string) {
+	if fact[obj]&(bufReleased|bufDeferReleased) != 0 {
+		a.reportOnce(r, pos, "workspace buffer %q may be released twice (a release is already pending or done on some path)", name)
+	}
+	fact[obj] = bufDeferReleased
+}
+
+func (a *bufAnalysis) release(obj types.Object, fact flowFact, r *Reporter, pos token.Pos, name string) {
+	if fact[obj]&(bufReleased|bufDeferReleased) != 0 {
+		a.reportOnce(r, pos, "workspace buffer %q may be released twice (a release is already pending or done on some path)", name)
+	}
+	fact[obj] = bufReleased
+}
+
+func exprName(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "buffer"
+}
+
+// ---- expression evaluation ----
+
+// evalExpr processes one expression for buffer effects. escaping reports
+// whether a whole identifier at this exact position transfers ownership
+// out of the function (return operand, RHS of an assignment, composite
+// element, channel send, goroutine argument).
+func (a *bufAnalysis) evalExpr(e ast.Expr, fact flowFact, r *Reporter, escaping bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident:
+		obj := a.p.Info.Uses[e]
+		if obj == nil || !a.tracked[obj] {
+			return
+		}
+		if fact[obj]&bufReleased != 0 {
+			a.reportOnce(r, e.Pos(), "use of workspace buffer %q after it was released on some path", e.Name)
+		}
+		if escaping {
+			fact[obj] = bufEscaped
+		}
+	case *ast.ParenExpr:
+		a.evalExpr(e.X, fact, r, escaping)
+	case *ast.UnaryExpr:
+		// &b hands out an alias; other unary ops read.
+		a.evalExpr(e.X, fact, r, escaping || e.Op == token.AND)
+	case *ast.StarExpr:
+		a.evalExpr(e.X, fact, r, false)
+	case *ast.SelectorExpr:
+		a.evalExpr(e.X, fact, r, false) // b.Data, b.Rows: reads
+	case *ast.IndexExpr:
+		a.evalExpr(e.X, fact, r, false)
+		a.evalExpr(e.Index, fact, r, false)
+	case *ast.IndexListExpr:
+		a.evalExpr(e.X, fact, r, false)
+		for _, idx := range e.Indices {
+			a.evalExpr(idx, fact, r, false)
+		}
+	case *ast.SliceExpr:
+		a.evalExpr(e.X, fact, r, false)
+		a.evalExpr(e.Low, fact, r, false)
+		a.evalExpr(e.High, fact, r, false)
+		a.evalExpr(e.Max, fact, r, false)
+	case *ast.BinaryExpr:
+		a.evalExpr(e.X, fact, r, false)
+		a.evalExpr(e.Y, fact, r, false)
+	case *ast.TypeAssertExpr:
+		a.evalExpr(e.X, fact, r, false)
+	case *ast.KeyValueExpr:
+		a.evalExpr(e.Key, fact, r, false)
+		a.evalExpr(e.Value, fact, r, escaping)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			a.evalExpr(elt, fact, r, true)
+		}
+	case *ast.FuncLit:
+		// A literal used as a value may run later, anywhere: captured
+		// tracked buffers escape.
+		a.captureObjs(e, fact, r, true)
+	case *ast.CallExpr:
+		a.applyCall(e, fact, r, false)
+	}
+}
+
+// captureObjs scans a function literal's body for captured tracked
+// objects. escape=true transfers ownership (go statements, stored
+// closures); escape=false only use-checks (synchronous par.Range tasks).
+func (a *bufAnalysis) captureObjs(lit *ast.FuncLit, fact flowFact, r *Reporter, escape bool) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := a.p.Info.Uses[id]
+		if obj == nil || !a.tracked[obj] {
+			return true
+		}
+		if fact[obj]&bufReleased != 0 {
+			a.reportOnce(r, id.Pos(), "use of workspace buffer %q after it was released on some path", id.Name)
+		}
+		if escape {
+			fact[obj] = bufEscaped
+		}
+		return true
+	})
+}

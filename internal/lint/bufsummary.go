@@ -1,0 +1,369 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// bufsummary.go is the interprocedural half of buf-flow: call-site effect
+// application and memoized per-callee parameter summaries.
+
+// applyCall evaluates a call expression: direct pool releases, par.Range
+// task capture, and summarized module callees. deferred marks releases as
+// pending-at-exit instead of done.
+func (a *bufAnalysis) applyCall(call *ast.CallExpr, fact flowFact, r *Reporter, deferred bool) {
+	// Direct releases: tensor.Put/PutBuf(b) and ws.Put(b).
+	if isTensorFunc(a.p, call, "Put", "PutBuf") {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			a.evalExpr(sel.X, fact, r, false)
+		}
+		for _, arg := range call.Args {
+			if obj := a.identObj(arg); obj != nil && a.tracked[obj] {
+				if deferred {
+					a.deferRelease(obj, fact, r, arg.Pos(), exprName(arg))
+				} else {
+					a.release(obj, fact, r, arg.Pos(), exprName(arg))
+				}
+			} else {
+				a.evalExpr(arg, fact, r, false)
+			}
+		}
+		return
+	}
+	// b.Release() on a tracked Buf handle.
+	if isTensorFunc(a.p, call, "Release") {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if obj := a.identObj(sel.X); obj != nil && a.tracked[obj] {
+				if deferred {
+					a.deferRelease(obj, fact, r, sel.X.Pos(), exprName(sel.X))
+				} else {
+					a.release(obj, fact, r, sel.X.Pos(), exprName(sel.X))
+				}
+				return
+			}
+		}
+	}
+	// par.Range runs its task closure to completion before returning, so a
+	// captured buffer is a synchronous use, not a handoff.
+	if fn := a.p.calleeFunc(call); fn != nil && fn.Name() == "Range" &&
+		fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/par") && len(call.Args) > 0 {
+		for _, arg := range call.Args[:len(call.Args)-1] {
+			a.evalExpr(arg, fact, r, false)
+		}
+		if lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit); ok {
+			a.captureObjs(lit, fact, r, false)
+		} else {
+			a.evalExpr(call.Args[len(call.Args)-1], fact, r, true)
+		}
+		return
+	}
+	// General call: the function expression itself is a read (method
+	// receivers like b.Rows(), func values); each whole-identifier tracked
+	// argument gets the callee's summarized effect.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		a.evalExpr(fun.X, fact, r, false)
+	case *ast.Ident:
+	case *ast.FuncLit:
+		// Immediately invoked literal: runs here, but has its own CFG;
+		// conservatively, captures escape this function's obligation.
+		a.captureObjs(fun, fact, r, true)
+	default:
+		a.evalExpr(fun, fact, r, false)
+	}
+	effects := a.calleeEffects(call)
+	for i, arg := range call.Args {
+		obj := a.identObj(arg)
+		if obj == nil || !a.tracked[obj] {
+			a.evalExpr(arg, fact, r, false)
+			continue
+		}
+		effect := bufParamEscapes // unknown callee: obligation leaves, silently
+		if effects != nil && i < len(effects) {
+			effect = effects[i]
+		}
+		// Reads happen regardless of the effect.
+		if fact[obj]&bufReleased != 0 {
+			a.reportOnce(r, arg.Pos(), "use of workspace buffer %q after it was released on some path", exprName(arg))
+		}
+		switch effect {
+		case bufParamReleases:
+			if deferred {
+				a.deferRelease(obj, fact, r, arg.Pos(), exprName(arg))
+			} else {
+				a.release(obj, fact, r, arg.Pos(), exprName(arg))
+			}
+		case bufParamEscapes:
+			fact[obj] = bufEscaped
+		case bufParamUses:
+			// caller still owns; nothing to do
+		}
+	}
+}
+
+// calleeEffects resolves the per-argument effect vector for a call, or nil
+// if the callee is unknown (func value, variadic mismatch, external).
+func (a *bufAnalysis) calleeEffects(call *ast.CallExpr) []bufParamEffect {
+	fn := a.p.calleeFunc(call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if !sig.Variadic() && sig.Params().Len() != len(call.Args) {
+		return nil
+	}
+	if sig.Variadic() && (len(call.Args) < sig.Params().Len()-1 || call.Ellipsis.IsValid()) {
+		return nil
+	}
+	// Interface methods follow the Score contract: out-parameters are
+	// written into, never retained or released — a plain use.
+	if sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		effects := make([]bufParamEffect, len(call.Args))
+		for i := range effects {
+			effects[i] = bufParamUses
+		}
+		return effects
+	}
+	node := a.prog.CallGraph().byFunc[fn]
+	if node == nil || node.Body() == nil {
+		return nil
+	}
+	sum := a.prog.bufSummaryFor(node)
+	if sum == nil {
+		return nil
+	}
+	if !sig.Variadic() {
+		return sum.effects
+	}
+	// Map variadic-tail arguments to the summarized effect of the backing
+	// slice parameter (the alias guards take kernels' operands this way).
+	fixed := sig.Params().Len() - 1
+	if fixed >= len(sum.effects) {
+		return nil
+	}
+	effects := make([]bufParamEffect, len(call.Args))
+	for i := range effects {
+		if i < fixed {
+			effects[i] = sum.effects[i]
+		} else {
+			effects[i] = sum.effects[fixed]
+		}
+	}
+	return effects
+}
+
+// bufSummaryFor memoizes computeBufSummary; a cycle yields nil (unknown).
+func (pr *Program) bufSummaryFor(node *CGNode) *bufSummary {
+	if pr.bufSums == nil {
+		pr.bufSums = make(map[*CGNode]*bufSummary)
+	}
+	if s, ok := pr.bufSums[node]; ok {
+		if s == bufSumInProgress {
+			return nil
+		}
+		return s
+	}
+	pr.bufSums[node] = bufSumInProgress
+	s := computeBufSummary(pr, node)
+	pr.bufSums[node] = s
+	return s
+}
+
+// computeBufSummary classifies every parameter of a declared module
+// function by running the buf-flow transfer over its body with each
+// buffer-typed parameter tracked, then reading the union of states on
+// normal exits:
+//
+//	escaped anywhere            → ESCAPES
+//	live on some exit, released
+//	on another (may-release)    → ESCAPES (caller can't rely on either)
+//	live on every exit          → USES
+//	released on every exit      → RELEASES
+func computeBufSummary(pr *Program, node *CGNode) *bufSummary {
+	decl := node.Decl
+	p := node.Pkg
+	flat := flattenParams(decl.Type)
+	sum := &bufSummary{effects: make([]bufParamEffect, len(flat))}
+	variadic := false
+	if fn, ok := p.Info.Defs[decl.Name].(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			variadic = sig.Variadic()
+		}
+	}
+	tracked := make(map[types.Object]bool)
+	entry := make(flowFact)
+	objAt := make([]types.Object, len(flat))
+	for i, id := range flat {
+		if id == nil || id.Name == "_" {
+			// Unnamed parameters cannot be touched by the body.
+			sum.effects[i] = bufParamUses
+			continue
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			sum.effects[i] = bufParamEscapes
+			continue
+		}
+		t := obj.Type()
+		if variadic && i == len(flat)-1 {
+			// A variadic buffer parameter arrives as a slice; tracking the
+			// slice identifier covers the alias-guard idiom (ranged, read,
+			// never retained).
+			if sl, ok := t.(*types.Slice); ok {
+				t = sl.Elem()
+			}
+		}
+		if !isBufType(t) {
+			// A buffer squeezed through any/interface{} could be stored.
+			sum.effects[i] = bufParamEscapes
+			continue
+		}
+		tracked[obj] = true
+		entry[obj] = bufLive
+		objAt[i] = obj
+	}
+	if len(tracked) == 0 {
+		return sum
+	}
+	a := &bufAnalysis{
+		prog:     pr,
+		p:        p,
+		acquired: make(map[types.Object]*acquisition),
+		tracked:  tracked,
+		reports:  make(map[string]bool),
+	}
+	cfg := FuncCFG(decl.Body)
+	in := forwardFlow(cfg, entry, func(n ast.Node, fact flowFact) {
+		a.transfer(n, fact, nil)
+	})
+	exitState := make(map[types.Object]flowState)
+	sawExit := false
+	for _, blk := range cfg.Blocks {
+		fact, ok := in[blk]
+		if !ok || blk == cfg.Exit {
+			continue
+		}
+		fact = fact.clone()
+		for _, n := range blk.Nodes {
+			a.transfer(n, fact, nil)
+		}
+		if !blockExits(blk, cfg) || blk.Terminates {
+			continue
+		}
+		sawExit = true
+		for obj := range tracked {
+			exitState[obj] |= fact[obj]
+		}
+	}
+	for i := range flat {
+		obj := objAt[i]
+		if obj == nil {
+			continue
+		}
+		st := exitState[obj]
+		switch {
+		case !sawExit:
+			sum.effects[i] = bufParamUses // never returns normally
+		case st&bufEscaped != 0:
+			sum.effects[i] = bufParamEscapes
+		case st&bufLive != 0:
+			if st&(bufReleased|bufDeferReleased) != 0 {
+				sum.effects[i] = bufParamEscapes // may-release
+			} else {
+				sum.effects[i] = bufParamUses
+			}
+		case st&(bufReleased|bufDeferReleased) != 0:
+			sum.effects[i] = bufParamReleases
+		default:
+			sum.effects[i] = bufParamUses
+		}
+	}
+	return sum
+}
+
+// flattenParams returns one entry per parameter position; unnamed
+// parameters yield nil.
+func flattenParams(ftype *ast.FuncType) []*ast.Ident {
+	var flat []*ast.Ident
+	if ftype.Params == nil {
+		return flat
+	}
+	for _, field := range ftype.Params.List {
+		if len(field.Names) == 0 {
+			flat = append(flat, nil)
+			continue
+		}
+		for _, id := range field.Names {
+			flat = append(flat, id)
+		}
+	}
+	return flat
+}
+
+// bindings extracts id := value pairs from assignments and var specs.
+func bindings(n ast.Node) (names []*ast.Ident, values []ast.Expr) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) != len(n.Rhs) {
+			return nil, nil
+		}
+		for i, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				names = append(names, id)
+				values = append(values, n.Rhs[i])
+			}
+		}
+	case *ast.ValueSpec:
+		if len(n.Names) != len(n.Values) {
+			return nil, nil
+		}
+		for i, id := range n.Names {
+			names = append(names, id)
+			values = append(values, n.Values[i])
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					ns, exprs := bindings(vs)
+					names = append(names, ns...)
+					values = append(values, exprs...)
+				}
+			}
+		}
+	}
+	return names, values
+}
+
+// isBufAcquisition reports whether call acquires pooled tensor storage.
+func isBufAcquisition(p *Package, call *ast.CallExpr) bool {
+	return isTensorFunc(p, call, "Get", "GetZero", "GetBuf", "GetZeroBuf", "NewBuf")
+}
+
+// isTensorFunc reports whether call's callee is one of the named functions
+// or methods of the tensor package.
+func isTensorFunc(p *Package, call *ast.CallExpr, names ...string) bool {
+	var id *ast.Ident
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return false
+	}
+	obj, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/tensor") {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// callgraph.go builds the module-wide call graph the interprocedural
+// checks reason over: goroutine-confine walks it for reachability from
+// goroutine-spawning sites, buf-flow consults per-function summaries for
+// ownership handoff, and state-bind for transitive state-pointer loads.
+//
+// Resolution is static: direct calls and method calls resolve through the
+// type checker; a call through an interface method edges to the interface
+// method's node, and reachability expands it to every module type that
+// implements the interface. Calls through stored func values are not
+// resolved (the repo convention keeps hot paths direct), which makes the
+// graph an under-approximation — fine for the checks built on it, which
+// all fail toward silence on unresolved calls.
+
+// Program is the whole-module view handed to every check: the requested
+// packages, every module package the loader pulled in as a dependency,
+// and lazily built interprocedural indexes.
+type Program struct {
+	Loader *Loader
+	// Pkgs are the packages the run was asked to analyze (diagnostics
+	// anchor only here).
+	Pkgs []*Package
+
+	requested map[*Package]bool
+	all       []*Package
+	cg        *CallGraph
+	bufSums   map[*CGNode]*bufSummary
+	loadSums  map[*CGNode]map[types.Object]bool
+}
+
+func newProgram(l *Loader, pkgs []*Package) *Program {
+	pr := &Program{Loader: l, Pkgs: pkgs, requested: make(map[*Package]bool, len(pkgs))}
+	for _, p := range pkgs {
+		pr.requested[p] = true
+	}
+	return pr
+}
+
+// Requested reports whether diagnostics may anchor in p.
+func (pr *Program) Requested(p *Package) bool { return pr.requested[p] }
+
+// AllPackages returns every module package currently loaded (the
+// requested set plus transitively imported module packages), sorted by
+// import path for deterministic analysis order.
+func (pr *Program) AllPackages() []*Package {
+	if pr.all == nil {
+		for _, p := range pr.Loader.pkgs {
+			pr.all = append(pr.all, p)
+		}
+		sort.Slice(pr.all, func(i, j int) bool { return pr.all[i].Path < pr.all[j].Path })
+	}
+	return pr.all
+}
+
+// CGNode is one function in the call graph: a declared function/method, a
+// function literal, or an interface method (Decl == nil, Lit == nil).
+type CGNode struct {
+	Fn    *types.Func  // nil for function literals
+	Decl  *ast.FuncDecl // nil for literals and interface methods
+	Lit   *ast.FuncLit  // nil for declared functions
+	Pkg   *Package
+	Calls []CGEdge
+}
+
+// Body returns the analyzable body, or nil for interface methods.
+func (n *CGNode) Body() *ast.BlockStmt {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Body
+	case n.Lit != nil:
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// Name returns a human-readable identity for diagnostics.
+func (n *CGNode) Name() string {
+	if n.Fn != nil {
+		return n.Fn.FullName()
+	}
+	return "func literal"
+}
+
+// IsIfaceMethod reports whether the node is an interface method (no body;
+// reachability expands it to implementations).
+func (n *CGNode) IsIfaceMethod() bool {
+	if n.Fn == nil {
+		return false
+	}
+	sig, ok := n.Fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// CGEdge is one resolved call site.
+type CGEdge struct {
+	Site   *ast.CallExpr
+	Callee *CGNode
+}
+
+// SpawnSite is one place a new goroutine can start running module code: a
+// `go` statement, or a task closure handed to par.Range (which fans it out
+// across workers).
+type SpawnSite struct {
+	Pos  token.Pos
+	Via  string // "go statement" or "par.Range task"
+	Root *CGNode
+	Pkg  *Package
+}
+
+// CallGraph indexes every function of every loaded module package.
+type CallGraph struct {
+	prog   *Program
+	nodes  []*CGNode
+	byFunc map[*types.Func]*CGNode
+	byLit  map[*ast.FuncLit]*CGNode
+	Spawns []*SpawnSite
+
+	implCache map[*types.Func][]*CGNode
+	named     []*types.Named // every named non-interface type with methods, sorted
+}
+
+// CallGraph builds (once) and returns the module call graph.
+func (pr *Program) CallGraph() *CallGraph {
+	if pr.cg != nil {
+		return pr.cg
+	}
+	cg := &CallGraph{
+		prog:      pr,
+		byFunc:    make(map[*types.Func]*CGNode),
+		byLit:     make(map[*ast.FuncLit]*CGNode),
+		implCache: make(map[*types.Func][]*CGNode),
+	}
+	pkgs := pr.AllPackages()
+	// Pass 1: nodes for declared functions/methods and interface methods,
+	// and the named-type index for implements expansion.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := &CGNode{Fn: fn, Decl: fd, Pkg: p}
+				cg.nodes = append(cg.nodes, n)
+				cg.byFunc[fn] = n
+			}
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				for i := 0; i < iface.NumExplicitMethods(); i++ {
+					m := iface.ExplicitMethod(i)
+					if cg.byFunc[m] == nil {
+						n := &CGNode{Fn: m, Pkg: p}
+						cg.nodes = append(cg.nodes, n)
+						cg.byFunc[m] = n
+					}
+				}
+				continue
+			}
+			if named.NumMethods() > 0 {
+				cg.named = append(cg.named, named)
+			}
+		}
+	}
+	sort.Slice(cg.named, func(i, j int) bool {
+		return cg.named[i].Obj().Pos() < cg.named[j].Obj().Pos()
+	})
+	// Pass 2: edges and spawn sites. A stack of enclosing nodes attributes
+	// calls inside function literals to the literal, not its host.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				host := cg.byFunc[p.Info.Defs[fd.Name].(*types.Func)]
+				cg.walkBody(p, host, fd.Body)
+			}
+		}
+	}
+	pr.cg = cg
+	return cg
+}
+
+// walkBody attributes calls/spawns in body to host, recursing into
+// literals with a fresh node. A `go` statement's callee is deliberately
+// NOT a call edge from the host — the spawned body runs on its own
+// goroutine and is reachable only through the recorded SpawnSite, which is
+// what keeps goroutine-confine's per-site reachability honest.
+func (cg *CallGraph) walkBody(p *Package, host *CGNode, body *ast.BlockStmt) {
+	cg.walkNode(p, host, body)
+}
+
+func (cg *CallGraph) walkNode(p *Package, host *CGNode, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			cg.litNode(p, n)
+			return false
+		case *ast.GoStmt:
+			if spawned := cg.resolveCallable(p, n.Call.Fun); spawned != nil {
+				cg.Spawns = append(cg.Spawns, &SpawnSite{Pos: n.Pos(), Via: "go statement", Root: spawned, Pkg: p})
+			}
+			// The go call's arguments (and a method receiver) evaluate on
+			// the spawning goroutine; the body does not.
+			for _, arg := range n.Call.Args {
+				cg.walkNode(p, host, arg)
+			}
+			return false
+		case *ast.CallExpr:
+			cg.addCall(p, host, n)
+			if fn := p.calleeFunc(n); fn != nil && fn.Name() == "Range" &&
+				fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/par") && len(n.Args) > 0 {
+				if task := cg.resolveCallable(p, n.Args[len(n.Args)-1]); task != nil {
+					cg.Spawns = append(cg.Spawns, &SpawnSite{Pos: n.Pos(), Via: "par.Range task", Root: task, Pkg: p})
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// litNode registers (once) a function literal's node and walks its body.
+func (cg *CallGraph) litNode(p *Package, lit *ast.FuncLit) *CGNode {
+	if n := cg.byLit[lit]; n != nil {
+		return n
+	}
+	n := &CGNode{Lit: lit, Pkg: p}
+	cg.nodes = append(cg.nodes, n)
+	cg.byLit[lit] = n
+	cg.walkBody(p, n, lit.Body)
+	return n
+}
+
+func (cg *CallGraph) addCall(p *Package, host *CGNode, call *ast.CallExpr) {
+	var callee *CGNode
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// Immediately-invoked literal.
+		callee = cg.litNode(p, lit)
+	} else if fn := p.calleeFunc(call); fn != nil {
+		callee = cg.byFunc[fn]
+	}
+	if callee != nil && host != nil {
+		host.Calls = append(host.Calls, CGEdge{Site: call, Callee: callee})
+	}
+}
+
+// resolveCallable maps a spawned expression (`go EXPR(...)`, par.Range's
+// task argument) to its node: a literal, or a declared function/method.
+func (cg *CallGraph) resolveCallable(p *Package, e ast.Expr) *CGNode {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return cg.litNode(p, e)
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[e].(*types.Func); ok {
+			return cg.byFunc[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[e.Sel].(*types.Func); ok {
+			return cg.byFunc[fn]
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call's target through the type info; nil for
+// conversions, builtins, and calls through func values.
+func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// Implementations returns the module methods implementing an interface
+// method, in declaration order.
+func (cg *CallGraph) Implementations(ifaceMethod *types.Func) []*CGNode {
+	if impls, ok := cg.implCache[ifaceMethod]; ok {
+		return impls
+	}
+	var impls []*CGNode
+	sig, ok := ifaceMethod.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			for _, named := range cg.named {
+				ptr := types.NewPointer(named)
+				if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, ifaceMethod.Pkg(), ifaceMethod.Name())
+				if m, ok := obj.(*types.Func); ok {
+					if n := cg.byFunc[m]; n != nil {
+						impls = append(impls, n)
+					}
+				}
+			}
+		}
+	}
+	cg.implCache[ifaceMethod] = impls
+	return impls
+}
+
+// Reachable walks call edges from root, expanding interface methods to
+// their module implementations, and returns every node reached.
+func (cg *CallGraph) Reachable(root *CGNode) map[*CGNode]bool {
+	seen := map[*CGNode]bool{root: true}
+	work := []*CGNode{root}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		var nexts []*CGNode
+		for _, e := range n.Calls {
+			nexts = append(nexts, e.Callee)
+		}
+		if n.IsIfaceMethod() {
+			nexts = append(nexts, cg.Implementations(n.Fn)...)
+		}
+		for _, next := range nexts {
+			if !seen[next] {
+				seen[next] = true
+				work = append(work, next)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// confine.go implements goroutine-confine: functions annotated
+//
+//	// lint:confine <label>
+//
+// in their doc comment form a confinement group. The check walks the
+// module call graph from every goroutine-spawning site (naked `go`
+// statements and task closures handed to par.Range) and requires that at
+// most ONE spawn site per label reaches the group. The serve scoring path
+// carries the "score-path" label: pooled output buffers are recycled per
+// request with no per-buffer locking, which is only sound while exactly
+// one goroutine (the dispatcher) drives Score.
+//
+// Marking an interface method confines its contract: every module method
+// implementing the interface must carry the same marker, so an
+// implementation cannot silently opt out of the constraint its callers
+// rely on — and deleting the marker from an implementation is itself a
+// finding, not a loophole.
+
+var confineRE = regexp.MustCompile(`^//\s*lint:confine\s+(\S+)`)
+
+// confineLabel extracts the label from a comment group, or "".
+func confineLabel(groups ...*ast.CommentGroup) string {
+	for _, doc := range groups {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if m := confineRE.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+// confinedFuncs maps call-graph nodes to their declared label, covering
+// declared functions/methods and interface methods (whose marker sits on
+// the method field inside the interface type).
+func confinedFuncs(prog *Program) map[*CGNode]string {
+	cg := prog.CallGraph()
+	out := make(map[*CGNode]string)
+	for _, p := range prog.AllPackages() {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					label := confineLabel(d.Doc)
+					if label == "" {
+						continue
+					}
+					if fn, ok := p.Info.Defs[d.Name].(*types.Func); ok {
+						if n := cg.byFunc[fn]; n != nil {
+							out[n] = label
+						}
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						iface, ok := ts.Type.(*ast.InterfaceType)
+						if !ok {
+							continue
+						}
+						for _, field := range iface.Methods.List {
+							label := confineLabel(field.Doc, field.Comment)
+							if label == "" {
+								continue
+							}
+							for _, name := range field.Names {
+								if fn, ok := p.Info.Defs[name].(*types.Func); ok {
+									if n := cg.byFunc[fn]; n != nil {
+										out[n] = label
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func runConfine(prog *Program, r *Reporter) {
+	cg := prog.CallGraph()
+	labels := confinedFuncs(prog)
+	if len(labels) == 0 {
+		return
+	}
+	// Rule A: implementations of a confined interface method must carry the
+	// same marker.
+	for n, label := range labels {
+		if !n.IsIfaceMethod() {
+			continue
+		}
+		for _, impl := range cg.Implementations(n.Fn) {
+			if labels[impl] == label {
+				continue
+			}
+			if impl.Decl == nil || !prog.Requested(impl.Pkg) {
+				continue
+			}
+			r.Report(impl.Decl.Name.Pos(),
+				"%s implements %s, which is confined (lint:confine %s), but its doc comment lacks the marker",
+				impl.Fn.FullName(), n.Fn.FullName(), label)
+		}
+	}
+	// Rule B: at most one goroutine-spawning site may reach each label.
+	fset := prog.Loader.Fset
+	byLabel := make(map[string][]*SpawnSite)
+	for _, site := range cg.Spawns {
+		reach := cg.Reachable(site.Root)
+		seen := make(map[string]bool)
+		for n := range reach {
+			label := labels[n]
+			if label == "" || seen[label] {
+				continue
+			}
+			seen[label] = true
+			byLabel[label] = append(byLabel[label], site)
+		}
+	}
+	var names []string
+	for label := range byLabel {
+		names = append(names, label)
+	}
+	sort.Strings(names)
+	for _, label := range names {
+		sites := byLabel[label]
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool {
+			a, b := fset.Position(sites[i].Pos), fset.Position(sites[j].Pos)
+			if a.Filename != b.Filename {
+				return a.Filename < b.Filename
+			}
+			return a.Offset < b.Offset
+		})
+		first := fset.Position(sites[0].Pos)
+		for _, site := range sites[1:] {
+			if !prog.Requested(site.Pkg) {
+				continue
+			}
+			r.Report(site.Pos,
+				"this %s reaches lint:confine %q functions already driven by the goroutine spawned at %s:%d; confined code must stay on one goroutine per label",
+				site.Via, label, first.Filename, first.Line)
+		}
+	}
+}

@@ -6,8 +6,10 @@
 //     parallel kernel chunks work through the one race-tested partitioner.
 //   - into-guard: exported *Into kernels validate shapes and reject
 //     aliasing (tensor.Overlaps) before writing.
-//   - buf-release: workspace buffers acquired in a function are released
-//     in that function (or handed off explicitly).
+//   - buf-flow: path-sensitive workspace-buffer lifetimes — no
+//     use-after-release, no double-release, no leak on early returns or
+//     error paths; ownership handoff to callees is resolved through
+//     call-graph summaries.
 //   - global-rand: no package-level RNG state or time-based seeding in
 //     internal/ and cmd/; randomness is injected as *rand.Rand.
 //   - unchecked-error: no error return silently dropped as a bare call
@@ -20,10 +22,19 @@
 //   - durable-write: the ckpt package never opens a final path for writing
 //     directly; checkpoint bytes reach disk only through the crash-safe
 //     temp+rename helper (ckpt.WriteFileDurable).
+//   - goroutine-confine: functions marked `lint:confine <label>` stay
+//     reachable from at most one goroutine-spawning site per label (the
+//     serve scoring path's pooled buffers depend on it).
+//   - ctx-flow: context.Background/TODO only in func main; a ctx parameter
+//     must flow to every callee that accepts one.
+//   - state-bind: serve request paths Load the hot-swap state pointer at
+//     most once, so responses never mix generations.
 //
 // The analyzer is built only on the stdlib go/parser, go/ast, go/types, and
 // go/token packages — the repo has no external dependencies and the linter
-// keeps it that way. Findings are suppressed per site with
+// keeps it that way. Dataflow checks run on a basic-block CFG (cfg.go) with
+// a union-merge worklist engine (dataflow.go) and a module-wide call graph
+// (callgraph.go). Findings are suppressed per site with
 //
 //	//lint:ignore <check> <reason>
 //
@@ -32,6 +43,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -51,13 +63,34 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
-// Check is one named analyzer.
+// MarshalJSON emits the flat shape the -json mode and the CI problem
+// matcher consume: one object per finding.
+func (d Diagnostic) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message})
+}
+
+// Check is one named analyzer. Per-package checks set Run; whole-module
+// checks (which reason over the call graph across packages) set RunModule
+// and are invoked once per RunChecks call.
 type Check struct {
 	Name string
 	Doc  string
 	// Applies filters by import path; nil means every package.
-	Applies func(pkgPath string) bool
-	Run     func(p *Package, r *Reporter)
+	Applies   func(pkgPath string) bool
+	Run       func(prog *Program, p *Package, r *Reporter)
+	RunModule func(prog *Program, r *Reporter)
+}
+
+// pkgCheck adapts the single-package checks that need no whole-module
+// context.
+func pkgCheck(f func(p *Package, r *Reporter)) func(*Program, *Package, *Reporter) {
+	return func(_ *Program, p *Package, r *Reporter) { f(p, r) }
 }
 
 // internalOrCmd scopes a check to the packages whose invariants the
@@ -77,23 +110,23 @@ func Checks(modPath string) []*Check {
 			Name:    "naked-go",
 			Doc:     "go statements are allowed only inside internal/par (and an explicit allowlist)",
 			Applies: func(pkgPath string) bool { return pkgPath != modPath+"/internal/par" },
-			Run:     runNakedGo,
+			Run:     pkgCheck(runNakedGo),
 		},
 		{
 			Name: "into-guard",
 			Doc:  "exported *Into kernels must validate shapes and check aliasing (tensor.Overlaps) before writing",
-			Run:  runIntoGuard,
+			Run:  pkgCheck(runIntoGuard),
 		},
 		{
-			Name: "buf-release",
-			Doc:  "workspace buffers acquired in a function must be released (Put/PutBuf/Release) in that function",
-			Run:  runBufRelease,
+			Name: "buf-flow",
+			Doc:  "workspace buffers: no use-after-release, no double-release, no leak on any path; handoff via call-graph summaries",
+			Run:  runBufFlow,
 		},
 		{
 			Name:    "global-rand",
 			Doc:     "no package-level RNG state, math/rand v1, or time-based seeding; inject *rand.Rand",
 			Applies: inScope,
-			Run:     runGlobalRand,
+			Run:     pkgCheck(runGlobalRand),
 		},
 		{
 			Name: "epoch-loop",
@@ -101,18 +134,18 @@ func Checks(modPath string) []*Check {
 			Applies: func(pkgPath string) bool {
 				return inScope(pkgPath) && pkgPath != modPath+"/internal/train"
 			},
-			Run: runEpochLoop,
+			Run: pkgCheck(runEpochLoop),
 		},
 		{
 			Name:    "unchecked-error",
 			Doc:     "no error return dropped as a bare call statement",
 			Applies: inScope,
-			Run:     runUncheckedError,
+			Run:     pkgCheck(runUncheckedError),
 		},
 		{
 			Name: "obs-span-end",
 			Doc:  "tracing spans acquired in a function must be ended (End, deferred or on every path) in that function or handed off",
-			Run:  runSpanEnd,
+			Run:  pkgCheck(runSpanEnd),
 		},
 		{
 			Name: "durable-write",
@@ -120,7 +153,26 @@ func Checks(modPath string) []*Check {
 			Applies: func(pkgPath string) bool {
 				return strings.HasSuffix(pkgPath, "/ckpt")
 			},
-			Run: runDurableWrite,
+			Run: pkgCheck(runDurableWrite),
+		},
+		{
+			Name:      "goroutine-confine",
+			Doc:       "lint:confine-marked functions are reachable from at most one goroutine-spawning site per label; implementations of confined interface methods carry the marker",
+			RunModule: runConfine,
+		},
+		{
+			Name:    "ctx-flow",
+			Doc:     "context.Background/TODO only in func main; a ctx parameter must flow, derived, to every callee accepting a context",
+			Applies: inScope,
+			Run:     runCtxFlow,
+		},
+		{
+			Name: "state-bind",
+			Doc:  "serve request paths Load the hot-swap atomic.Pointer at most once (transitively), and never bind a dead snapshot",
+			Applies: func(pkgPath string) bool {
+				return strings.HasSuffix(pkgPath, "/serve")
+			},
+			Run: runStateBind,
 		},
 	}
 }
@@ -198,15 +250,31 @@ func RunChecks(l *Loader, pkgs []*Package, names []string) ([]Diagnostic, error)
 		}
 		suite = sel
 	}
+	prog := newProgram(l, pkgs)
 	var diags []Diagnostic
+	merged := make(map[string]map[int]map[string]bool)
 	for _, p := range pkgs {
 		ignores := collectIgnores(l.Fset, p.AllFiles())
+		for file, lines := range ignores {
+			merged[file] = lines
+		}
 		for _, c := range suite {
+			if c.Run == nil {
+				continue
+			}
 			if c.Applies != nil && !c.Applies(p.Path) {
 				continue
 			}
-			c.Run(p, &Reporter{fset: l.Fset, check: c.Name, diags: &diags, ignores: ignores})
+			c.Run(prog, p, &Reporter{fset: l.Fset, check: c.Name, diags: &diags, ignores: ignores})
 		}
+	}
+	// Module-wide checks run once, anchored to requested packages, with
+	// every requested package's suppressions in scope.
+	for _, c := range suite {
+		if c.RunModule == nil {
+			continue
+		}
+		c.RunModule(prog, &Reporter{fset: l.Fset, check: c.Name, diags: &diags, ignores: merged})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -44,8 +44,17 @@ type Loader struct {
 
 	Fset *token.FileSet
 
-	std  types.Importer
-	pkgs map[string]*Package // memoized by import path
+	std      types.Importer
+	pkgs     map[string]*Package // memoized by import path
+	buildCtx build.Context
+}
+
+// SetTags sets the custom build tags (as with `go build -tags`) consulted
+// when deciding which files belong to a package. It must be called before
+// the first load: packages are memoized by import path, so a tag change
+// after loading would silently serve the old file set.
+func (l *Loader) SetTags(tags ...string) {
+	l.buildCtx.BuildTags = append([]string(nil), tags...)
 }
 
 // NewLoader locates the enclosing module of dir and returns a loader for it.
@@ -82,11 +91,12 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		ModDir:  modDir,
-		ModPath: modPath,
-		Fset:    fset,
-		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    make(map[string]*Package),
+		ModDir:   modDir,
+		ModPath:  modPath,
+		Fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     make(map[string]*Package),
+		buildCtx: build.Default,
 	}, nil
 }
 
@@ -161,10 +171,10 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 			continue
 		}
 		// Honor build constraints the way the go tool does: a file excluded
-		// under the default tag set (e.g. //go:build nofault alternates)
+		// under the active tag set (e.g. //go:build nofault alternates)
 		// must not be parsed into the same package as its enabled twin, or
 		// type checking sees every symbol declared twice.
-		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
+		if match, err := l.buildCtx.MatchFile(dir, name); err != nil || !match {
 			continue
 		}
 		if strings.HasSuffix(name, "_test.go") {

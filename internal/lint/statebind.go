@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// statebind.go implements state-bind: in the serving layer, a request
+// path may Load the hot-swap atomic.Pointer at most once. The engine
+// swaps whole immutable state generations on reload; a handler that
+// Loads twice can serve half a response from generation N and half from
+// N+1. The check counts Loads per pointer field along every CFG path,
+// following module calls through transitive may-Load summaries (a helper
+// like Current() counts as a Load at its call site), and also flags dead
+// Loads — a snapshot taken and dropped is a latent second Load waiting
+// to be "fixed" by loading again.
+
+const (
+	stLoadedOnce flowState = 1 << iota
+)
+
+// atomicPointerLoad resolves a call of the form x.f.Load() on a
+// sync/atomic Pointer (or Value) to the field/variable object identifying
+// the pointer, or nil.
+func atomicPointerLoad(p *Package, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" || len(call.Args) != 0 {
+		return nil
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	// Only the hot-swap atomic.Pointer matters; plain atomic counters
+	// (Int64 etc.) are loaded freely by stats paths.
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	if named, ok := rt.(*types.Named); !ok || named.Obj().Name() != "Pointer" {
+		return nil
+	}
+	switch base := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		return p.Info.Uses[base.Sel]
+	case *ast.Ident:
+		return p.Info.Uses[base]
+	}
+	return nil
+}
+
+// hotSwapField reports whether field is an atomic.Pointer whose element
+// type is declared in the analyzed package — the hot-swap state pointer,
+// as opposed to e.g. observability refs that legitimately reload.
+func hotSwapField(p *Package, field types.Object) bool {
+	named, ok := field.Type().(*types.Named)
+	if !ok || named.Obj().Name() != "Pointer" || named.TypeArgs().Len() != 1 {
+		return false
+	}
+	elem := named.TypeArgs().At(0)
+	if ptr, ok := elem.(*types.Pointer); ok {
+		elem = ptr.Elem()
+	}
+	en, ok := elem.(*types.Named)
+	return ok && en.Obj().Pkg() == p.Types
+}
+
+func runStateBind(prog *Program, p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeStateBind(prog, p, r, fd.Body)
+			forEachFuncLit(fd.Body, func(lit *ast.FuncLit) {
+				analyzeStateBind(prog, p, r, lit.Body)
+			})
+		}
+	}
+}
+
+func analyzeStateBind(prog *Program, p *Package, r *Reporter, body *ast.BlockStmt) {
+	// Quick reject: no loads (direct or through module calls) in sight.
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if field := atomicPointerLoad(p, call); field != nil && hotSwapField(p, field) {
+			found = true
+		} else if fn := p.calleeFunc(call); fn != nil {
+			if node := prog.CallGraph().byFunc[fn]; node != nil {
+				for field := range prog.mayLoadFor(node) {
+					if hotSwapField(p, field) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+	cfg := FuncCFG(body)
+	transfer := func(n ast.Node, fact flowFact) {
+		stateBindEvents(prog, p, n, func(field types.Object, pos ast.Node) {
+			fact[field] |= stLoadedOnce
+		})
+	}
+	in := forwardFlow(cfg, make(flowFact), transfer)
+	liveIn := liveVars(cfg, p.Info)
+	for _, blk := range cfg.Blocks {
+		fact, ok := in[blk]
+		if !ok || blk == cfg.Exit {
+			continue
+		}
+		fact = fact.clone()
+		for idx, n := range blk.Nodes {
+			// Dead-load: a snapshot bound and never read.
+			if obj, call := loadBinding(p, n); obj != nil {
+				if !liveAfter(cfg, p.Info, liveIn, blk, idx)[obj] {
+					r.Report(call.Pos(), "hot-swap state Load whose result %q is never used; drop it or thread the snapshot", obj.Name())
+				}
+			}
+			stateBindEvents(prog, p, n, func(field types.Object, pos ast.Node) {
+				if fact[field]&stLoadedOnce != 0 {
+					r.Report(pos.Pos(), "second Load of hot-swap pointer %q on this path; a response could mix state generations — Load once and pass the snapshot down", field.Name())
+				}
+				fact[field] |= stLoadedOnce
+			})
+		}
+	}
+}
+
+// stateBindEvents invokes fn for every Load event a node performs, in
+// source order: direct atomic Loads, and module calls that transitively
+// may Load (attributed to the call site).
+func stateBindEvents(prog *Program, p *Package, n ast.Node, fn func(field types.Object, pos ast.Node)) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		// The body evaluates in its own blocks.
+		stateBindEvents(prog, p, rs.X, fn)
+		return
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if field := atomicPointerLoad(p, call); field != nil {
+			if hotSwapField(p, field) {
+				fn(field, call)
+			}
+			return true
+		}
+		if callee := p.calleeFunc(call); callee != nil {
+			if node := prog.CallGraph().byFunc[callee]; node != nil {
+				for field := range prog.mayLoadFor(node) {
+					if hotSwapField(p, field) {
+						fn(field, call)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// loadBinding matches `id := x.f.Load()` (single binding of a direct
+// load) and returns the bound object and the call.
+func loadBinding(p *Package, n ast.Node) (types.Object, *ast.CallExpr) {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	if field := atomicPointerLoad(p, call); field == nil || !hotSwapField(p, field) {
+		return nil, nil
+	}
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		obj = p.Info.Uses[id]
+	}
+	return obj, call
+}
+
+// mayLoadFor memoizes the set of atomic-pointer fields a function may
+// Load, directly or through module callees. Cycles resolve to the empty
+// set (the check under-reports rather than inventing paths).
+func (pr *Program) mayLoadFor(node *CGNode) map[types.Object]bool {
+	if pr.loadSums == nil {
+		pr.loadSums = make(map[*CGNode]map[types.Object]bool)
+	}
+	if s, ok := pr.loadSums[node]; ok {
+		return s
+	}
+	pr.loadSums[node] = map[types.Object]bool{} // in-progress: cycle-silent
+	out := make(map[types.Object]bool)
+	body := node.Body()
+	if body == nil {
+		pr.loadSums[node] = out
+		return out
+	}
+	p := node.Pkg
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if field := atomicPointerLoad(p, call); field != nil {
+			out[field] = true
+			return true
+		}
+		if callee := p.calleeFunc(call); callee != nil {
+			if sub := pr.CallGraph().byFunc[callee]; sub != nil && sub != node {
+				for field := range pr.mayLoadFor(sub) {
+					out[field] = true
+				}
+			}
+		}
+		return true
+	})
+	pr.loadSums[node] = out
+	return out
+}

@@ -1,0 +1,61 @@
+// Package confine is a gnnlint test fixture for the goroutine-confine
+// check: lint:confine-marked functions reachable from at most one
+// goroutine-spawning site per label, and implementations of confined
+// interface methods must carry the marker.
+package confine
+
+// Scorer is a confined contract: implementations reuse unsynchronized
+// scratch state, so exactly one goroutine may drive Score.
+type Scorer interface {
+	// Score computes a value using pooled scratch.
+	// lint:confine fixture-score
+	Score(n int) int
+}
+
+// marked carries the marker its interface demands — clean.
+type marked struct{ scratch []int }
+
+// Score implements Scorer.
+// lint:confine fixture-score
+func (m *marked) Score(n int) int {
+	if len(m.scratch) < n {
+		m.scratch = make([]int, n)
+	}
+	return len(m.scratch)
+}
+
+// unmarked silently opts out of the confinement contract.
+type unmarked struct{}
+
+// Score implements Scorer without the marker.
+func (unmarked) Score(n int) int { return n } // want "lacks the marker"
+
+// confined is a plain confined function.
+// lint:confine pump
+func confined(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+// startPump is the one legitimate spawn site for the pump label.
+func startPump(ch chan int) {
+	go confined(ch)
+}
+
+// worker reaches confined code indirectly.
+func worker(ch chan int) {
+	confined(ch)
+}
+
+// startSecondPump adds a second goroutine driving the same label.
+func startSecondPump(ch chan int) {
+	go worker(ch) // want "already driven by the goroutine spawned at"
+}
+
+// startSuppressedPump would be a third site, but the directive (with its
+// mandatory reason) silences it.
+func startSuppressedPump(ch chan int) {
+	//lint:ignore goroutine-confine test-only drain, never runs concurrently
+	go confined(ch)
+}

@@ -1,0 +1,57 @@
+// This file is a gnnlint test fixture for the ctx-flow check. It is
+// package main because rule 1 exempts exactly the lexical func main of a
+// package main — everything else must borrow its context.
+package main
+
+import (
+	"context"
+	"time"
+)
+
+var globalCtx = context.Background() // want "outside func main"
+
+type server struct {
+	base context.Context
+}
+
+func main() {
+	// The process root owns the root context.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	run(ctx, &server{base: ctx})
+}
+
+func run(ctx context.Context, s *server) {
+	step(ctx)                      // derived: the parameter itself
+	step(context.Background())     // want "outside func main"
+	step(s.base)                   // want "not derived"
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	step(child) // derived through With*
+}
+
+// rebind overwrites its parameter with a foreign context; every use after
+// the rebind is foreign on that path.
+func rebind(ctx context.Context, s *server) {
+	ctx = s.base
+	step(ctx) // want "not derived"
+}
+
+// branchy only rebinds on one path — the merge is still foreign-possible,
+// but derived-on-some-path keeps it quiet (the check flags foreign-ONLY).
+func branchy(ctx context.Context, s *server, swap bool) {
+	if swap {
+		ctx = context.WithoutCancel(ctx) // derived of derived
+	}
+	step(ctx)
+}
+
+// suppressed shows the escape hatch with its mandatory reason.
+func suppressed(ctx context.Context, s *server) {
+	//lint:ignore ctx-flow detached audit trail must outlive the request
+	step(s.base)
+}
+
+func step(ctx context.Context) {
+	<-ctx.Done()
+}

@@ -1,0 +1,67 @@
+// Package serve is a gnnlint test fixture for the state-bind check: a
+// request path may Load the hot-swap atomic.Pointer at most once, and
+// never bind a snapshot it does not use. The directory is named serve
+// because the check applies only to serving packages.
+package serve
+
+import "sync/atomic"
+
+// state is one immutable generation of serving state.
+type state struct{ gen int }
+
+type engine struct {
+	cur atomic.Pointer[state]
+}
+
+// predictOnce is the correct shape: one Load, snapshot threaded down.
+func (e *engine) predictOnce(n int) int {
+	st := e.cur.Load()
+	return score(st, n)
+}
+
+func score(st *state, n int) int { return st.gen * n }
+
+// doubleLoad takes two snapshots on one path: the response can mix
+// generations across a hot swap.
+func (e *engine) doubleLoad(n int) int {
+	a := e.cur.Load()
+	b := e.cur.Load() // want "second Load"
+	return a.gen + b.gen + n
+}
+
+// current hides a Load behind a helper; the summary attributes it to
+// every call site.
+func (e *engine) current() *state { return e.cur.Load() }
+
+// transitiveDouble double-loads through the helper.
+func (e *engine) transitiveDouble() int {
+	st := e.current()
+	return st.gen + e.current().gen // want "second Load"
+}
+
+// loadInLoop reloads every iteration: the back edge makes each pass after
+// the first a second Load on that path.
+func (e *engine) loadInLoop(k int) int {
+	t := 0
+	for i := 0; i < k; i++ {
+		t += e.cur.Load().gen // want "second Load"
+	}
+	return t
+}
+
+// deadLoad binds a snapshot and overwrites it before any read — the
+// first Load is dead, and the rebind is a second Load.
+func (e *engine) deadLoad() int {
+	st := e.cur.Load() // want "never used"
+	st = e.cur.Load()  // want "second Load"
+	return st.gen
+}
+
+// refresh intentionally observes two generations; the directive (with its
+// mandatory reason) silences the finding.
+func (e *engine) refresh() int {
+	a := e.cur.Load()
+	//lint:ignore state-bind comparing generations across a swap is the point here
+	b := e.cur.Load()
+	return b.gen - a.gen
+}

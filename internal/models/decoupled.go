@@ -78,6 +78,7 @@ func (m *SGC) Classes() int { return m.classes }
 
 // Score implements NodeScorer: batched per-node logits via one pooled
 // gather + head forward.
+// lint:confine score-path
 func (m *SGC) Score(idx []int, out *tensor.Matrix) error {
 	if m.net == nil {
 		return fmt.Errorf("models: SGC.Score before Fit or Restore")
@@ -159,6 +160,7 @@ func (m *SIGN) Nodes() int {
 func (m *SIGN) Classes() int { return m.classes }
 
 // Score implements NodeScorer.
+// lint:confine score-path
 func (m *SIGN) Score(idx []int, out *tensor.Matrix) error {
 	if m.net == nil {
 		return fmt.Errorf("models: SIGN.Score before Fit or Restore")
@@ -319,6 +321,7 @@ func (m *APPNP) Classes() int { return m.classes }
 // Score implements NodeScorer. Propagation couples every node, so per-node
 // serving reads rows of the cached diffused logits instead of recomputing
 // the K-hop walk per request.
+// lint:confine score-path
 func (m *APPNP) Score(idx []int, out *tensor.Matrix) error {
 	if m.net == nil {
 		return fmt.Errorf("models: APPNP.Score before Fit or Restore")
@@ -525,6 +528,7 @@ func (m *GAMLP) Classes() int { return m.classes }
 
 // Score implements NodeScorer: attention-combine the requested rows, then
 // one pooled head forward.
+// lint:confine score-path
 func (m *GAMLP) Score(idx []int, out *tensor.Matrix) error {
 	if m.net == nil {
 		return fmt.Errorf("models: GAMLP.Score before Fit or Restore")
@@ -660,6 +664,7 @@ func (m *LD2) Nodes() int {
 func (m *LD2) Classes() int { return m.classes }
 
 // Score implements NodeScorer.
+// lint:confine score-path
 func (m *LD2) Score(idx []int, out *tensor.Matrix) error {
 	if m.net == nil {
 		return fmt.Errorf("models: LD2.Score before Fit or Restore")

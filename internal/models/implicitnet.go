@@ -142,12 +142,16 @@ func (m *ImplicitNet) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error)
 			for i, sc := range m.Scales {
 				solver, err := implicit.NewSolver(op, m.Gamma)
 				if err != nil {
+					tensor.PutBuf(gZ)
+					tensor.PutBuf(gB)
 					return err
 				}
 				solver.Scale = sc
 				solver.Tol = 1e-7
 				u, _, err := solver.SolveAdjoint(gZ, m.wimp[i].Value)
 				if err != nil {
+					tensor.PutBuf(gZ)
+					tensor.PutBuf(gB)
 					return fmt.Errorf("models: implicit adjoint: %w", err)
 				}
 				m.wimp[i].Grad.Add(solver.GradW(zs[i], u))

@@ -35,6 +35,8 @@ type Model interface {
 	Name() string
 	Nodes() int
 	Classes() int
+	// Score reuses pooled scratch buffers with no per-buffer locking.
+	// lint:confine score-path
 	Score(idx []int, out *tensor.Matrix) error
 }
 
@@ -363,6 +365,7 @@ func (e *Engine) runBatch(batch []*request) {
 
 // scoreGroup runs one batched Score for every miss in the group, fills
 // caller score slots and the state's cache, and signals completion.
+// lint:confine score-path
 func (e *Engine) scoreGroup(st *state, group []*request) {
 	total := 0
 	for _, r := range group {
