@@ -1,0 +1,106 @@
+// Command gnnperfgate compares a BENCH_kernels.json report against the
+// checked-in allocs/op baseline and fails if any gated kernel regressed.
+//
+// The gate tracks steady-state pool discipline, not raw speed: the *Into
+// kernels are pool-backed and allocation-free per element, so a pooling
+// regression (a per-row buffer, a FromSlice in the hot loop) shows up as
+// tens-to-thousands of allocs/op — far beyond the scheduling slack the gate
+// tolerates. ns/op is machine-dependent and deliberately not gated.
+//
+// Usage:
+//
+//	gnnbench -quick -kernels-out /tmp/kernels.json
+//	gnnperfgate -report /tmp/kernels.json -baseline scripts/kernel_allocs_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"scalegnn/internal/bench"
+)
+
+func main() {
+	var (
+		report   = flag.String("report", "", "BENCH_kernels.json produced by gnnbench -kernels-out")
+		baseline = flag.String("baseline", "scripts/kernel_allocs_baseline.json", "kernel family -> max allocs/op baseline")
+		slack    = flag.Int64("slack", 8, "allocs/op headroom over the baseline (absorbs goroutine scheduling noise)")
+	)
+	flag.Parse()
+	if *report == "" {
+		fatal("need -report")
+	}
+
+	var rep bench.KernelBenchReport
+	if err := readJSON(*report, &rep); err != nil {
+		fatal("%v", err)
+	}
+	base := map[string]int64{}
+	if err := readJSON(*baseline, &base); err != nil {
+		fatal("%v", err)
+	}
+
+	// Index report rows by family: the benchmark name minus its trailing
+	// size segment, so quick and full runs check against the same baseline.
+	got := map[string]*bench.KernelResult{}
+	for _, r := range rep.Results {
+		got[family(r.Name)] = r
+	}
+
+	families := make([]string, 0, len(base))
+	for f := range base {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+
+	failed := 0
+	for _, f := range families {
+		limit := base[f] + *slack
+		r, ok := got[f]
+		if !ok {
+			// A missing family means a rename silently disabled the gate.
+			fmt.Printf("FAIL %-28s missing from report\n", f)
+			failed++
+			continue
+		}
+		if r.AllocsOp > limit {
+			fmt.Printf("FAIL %-28s %d allocs/op > %d (baseline %d + slack %d)\n",
+				f, r.AllocsOp, limit, base[f], *slack)
+			failed++
+			continue
+		}
+		fmt.Printf("ok   %-28s %d allocs/op (limit %d)\n", f, r.AllocsOp, limit)
+	}
+	if failed > 0 {
+		fatal("%d kernel allocation regression(s)", failed)
+	}
+}
+
+// family strips the trailing size segment: "matmul_into/float32/128x96x64"
+// -> "matmul_into/float32".
+func family(name string) string {
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gnnperfgate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -50,6 +50,7 @@ func main() {
 		graphPath = flag.String("graph", "", "optional edge-list file (overrides synthetic graph)")
 		labelPath = flag.String("labels", "", "optional label file (one class per line)")
 		seed      = flag.Uint64("seed", 42, "random seed (must match training)")
+		dtype     = flag.String("dtype", "float64", "numeric tier used in training: float64 | float32")
 
 		lr          = flag.Float64("lr", 0.01, "learning rate used in training")
 		weightDecay = flag.Float64("weight-decay", 5e-4, "L2 weight decay used in training")
@@ -112,6 +113,7 @@ func main() {
 	cfg.BatchSize = *batch
 	cfg.Seed = *seed
 	cfg.Epochs = *epochs
+	cfg.DType = *dtype
 
 	engCfg := serve.Config{
 		Window: *window, MaxBatch: *maxBatch, CacheSize: *cacheSize, Registry: sess.Registry,

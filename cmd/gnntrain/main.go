@@ -52,6 +52,7 @@ func main() {
 		restoreBest = flag.Bool("restore-best", false, "restore best-validation weights after training")
 		verbose     = flag.Bool("verbose", false, "print per-epoch validation accuracy")
 		seed        = flag.Uint64("seed", 42, "random seed")
+		dtype       = flag.String("dtype", "float64", "numeric tier: float64 (reference) or float32 (raw speed)")
 		ckptDir     = flag.String("checkpoint-dir", "", "write durable training snapshots to this directory")
 		ckptEvery   = flag.Int("checkpoint-every", 1, "snapshot every N epochs (final epoch and cancellation always snapshot)")
 		ckptKeep    = flag.Int("checkpoint-keep", 2, "retain the newest N snapshots")
@@ -107,6 +108,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Patience = *patience
 	cfg.RestoreBest = *restoreBest
+	cfg.DType = *dtype
 	if *resume && *ckptDir == "" {
 		fatal("-resume needs -checkpoint-dir")
 	}

@@ -5,7 +5,7 @@
 // a keep-last-N Manager that falls back past torn or corrupt files on
 // resume.
 //
-// Snapshot layout (little-endian, version 1):
+// Snapshot layout (little-endian, version 2):
 //
 //	offset  size  field
 //	0       8     magic "SGNNCKPT"
@@ -16,9 +16,13 @@
 //	...           RNG state        (uint32 length + bytes)
 //	...           epoch RNG state  (uint32 length + bytes)
 //	...           block count (uint32), then per block:
-//	                name (uint16 length + bytes), rows (uint32),
-//	                cols (uint32), rows*cols float64 values
+//	                name (uint16 length + bytes), dtype (uint8),
+//	                rows (uint32), cols (uint32), rows*cols values
+//	                (8 bytes each for Float64 blocks, 4 for Float32)
 //	end-4   4     CRC32 (IEEE) over every preceding byte
+//
+// Version 1 differs only in the per-block header: no dtype byte, every
+// payload float64. Decode reads both; Encode always writes version 2.
 //
 // The trailing checksum makes truncation and bit flips indistinguishable
 // from "not a checkpoint" at read time; the fingerprint rejects resuming
@@ -36,8 +40,44 @@ import (
 // Format constants.
 const (
 	magic   = "SGNNCKPT"
-	Version = 1
+	Version = 2
+	// versionV1 is the pre-dtype format: no per-block dtype byte, all
+	// payloads float64. Still readable.
+	versionV1 = 1
 )
+
+// Dtype tags a block's element type. The zero value is Float64, so v1
+// snapshots (and zero-valued Blocks) decode as the reference dtype.
+type Dtype uint8
+
+// Block element types.
+const (
+	Float64 Dtype = 0
+	Float32 Dtype = 1
+)
+
+func (d Dtype) String() string {
+	switch d {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	default:
+		return fmt.Sprintf("Dtype(%d)", uint8(d))
+	}
+}
+
+// elemSize returns the on-disk bytes per element, or 0 for an unknown tag.
+func (d Dtype) elemSize() int {
+	switch d {
+	case Float64:
+		return 8
+	case Float32:
+		return 4
+	default:
+		return 0
+	}
+}
 
 // Typed decode errors. Manager.Latest skips snapshots failing with
 // ErrTruncated, ErrChecksum, ErrBadMagic, or ErrVersion (falling back to
@@ -53,10 +93,48 @@ var (
 
 // Block is one named tensor in a snapshot: a model parameter, its
 // gradient-moment pair, or an auxiliary weight copy (e.g. best-so-far).
+// Exactly one of Data/Data32 is populated, selected by Dtype; the zero
+// Dtype is Float64 so existing construction sites stay valid.
 type Block struct {
 	Name       string
+	Dtype      Dtype
 	Rows, Cols int
-	Data       []float64
+	Data       []float64 // payload when Dtype == Float64
+	Data32     []float32 // payload when Dtype == Float32
+}
+
+// Len returns the number of elements in the block's payload.
+func (b Block) Len() int {
+	if b.Dtype == Float32 {
+		return len(b.Data32)
+	}
+	return len(b.Data)
+}
+
+// Float64 returns the payload as float64, widening a Float32 block into a
+// fresh slice; Float64 blocks return their payload without copying.
+func (b Block) Float64() []float64 {
+	if b.Dtype != Float32 {
+		return b.Data
+	}
+	out := make([]float64, len(b.Data32))
+	for i, v := range b.Data32 {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Float32 returns the payload as float32, narrowing a Float64 block into a
+// fresh slice; Float32 blocks return their payload without copying.
+func (b Block) Float32() []float32 {
+	if b.Dtype == Float32 {
+		return b.Data32
+	}
+	out := make([]float32, len(b.Data))
+	for i, v := range b.Data {
+		out[i] = float32(v)
+	}
+	return out
 }
 
 // Snapshot is the full resumable training state at a (epoch, batch)
@@ -77,13 +155,13 @@ type Snapshot struct {
 	Blocks []Block
 }
 
-// Encode serializes the snapshot to the version-1 binary format,
+// Encode serializes the snapshot to the version-2 binary format,
 // including the trailing checksum.
 func (s *Snapshot) Encode() []byte {
 	n := len(magic) + 4 + 8 + 5*8 + 8 +
 		4 + len(s.RNG) + 4 + len(s.RNGEpoch) + 4
 	for _, b := range s.Blocks {
-		n += 2 + len(b.Name) + 4 + 4 + 8*len(b.Data)
+		n += 2 + len(b.Name) + 1 + 4 + 4 + b.Dtype.elemSize()*b.Len()
 	}
 	n += 4 // checksum
 	buf := make([]byte, 0, n)
@@ -101,18 +179,26 @@ func (s *Snapshot) Encode() []byte {
 	for _, b := range s.Blocks {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(b.Name)))
 		buf = append(buf, b.Name...)
+		buf = append(buf, byte(b.Dtype))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(b.Rows))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(b.Cols))
-		for _, v := range b.Data {
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		switch b.Dtype {
+		case Float32:
+			for _, v := range b.Data32 {
+				buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+			}
+		default:
+			for _, v := range b.Data {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			}
 		}
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	return buf
 }
 
-// Decode parses a version-1 snapshot, verifying magic, version, and
-// checksum. It does not check the fingerprint; callers compare
+// Decode parses a version-1 or version-2 snapshot, verifying magic,
+// version, and checksum. It does not check the fingerprint; callers compare
 // Snapshot.Fingerprint themselves (Manager.Latest does).
 func Decode(data []byte) (*Snapshot, error) {
 	if len(data) < len(magic)+4 {
@@ -121,8 +207,9 @@ func Decode(data []byte) (*Snapshot, error) {
 	if string(data[:len(magic)]) != magic {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != Version {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	version := binary.LittleEndian.Uint32(data[len(magic):])
+	if version != Version && version != versionV1 {
+		return nil, fmt.Errorf("%w: got %d, want <= %d", ErrVersion, version, Version)
 	}
 	// Verify the trailing checksum before trusting any length field.
 	if len(data) < len(magic)+4+4 {
@@ -151,18 +238,33 @@ func Decode(data []byte) (*Snapshot, error) {
 	for i := 0; i < nblocks && r.err == nil; i++ {
 		var b Block
 		b.Name = string(r.short())
+		if version >= Version {
+			b.Dtype = Dtype(r.u8())
+		}
 		b.Rows = int(r.u32())
 		b.Cols = int(r.u32())
 		if r.err != nil {
 			break
 		}
-		if b.Rows < 0 || b.Cols < 0 || (b.Rows > 0 && b.Cols > (len(body)-r.off)/8/b.Rows) {
+		es := b.Dtype.elemSize()
+		if es == 0 {
+			r.err = fmt.Errorf("%w: block %q has unknown dtype %d", ErrTruncated, b.Name, uint8(b.Dtype))
+			break
+		}
+		if b.Rows < 0 || b.Cols < 0 || (b.Rows > 0 && b.Cols > (len(body)-r.off)/es/b.Rows) {
 			r.err = fmt.Errorf("%w: block %q claims %dx%d", ErrTruncated, b.Name, b.Rows, b.Cols)
 			break
 		}
-		b.Data = make([]float64, b.Rows*b.Cols)
-		for j := range b.Data {
-			b.Data[j] = math.Float64frombits(r.u64())
+		if b.Dtype == Float32 {
+			b.Data32 = make([]float32, b.Rows*b.Cols)
+			for j := range b.Data32 {
+				b.Data32[j] = math.Float32frombits(r.u32())
+			}
+		} else {
+			b.Data = make([]float64, b.Rows*b.Cols)
+			for j := range b.Data {
+				b.Data[j] = math.Float64frombits(r.u64())
+			}
 		}
 		s.Blocks = append(s.Blocks, b)
 	}
@@ -208,6 +310,14 @@ func (r *reader) u64() uint64 {
 		return 0
 	}
 	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
 }
 
 func (r *reader) u32() uint32 {

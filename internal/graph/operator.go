@@ -45,24 +45,37 @@ func (n Normalization) String() string {
 	}
 }
 
-// Operator is a sparse propagation operator P derived from a graph: the
+// OperatorOf is a sparse propagation operator P derived from a graph: the
 // (optionally self-looped, optionally normalized) adjacency matrix stored in
-// CSR form with explicit per-arc coefficients. Multiplying feature matrices
-// by P is the core graph computation of every GNN in this library.
-type Operator struct {
+// CSR form with explicit per-arc coefficients of element type T. Multiplying
+// feature matrices by P is the core graph computation of every GNN in this
+// library; the float32 instantiation halves the memory traffic of this
+// bandwidth-bound phase.
+type OperatorOf[T tensor.Elem] struct {
 	G      *CSR
 	Norm   Normalization
-	Coef   []float64 // per-arc coefficient, parallel to G.Adj
-	loopCo []float64 // per-node self-loop coefficient (nil if none)
+	Coef   []T // per-arc coefficient, parallel to G.Adj
+	loopCo []T // per-node self-loop coefficient (nil if none)
 }
 
-// NewOperator builds a propagation operator from g.
+// Operator is the float64 instantiation — the reference propagation path.
+type Operator = OperatorOf[float64]
+
+// NewOperator builds a float64 propagation operator from g.
 //
 // If addSelfLoops is true, the operator acts as if every node had one extra
 // self-loop of weight 1 (the Ã = A + I convention); the loop contribution is
 // stored separately so the graph itself is not modified.
 func NewOperator(g *CSR, norm Normalization, addSelfLoops bool) *Operator {
-	op := &Operator{G: g, Norm: norm, Coef: make([]float64, len(g.Adj))}
+	return NewOperatorOf[float64](g, norm, addSelfLoops)
+}
+
+// NewOperatorOf builds a propagation operator with coefficients of element
+// type T. Degree normalization always happens in float64 and narrows once at
+// the end, so a float32 operator's coefficients are the correctly rounded
+// float64 values rather than an accumulation of low-precision steps.
+func NewOperatorOf[T tensor.Elem](g *CSR, norm Normalization, addSelfLoops bool) *OperatorOf[T] {
+	op := &OperatorOf[T]{G: g, Norm: norm, Coef: make([]T, len(g.Adj))}
 	deg := make([]float64, g.N)
 	for u := 0; u < g.N; u++ {
 		deg[u] = g.WeightedDegree(u)
@@ -71,7 +84,7 @@ func NewOperator(g *CSR, norm Normalization, addSelfLoops bool) *Operator {
 		}
 	}
 	if addSelfLoops {
-		op.loopCo = make([]float64, g.N)
+		op.loopCo = make([]T, g.N)
 	}
 	invSqrt := func(d float64) float64 {
 		if d == 0 {
@@ -92,13 +105,13 @@ func NewOperator(g *CSR, norm Normalization, addSelfLoops bool) *Operator {
 			w := g.EdgeWeight(int(k))
 			switch norm {
 			case NormNone:
-				op.Coef[k] = w
+				op.Coef[k] = T(w)
 			case NormSymmetric:
-				op.Coef[k] = w * invSqrt(deg[u]) * invSqrt(deg[v])
+				op.Coef[k] = T(w * invSqrt(deg[u]) * invSqrt(deg[v]))
 			case NormRandomWalk:
-				op.Coef[k] = w * inv(deg[u])
+				op.Coef[k] = T(w * inv(deg[u]))
 			case NormColumn:
-				op.Coef[k] = w * inv(deg[v])
+				op.Coef[k] = T(w * inv(deg[v]))
 			}
 		}
 		if addSelfLoops {
@@ -106,9 +119,9 @@ func NewOperator(g *CSR, norm Normalization, addSelfLoops bool) *Operator {
 			case NormNone:
 				op.loopCo[u] = 1
 			case NormSymmetric:
-				op.loopCo[u] = inv(deg[u]) // invSqrt(d)*invSqrt(d)
+				op.loopCo[u] = T(inv(deg[u])) // invSqrt(d)*invSqrt(d)
 			case NormRandomWalk, NormColumn:
-				op.loopCo[u] = inv(deg[u])
+				op.loopCo[u] = T(inv(deg[u]))
 			}
 		}
 	}
@@ -116,11 +129,11 @@ func NewOperator(g *CSR, norm Normalization, addSelfLoops bool) *Operator {
 }
 
 // HasSelfLoops reports whether the operator includes the A+I self-loop term.
-func (op *Operator) HasSelfLoops() bool { return op.loopCo != nil }
+func (op *OperatorOf[T]) HasSelfLoops() bool { return op.loopCo != nil }
 
 // NNZ returns the number of nonzero coefficients in the operator, counting
 // self-loops.
-func (op *Operator) NNZ() int {
+func (op *OperatorOf[T]) NNZ() int {
 	n := 0
 	for _, c := range op.Coef {
 		if c != 0 {
@@ -140,20 +153,25 @@ func (op *Operator) NNZ() int {
 // Apply computes P*X for a dense feature matrix X (rows = nodes), i.e. one
 // round of message passing / graph propagation, parallelized over
 // destination nodes. The result is a new matrix.
-func (op *Operator) Apply(x *tensor.Matrix) *tensor.Matrix {
+func (op *OperatorOf[T]) Apply(x *tensor.Mat[T]) *tensor.Mat[T] {
 	if x.Rows != op.G.N {
 		panic(fmt.Sprintf("graph: Operator.Apply rows %d != n %d", x.Rows, op.G.N))
 	}
-	out := tensor.New(x.Rows, x.Cols)
+	out := tensor.NewOf[T](x.Rows, x.Cols)
 	op.ApplyInto(x, out)
 	return out
 }
 
-// ApplyInto computes P*X into dst, which must have X's shape and must not
-// share any backing memory with X (rows of X are read while rows of dst are
-// written, so even partially overlapping FromSlice views would corrupt the
-// result). dst is overwritten.
-func (op *Operator) ApplyInto(x, dst *tensor.Matrix) {
+// ApplyInto computes P*X into dst — the CSR×dense SpMM kernel. dst must
+// have X's shape and must not share any backing memory with X (rows of X
+// are read while rows of dst are written, so even partially overlapping
+// FromSlice views would corrupt the result). dst is overwritten.
+//
+// Work is row-chunked across goroutines via internal/par; each destination
+// row accumulates its arcs in CSR order with a 4-wide unrolled axpy over
+// the feature columns. Columns are independent, so unrolling never
+// reassociates a sum and the float64 path stays bitwise-stable.
+func (op *OperatorOf[T]) ApplyInto(x, dst *tensor.Mat[T]) {
 	if x.Rows != op.G.N {
 		panic(fmt.Sprintf("graph: ApplyInto rows %d != n %d", x.Rows, op.G.N))
 	}
@@ -163,18 +181,25 @@ func (op *Operator) ApplyInto(x, dst *tensor.Matrix) {
 	if tensor.Overlaps(x.Data, dst.Data) {
 		panic("graph: ApplyInto dst must not overlap x")
 	}
+	if tensor.FastF32() {
+		if fop, ok := any(op).(*OperatorOf[float32]); ok {
+			applyIntoF32(fop, any(x).(*tensor.Mat[float32]), any(dst).(*tensor.Mat[float32]))
+			return
+		}
+	}
 	g := op.G
 	par.Range(g.N, minChunkSparse, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			orow := dst.Row(u)
-			for j := range orow {
-				orow[j] = 0
-			}
 			if op.loopCo != nil && op.loopCo[u] != 0 {
 				c := op.loopCo[u]
 				xrow := x.Row(u)
 				for j, xv := range xrow {
 					orow[j] = c * xv
+				}
+			} else {
+				for j := range orow {
+					orow[j] = 0
 				}
 			}
 			s, e := g.Offsets[u], g.Offsets[u+1]
@@ -184,24 +209,92 @@ func (op *Operator) ApplyInto(x, dst *tensor.Matrix) {
 					continue
 				}
 				xrow := x.Row(int(g.Adj[k]))
-				for j, xv := range xrow {
-					orow[j] += c * xv
-				}
+				scatterAxpy(c, xrow, orow)
 			}
 		}
 	})
 }
 
+// applyIntoF32 is the vectorized float32 SpMM: identical traversal to the
+// generic ApplyInto, with the per-arc row update routed through the AVX2
+// axpy. The float64 tier never takes this path, so its accumulation order
+// (and bitwise fingerprints) are unaffected.
+func applyIntoF32(op *OperatorOf[float32], x, dst *tensor.Mat[float32]) {
+	g := op.G
+	par.Range(g.N, minChunkSparse, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			orow := dst.Row(u)
+			if op.loopCo != nil && op.loopCo[u] != 0 {
+				c := op.loopCo[u]
+				xrow := x.Row(u)
+				for j, xv := range xrow {
+					orow[j] = c * xv
+				}
+			} else {
+				for j := range orow {
+					orow[j] = 0
+				}
+			}
+			s, e := g.Offsets[u], g.Offsets[u+1]
+			for k := s; k < e; k++ {
+				c := op.Coef[k]
+				if c == 0 {
+					continue
+				}
+				tensor.F32Axpy(c, x.Row(int(g.Adj[k])), orow)
+			}
+		}
+	})
+}
+
+// scatterAxpy computes orow += c*xrow with a 4-wide unrolled loop — the
+// SpMM inner kernel. Rows are contiguous and columns independent, so the
+// unroll affects instruction-level parallelism only, never accumulation
+// order.
+func scatterAxpy[T tensor.Elem](c T, xrow, orow []T) {
+	n := len(orow)
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		xq := xrow[j : j+4 : j+4]
+		oq := orow[j : j+4 : j+4]
+		oq[0] += c * xq[0]
+		oq[1] += c * xq[1]
+		oq[2] += c * xq[2]
+		oq[3] += c * xq[3]
+	}
+	for ; j < n; j++ {
+		orow[j] += c * xrow[j]
+	}
+}
+
 // ApplyVec computes P*x for a vector x of length N.
-func (op *Operator) ApplyVec(x []float64) []float64 {
+func (op *OperatorOf[T]) ApplyVec(x []T) []T {
 	g := op.G
 	if len(x) != g.N {
 		panic(fmt.Sprintf("graph: Operator.ApplyVec len %d != n %d", len(x), g.N))
 	}
-	out := make([]float64, g.N)
+	out := make([]T, g.N)
+	op.ApplyVecInto(x, out)
+	return out
+}
+
+// ApplyVecInto computes P*x into dst (length N), overwriting it — the
+// single-column SpMM used by PPR power iteration and diffusion. dst must
+// not alias x.
+func (op *OperatorOf[T]) ApplyVecInto(x, dst []T) {
+	g := op.G
+	if len(x) != g.N {
+		panic(fmt.Sprintf("graph: Operator.ApplyVecInto len %d != n %d", len(x), g.N))
+	}
+	if len(dst) != g.N {
+		panic(fmt.Sprintf("graph: Operator.ApplyVecInto dst len %d != n %d", len(dst), g.N))
+	}
+	if tensor.Overlaps(x, dst) {
+		panic("graph: ApplyVecInto dst must not overlap x")
+	}
 	par.Range(g.N, minChunkSparse, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
-			var s float64
+			var s T
 			if op.loopCo != nil {
 				s = op.loopCo[u] * x[u]
 			}
@@ -209,16 +302,15 @@ func (op *Operator) ApplyVec(x []float64) []float64 {
 			for k := a; k < b; k++ {
 				s += op.Coef[k] * x[g.Adj[k]]
 			}
-			out[u] = s
+			dst[u] = s
 		}
 	})
-	return out
 }
 
 // PowerApply computes P^k * X by repeated application.
-func (op *Operator) PowerApply(x *tensor.Matrix, k int) *tensor.Matrix {
+func (op *OperatorOf[T]) PowerApply(x *tensor.Mat[T], k int) *tensor.Mat[T] {
 	cur := x.Clone()
-	buf := tensor.New(x.Rows, x.Cols)
+	buf := tensor.NewOf[T](x.Rows, x.Cols)
 	for i := 0; i < k; i++ {
 		op.ApplyInto(cur, buf)
 		cur, buf = buf, cur
@@ -228,11 +320,11 @@ func (op *Operator) PowerApply(x *tensor.Matrix, k int) *tensor.Matrix {
 
 // RowSums returns the row sums of the operator matrix; for NormRandomWalk
 // with self-loops these are all 1 on nodes with nonzero degree.
-func (op *Operator) RowSums() []float64 {
+func (op *OperatorOf[T]) RowSums() []T {
 	g := op.G
-	out := make([]float64, g.N)
+	out := make([]T, g.N)
 	for u := 0; u < g.N; u++ {
-		var s float64
+		var s T
 		if op.loopCo != nil {
 			s = op.loopCo[u]
 		}
@@ -246,10 +338,11 @@ func (op *Operator) RowSums() []float64 {
 }
 
 // Dense materializes the operator as a dense N x N matrix. Intended for
-// tests and tiny graphs only.
-func (op *Operator) Dense() *tensor.Matrix {
+// tests and tiny graphs only — every production path goes through the
+// SpMM ApplyInto.
+func (op *OperatorOf[T]) Dense() *tensor.Mat[T] {
 	g := op.G
-	m := tensor.New(g.N, g.N)
+	m := tensor.NewOf[T](g.N, g.N)
 	for u := 0; u < g.N; u++ {
 		if op.loopCo != nil {
 			m.Set(u, u, m.At(u, u)+op.loopCo[u])
@@ -265,10 +358,9 @@ func (op *Operator) Dense() *tensor.Matrix {
 
 // Laplacian returns the normalized Laplacian operator L = I - P applied as a
 // closure over this operator: y = x - P x. It is used by spectral filters.
-func (op *Operator) Laplacian(x *tensor.Matrix) *tensor.Matrix {
+func (op *OperatorOf[T]) Laplacian(x *tensor.Mat[T]) *tensor.Mat[T] {
 	px := op.Apply(x)
 	out := x.Clone()
 	out.Sub(px)
 	return out
 }
-

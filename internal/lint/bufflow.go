@@ -100,12 +100,15 @@ func forEachFuncLit(root ast.Node, fn func(*ast.FuncLit)) {
 	})
 }
 
-// isBufType reports whether t is pooled tensor storage: tensor.Matrix or a
-// tensor.Buf handle (value or pointer).
+// isBufType reports whether t is pooled tensor storage: a tensor.Mat
+// instantiation (any element type, via the Matrix alias or directly) or a
+// tensor.BufOf handle (value or pointer). Aliases are resolved first so the
+// float64 spellings Matrix/Buf/Workspace keep matching.
 func isBufType(t types.Type) bool {
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()
 	}
+	t = types.Unalias(t)
 	named, ok := t.(*types.Named)
 	if !ok || named.Obj().Pkg() == nil {
 		return false
@@ -113,7 +116,11 @@ func isBufType(t types.Type) bool {
 	if !strings.HasSuffix(named.Obj().Pkg().Path(), "internal/tensor") {
 		return false
 	}
-	return named.Obj().Name() == "Matrix" || named.Obj().Name() == "Buf"
+	switch named.Obj().Name() {
+	case "Matrix", "Buf", "Mat", "BufOf":
+		return true
+	}
+	return false
 }
 
 // bufAnalysis is the per-function context shared by the transfer function

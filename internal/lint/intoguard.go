@@ -7,8 +7,9 @@ import (
 
 // runIntoGuard enforces the *Into kernel convention from PR 1: every
 // exported function or method whose name ends in "Into" and that writes
-// into caller-provided tensor storage (a *Matrix or []float64 parameter)
-// must, before writing,
+// into caller-provided tensor storage — a *Matrix or *Mat[T] parameter, or
+// an element slice ([]float64, []float32, or []T for an Elem-constrained
+// type parameter) — must, before writing,
 //
 //   - validate destination shape: an if statement over Rows/Cols/len that
 //     panics or returns an error, and
@@ -53,23 +54,28 @@ func runIntoGuard(p *Package, r *Reporter) {
 	}
 }
 
-// hasTensorParam reports whether any parameter type mentions Matrix or is a
-// float64 slice — the storage the *Into convention is about.
+// hasTensorParam reports whether any parameter type mentions tensor
+// storage — the float64 Matrix alias, the generic Mat[...] form, or an
+// element slice ([]float64, []float32, or []T for an Elem-constrained type
+// parameter of the function). This is what the *Into convention is about.
 func hasTensorParam(ft *ast.FuncType) bool {
 	if ft.Params == nil {
 		return false
 	}
+	elemParams := elemTypeParams(ft)
 	for _, field := range ft.Params.List {
 		found := false
 		ast.Inspect(field.Type, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.Ident:
-				if n.Name == "Matrix" {
+				if n.Name == "Matrix" || n.Name == "Mat" {
 					found = true
 				}
 			case *ast.ArrayType:
-				if id, ok := n.Elt.(*ast.Ident); ok && id.Name == "float64" {
-					found = true
+				if id, ok := n.Elt.(*ast.Ident); ok {
+					if id.Name == "float64" || id.Name == "float32" || elemParams[id.Name] {
+						found = true
+					}
 				}
 			}
 			return !found
@@ -79,6 +85,32 @@ func hasTensorParam(ft *ast.FuncType) bool {
 		}
 	}
 	return false
+}
+
+// elemTypeParams returns the names of the function's type parameters whose
+// constraint mentions the tensor Elem interface (tensor.Elem or a local
+// alias named Elem). []T over such a parameter is tensor storage.
+func elemTypeParams(ft *ast.FuncType) map[string]bool {
+	params := map[string]bool{}
+	if ft.TypeParams == nil {
+		return params
+	}
+	for _, field := range ft.TypeParams.List {
+		isElem := false
+		ast.Inspect(field.Type, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "Elem" {
+				isElem = true
+			}
+			return !isElem
+		})
+		if !isElem {
+			continue
+		}
+		for _, name := range field.Names {
+			params[name.Name] = true
+		}
+	}
+	return params
 }
 
 // calleeName returns the bare name of a call's callee (x.F and F both give

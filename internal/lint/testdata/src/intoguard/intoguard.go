@@ -60,3 +60,38 @@ var (
 type tensorError string
 
 func (e tensorError) Error() string { return string(e) }
+
+// BadGenericInto writes into generic tensor storage without guards: the
+// check must see through Mat[T] the same as the float64 Matrix alias.
+func BadGenericInto[T tensor.Elem](src, dst *tensor.Mat[T]) { // want "destination shape" "aliasing"
+	for i := range dst.Data {
+		dst.Data[i] = src.Data[i%len(src.Data)]
+	}
+}
+
+// GoodGenericInto carries both guards at any element type.
+func GoodGenericInto[T tensor.Elem](src, dst *tensor.Mat[T]) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("intoguard: shape mismatch")
+	}
+	if tensor.Overlaps(src.Data, dst.Data) {
+		panic("intoguard: dst aliases src")
+	}
+	copy(dst.Data, src.Data)
+}
+
+// SliceElemInto writes into []T for an Elem-constrained parameter; shape is
+// validated but aliasing is not.
+func SliceElemInto[T tensor.Elem](src, dst []T) { // want "aliasing"
+	if len(dst) != len(src) {
+		panic("intoguard: length mismatch")
+	}
+	copy(dst, src)
+}
+
+// Float32Into writes into a raw float32 slice without any validation.
+func Float32Into(v float32, dst []float32) { // want "destination shape" "aliasing"
+	for i := range dst {
+		dst[i] = v
+	}
+}

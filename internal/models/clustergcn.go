@@ -42,22 +42,30 @@ func (m *ClusterGCN) Name() string { return fmt.Sprintf("ClusterGCN-%dL-c%d", m.
 // clusterBatch holds one cluster's precomputed training context, including
 // its persistent activation modules and workspace-pooled propagation
 // buffers so repeated visits to the cluster reallocate nothing.
-type clusterBatch struct {
-	op       *graph.Operator
-	x        *tensor.Matrix
+type clusterBatch[T tensor.Elem] struct {
+	op       *graph.OperatorOf[T]
+	x        *tensor.Mat[T]
 	labels   []int
 	ids      []int // original node ID per cluster-local index
 	trainIdx []int // positions within the cluster that are training nodes
 
-	relus  []*nn.ReLU   // one per hidden layer, reused across epochs
-	px, gx []tensor.Buf // per-layer forward/backward propagation scratch
+	relus  []*nn.ReLUOf[T]   // one per hidden layer, reused across epochs
+	px, gx []tensor.BufOf[T] // per-layer forward/backward propagation scratch
 }
 
-// Fit partitions the graph and cycles clusters as mini-batches.
+// Fit partitions the graph and cycles clusters as mini-batches, at the tier
+// selected by cfg.DType.
 func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.dtype() == DTypeFloat32 {
+		return fitClusterGCN[float32](m, ds, cfg)
+	}
+	return fitClusterGCN[float64](m, ds, cfg)
+}
+
+func fitClusterGCN[T tensor.Elem](m *ClusterGCN, ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	pcg, rng := newRunRNG(cfg.Seed)
 	rep := &Report{Model: m.Name()}
 
@@ -71,23 +79,24 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 	for _, v := range ds.TrainIdx {
 		isTrain[v] = true
 	}
-	batches := make([]*clusterBatch, 0, m.Clusters)
+	x := tensor.FromFloat64[T](ds.X)
+	batches := make([]*clusterBatch[T], 0, m.Clusters)
 	maxCluster := 0
 	for p := range subs {
 		if subs[p].N == 0 {
 			continue
 		}
-		cb := &clusterBatch{
-			op:     graph.NewOperator(subs[p], graph.NormSymmetric, true),
-			x:      ds.X.SelectRows(ids[p]),
+		cb := &clusterBatch[T]{
+			op:     graph.NewOperatorOf[T](subs[p], graph.NormSymmetric, true),
+			x:      x.SelectRows(ids[p]),
 			labels: dataset.LabelsAt(ds.Labels, ids[p]),
 			ids:    ids[p],
-			relus:  make([]*nn.ReLU, m.Layers-1),
-			px:     make([]tensor.Buf, m.Layers),
-			gx:     make([]tensor.Buf, m.Layers),
+			relus:  make([]*nn.ReLUOf[T], m.Layers-1),
+			px:     make([]tensor.BufOf[T], m.Layers),
+			gx:     make([]tensor.BufOf[T], m.Layers),
 		}
 		for l := range cb.relus {
-			cb.relus[l] = nn.NewReLU()
+			cb.relus[l] = nn.NewReLUOf[T]()
 		}
 		for i, orig := range ids[p] {
 			if isTrain[orig] {
@@ -103,24 +112,24 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 
 	// Shared weights across clusters (the whole point): one Linear per
 	// layer applied inside whichever cluster is active.
-	lins := make([]*nn.Linear, m.Layers)
+	lins := make([]*nn.LinearOf[T], m.Layers)
 	in := ds.X.Cols
 	for l := 0; l < m.Layers; l++ {
 		out := cfg.Hidden
 		if l == m.Layers-1 {
 			out = ds.NumClasses
 		}
-		lins[l] = nn.NewLinear(in, out, true, rng)
+		lins[l] = nn.NewLinearOf[T](in, out, true, rng)
 		in = out
 	}
-	var params []*nn.Param
+	var params []*nn.ParamOf[T]
 	for _, l := range lins {
 		params = append(params, l.Params()...)
 	}
-	opt := nn.NewAdam(cfg.LR)
+	opt := nn.NewAdamOf[T](cfg.LR)
 	opt.WeightDecay = cfg.WeightDecay
 
-	forward := func(cb *clusterBatch, training bool) (*tensor.Matrix, []*nn.ReLU) {
+	forward := func(cb *clusterBatch[T], training bool) (*tensor.Mat[T], []*nn.ReLUOf[T]) {
 		h := cb.x
 		for l := 0; l < m.Layers; l++ {
 			p := cb.px[l].Next(h.Rows, h.Cols)
@@ -134,9 +143,9 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 	}
 
 	defer opt.Reset()
-	err = runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.Spec{
-		Source: train.NewClusterBatches(len(batches)),
-		Step: func(b train.Batch) error {
+	err = runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.SpecOf[T]{
+		Source: train.NewClusterBatchesOf[T](len(batches)),
+		Step: func(b train.BatchOf[T]) error {
 			cb := batches[b.Cluster]
 			if len(cb.trainIdx) == 0 {
 				return nil
@@ -153,12 +162,12 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 				cb.op.ApplyInto(g, gx)
 				grad = gx
 			}
-			tensor.PutBuf(lossGrad)
+			tensor.PutBufOf(lossGrad)
 			opt.Step(params)
 			return nil
 		},
 		Validate: func() (float64, error) {
-			return m.valAccuracy(batches, ds, forward), nil
+			return clusterValAccuracy(batches, ds, forward), nil
 		},
 		Params:    params,
 		Optimizer: opt,
@@ -174,7 +183,7 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 		return nil, err
 	}
 
-	pred := m.predictAll(batches, ds, forward)
+	pred := clusterPredictAll(batches, ds, forward)
 	fillAccuracies(func(idx []int) []int {
 		out := make([]int, len(idx))
 		for i, v := range idx {
@@ -186,8 +195,8 @@ func (m *ClusterGCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) 
 	return rep, nil
 }
 
-func (m *ClusterGCN) valAccuracy(batches []*clusterBatch, ds *dataset.Dataset, forward func(*clusterBatch, bool) (*tensor.Matrix, []*nn.ReLU)) float64 {
-	pred := m.predictAll(batches, ds, forward)
+func clusterValAccuracy[T tensor.Elem](batches []*clusterBatch[T], ds *dataset.Dataset, forward func(*clusterBatch[T], bool) (*tensor.Mat[T], []*nn.ReLUOf[T])) float64 {
+	pred := clusterPredictAll(batches, ds, forward)
 	correct, total := 0, 0
 	for _, v := range ds.ValIdx {
 		total++
@@ -201,8 +210,9 @@ func (m *ClusterGCN) valAccuracy(batches []*clusterBatch, ds *dataset.Dataset, f
 	return float64(correct) / float64(total)
 }
 
-// predictAll runs cluster-wise inference, mapping back to original IDs.
-func (m *ClusterGCN) predictAll(batches []*clusterBatch, ds *dataset.Dataset, forward func(*clusterBatch, bool) (*tensor.Matrix, []*nn.ReLU)) []int {
+// clusterPredictAll runs cluster-wise inference, mapping back to original
+// IDs.
+func clusterPredictAll[T tensor.Elem](batches []*clusterBatch[T], ds *dataset.Dataset, forward func(*clusterBatch[T], bool) (*tensor.Mat[T], []*nn.ReLUOf[T])) []int {
 	pred := make([]int, ds.G.N)
 	for _, cb := range batches {
 		logits, _ := forward(cb, false)
@@ -215,7 +225,7 @@ func (m *ClusterGCN) predictAll(batches []*clusterBatch, ds *dataset.Dataset, fo
 }
 
 // origIDs returns the original node IDs of the cluster's local indices.
-func (cb *clusterBatch) origIDs() []int { return cb.ids }
+func (cb *clusterBatch[T]) origIDs() []int { return cb.ids }
 
 func maxInt(a, b int) int {
 	if a > b {

@@ -13,6 +13,79 @@ import (
 	"scalegnn/internal/train"
 )
 
+// decoupledState is the trained state shared by the embedding+head families
+// (SGC, SIGN, LD2): a precomputed embedding and an MLP head at exactly one
+// numeric tier, plus the float64 full-graph logits cache the serving path
+// reads. A refit or restore at either tier clears the other.
+type decoupledState struct {
+	emb     *tensor.Matrix
+	net     *nn.Sequential
+	emb32   *tensor.Mat[float32]
+	net32   *nn.SequentialOf[float32]
+	classes int
+	logits  *tensor.Matrix // cached full-graph logits, nil until first Predict
+}
+
+// decEmb returns the pointer to the dtype-matching embedding field.
+func decEmb[T tensor.Elem](s *decoupledState) **tensor.Mat[T] {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(&s.emb32).(**tensor.Mat[T])
+	}
+	return any(&s.emb).(**tensor.Mat[T])
+}
+
+// decNet returns the pointer to the dtype-matching head field.
+func decNet[T tensor.Elem](s *decoupledState) **nn.SequentialOf[T] {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(&s.net32).(**nn.SequentialOf[T])
+	}
+	return any(&s.net).(**nn.SequentialOf[T])
+}
+
+// decStore installs a freshly trained (or restored) embedding+head pair,
+// invalidating the other tier and the logits cache.
+func decStore[T tensor.Elem](s *decoupledState, emb *tensor.Mat[T], net *nn.SequentialOf[T], classes int) {
+	s.emb, s.net, s.emb32, s.net32 = nil, nil, nil, nil
+	*decEmb[T](s) = emb
+	*decNet[T](s) = net
+	s.classes = classes
+	s.logits = nil
+}
+
+func (s *decoupledState) nodes() int {
+	if s.emb32 != nil {
+		return s.emb32.Rows
+	}
+	if s.emb == nil {
+		return 0
+	}
+	return s.emb.Rows
+}
+
+// predict returns cached-argmax predictions at whichever tier is trained.
+func (s *decoupledState) predict(name string) ([]int, error) {
+	if s.net32 != nil {
+		return nn.Argmax(headLogits(s.net32, s.emb32, &s.logits)), nil
+	}
+	if s.net == nil {
+		return nil, fmt.Errorf("models: %s.Predict before Fit", name)
+	}
+	return nn.Argmax(headLogits(s.net, s.emb, &s.logits)), nil
+}
+
+// score runs the batched serving kernel at whichever tier is trained.
+func (s *decoupledState) score(name string, idx []int, out *tensor.Matrix) error {
+	if s.net32 != nil {
+		return scoreHead(name, s.net32, s.emb32, s.classes, idx, out)
+	}
+	if s.net == nil {
+		return fmt.Errorf("models: %s.Score before Fit or Restore", name)
+	}
+	return scoreHead(name, s.net, s.emb, s.classes, idx, out)
+}
+
 // SGC is Simple Graph Convolution: precompute Â^K X once, then train a
 // plain linear (or shallow MLP) classifier. The prototypical decoupled
 // design — all graph work happens before training, so training is
@@ -20,10 +93,7 @@ import (
 type SGC struct {
 	K int // propagation hops
 
-	emb     *tensor.Matrix
-	net     *nn.Sequential
-	classes int
-	logits  *tensor.Matrix // cached full-graph logits, nil until first Predict
+	decoupledState
 }
 
 // NewSGC constructs SGC with K propagation hops.
@@ -37,21 +107,30 @@ func NewSGC(k int) (*SGC, error) {
 // Name implements Trainer.
 func (m *SGC) Name() string { return fmt.Sprintf("SGC-K%d", m.K) }
 
-// Fit precomputes the smoothed features and trains the head.
+// Fit precomputes the smoothed features and trains the head at the tier
+// selected by cfg.DType.
 func (m *SGC) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.dtype() == DTypeFloat32 {
+		return fitSGC[float32](m, ds, cfg)
+	}
+	return fitSGC[float64](m, ds, cfg)
+}
+
+func fitSGC[T tensor.Elem](m *SGC, ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	rep := &Report{Model: m.Name()}
 	start := time.Now()
-	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
-	m.emb = op.PowerApply(ds.X, m.K)
-	m.classes = ds.NumClasses
-	m.logits = nil // refit invalidates the cached predictions
+	op := graph.NewOperatorOf[T](ds.G, graph.NormSymmetric, true)
+	emb := op.PowerApply(tensor.FromFloat64[T](ds.X), m.K)
 	rep.Precompute = time.Since(start)
 
-	net, err := decoupledHead(m.Name(), m.emb, ds, cfg, nil, rep) // linear head: no hidden
+	net, err := decoupledHead(m.Name(), emb, ds, cfg, nil, rep) // linear head: no hidden
 	if err != nil {
 		return nil, err
 	}
-	m.net = net
+	decStore(&m.decoupledState, emb, net, ds.NumClasses)
 	return rep, nil
 }
 
@@ -59,19 +138,11 @@ func (m *SGC) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 // first use after Fit/Restore: the head no longer reruns over every node on
 // every call.
 func (m *SGC) Predict(ds *dataset.Dataset) ([]int, error) {
-	if m.net == nil {
-		return nil, fmt.Errorf("models: SGC.Predict before Fit")
-	}
-	return nn.Argmax(headLogits(m.net, m.emb, &m.logits)), nil
+	return m.decoupledState.predict(m.Name())
 }
 
 // Nodes implements NodeScorer.
-func (m *SGC) Nodes() int {
-	if m.emb == nil {
-		return 0
-	}
-	return m.emb.Rows
-}
+func (m *SGC) Nodes() int { return m.decoupledState.nodes() }
 
 // Classes implements NodeScorer.
 func (m *SGC) Classes() int { return m.classes }
@@ -80,10 +151,7 @@ func (m *SGC) Classes() int { return m.classes }
 // gather + head forward.
 // lint:confine score-path
 func (m *SGC) Score(idx []int, out *tensor.Matrix) error {
-	if m.net == nil {
-		return fmt.Errorf("models: SGC.Score before Fit or Restore")
-	}
-	return scoreHead(m.Name(), m.net, m.emb, m.classes, idx, out)
+	return m.decoupledState.score(m.Name(), idx, out)
 }
 
 // SIGN precomputes the multi-hop embedding [X | ÂX | Â²X | … | Â^K X] and
@@ -92,10 +160,7 @@ func (m *SGC) Score(idx []int, out *tensor.Matrix) error {
 type SIGN struct {
 	K int
 
-	emb     *tensor.Matrix
-	net     *nn.Sequential
-	classes int
-	logits  *tensor.Matrix // cached full-graph logits, nil until first Predict
+	decoupledState
 }
 
 // NewSIGN constructs SIGN with hops 0..K.
@@ -109,12 +174,13 @@ func NewSIGN(k int) (*SIGN, error) {
 // Name implements Trainer.
 func (m *SIGN) Name() string { return fmt.Sprintf("SIGN-K%d", m.K) }
 
-// hopEmbeddings returns [X, ÂX, …, Â^K X].
-func hopEmbeddings(ds *dataset.Dataset, k int) []*tensor.Matrix {
-	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
-	hops := make([]*tensor.Matrix, 0, k+1)
-	hops = append(hops, ds.X.Clone())
-	cur := ds.X
+// hopEmbeddings returns [X, ÂX, …, Â^K X] at tier T.
+func hopEmbeddings[T tensor.Elem](ds *dataset.Dataset, k int) []*tensor.Mat[T] {
+	op := graph.NewOperatorOf[T](ds.G, graph.NormSymmetric, true)
+	x := tensor.FromFloat64[T](ds.X)
+	hops := make([]*tensor.Mat[T], 0, k+1)
+	hops = append(hops, x.Clone())
+	cur := x
 	for i := 1; i <= k; i++ {
 		cur = op.Apply(cur)
 		hops = append(hops, cur)
@@ -122,39 +188,40 @@ func hopEmbeddings(ds *dataset.Dataset, k int) []*tensor.Matrix {
 	return hops
 }
 
-// Fit precomputes hop embeddings and trains the MLP head.
+// Fit precomputes hop embeddings and trains the MLP head at the tier
+// selected by cfg.DType.
 func (m *SIGN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.dtype() == DTypeFloat32 {
+		return fitSIGN[float32](m, ds, cfg)
+	}
+	return fitSIGN[float64](m, ds, cfg)
+}
+
+func fitSIGN[T tensor.Elem](m *SIGN, ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	rep := &Report{Model: m.Name()}
 	start := time.Now()
-	m.emb = spectral.ConcatColumns(hopEmbeddings(ds, m.K))
-	m.classes = ds.NumClasses
-	m.logits = nil // refit invalidates the cached predictions
+	emb := spectral.ConcatColumns(hopEmbeddings[T](ds, m.K))
 	rep.Precompute = time.Since(start)
 
-	net, err := decoupledHead(m.Name(), m.emb, ds, cfg, []int{cfg.Hidden}, rep)
+	net, err := decoupledHead(m.Name(), emb, ds, cfg, []int{cfg.Hidden}, rep)
 	if err != nil {
 		return nil, err
 	}
-	m.net = net
+	decStore(&m.decoupledState, emb, net, ds.NumClasses)
 	return rep, nil
 }
 
 // Predict implements Trainer. Predictions come from the logits cached on
 // first use after Fit/Restore.
 func (m *SIGN) Predict(ds *dataset.Dataset) ([]int, error) {
-	if m.net == nil {
-		return nil, fmt.Errorf("models: SIGN.Predict before Fit")
-	}
-	return nn.Argmax(headLogits(m.net, m.emb, &m.logits)), nil
+	return m.decoupledState.predict(m.Name())
 }
 
 // Nodes implements NodeScorer.
-func (m *SIGN) Nodes() int {
-	if m.emb == nil {
-		return 0
-	}
-	return m.emb.Rows
-}
+func (m *SIGN) Nodes() int { return m.decoupledState.nodes() }
 
 // Classes implements NodeScorer.
 func (m *SIGN) Classes() int { return m.classes }
@@ -162,10 +229,7 @@ func (m *SIGN) Classes() int { return m.classes }
 // Score implements NodeScorer.
 // lint:confine score-path
 func (m *SIGN) Score(idx []int, out *tensor.Matrix) error {
-	if m.net == nil {
-		return fmt.Errorf("models: SIGN.Score before Fit or Restore")
-	}
-	return scoreHead(m.Name(), m.net, m.emb, m.classes, idx, out)
+	return m.decoupledState.score(m.Name(), idx, out)
 }
 
 // APPNP is predict-then-propagate: an MLP produces per-node logits, which
@@ -180,6 +244,9 @@ type APPNP struct {
 	net     *nn.Sequential
 	op      *graph.Operator
 	x       *tensor.Matrix // features the model was fit on (diffusion input)
+	net32   *nn.SequentialOf[float32]
+	op32    *graph.OperatorOf[float32]
+	x32     *tensor.Mat[float32]
 	classes int
 	logits  *tensor.Matrix // cached diffused full-graph logits, nil until first Predict
 }
@@ -198,90 +265,131 @@ func NewAPPNP(k int, alpha float64) (*APPNP, error) {
 // Name implements Trainer.
 func (m *APPNP) Name() string { return fmt.Sprintf("APPNP-K%d", m.K) }
 
-// propagate applies the truncated PPR diffusion to h. Hops ping-pong
+// appnpPropagate applies the truncated PPR diffusion to h. Hops ping-pong
 // between two pooled scratch matrices; the returned accumulator is drawn
 // from the shared tensor workspace and callers release it with
-// tensor.PutBuf once consumed.
-func (m *APPNP) propagate(h *tensor.Matrix) *tensor.Matrix {
-	z := tensor.GetBuf(h.Rows, h.Cols)
+// tensor.PutBufOf once consumed. Hop coefficients are computed in float64
+// at every tier and narrowed only when applied.
+func appnpPropagate[T tensor.Elem](op *graph.OperatorOf[T], alpha float64, K int, h *tensor.Mat[T]) *tensor.Mat[T] {
+	z := tensor.GetBufOf[T](h.Rows, h.Cols)
 	copy(z.Data, h.Data)
-	z.Scale(m.Alpha)
-	cur := tensor.GetBuf(h.Rows, h.Cols)
+	z.Scale(T(alpha))
+	cur := tensor.GetBufOf[T](h.Rows, h.Cols)
 	copy(cur.Data, h.Data)
-	next := tensor.GetBuf(h.Rows, h.Cols)
-	w := m.Alpha
-	for k := 1; k <= m.K; k++ {
-		m.op.ApplyInto(cur, next)
+	next := tensor.GetBufOf[T](h.Rows, h.Cols)
+	w := alpha
+	for k := 1; k <= K; k++ {
+		op.ApplyInto(cur, next)
 		cur, next = next, cur
-		w *= 1 - m.Alpha
+		w *= 1 - alpha
 		// Final hop absorbs the geometric tail so the weights sum to 1
 		// (the standard iterate z ← (1-α)Âz + αh has the same effect).
 		coef := w
-		if k == m.K {
-			coef = w / m.Alpha
+		if k == K {
+			coef = w / alpha
 		}
-		z.AddScaled(coef, cur)
+		z.AddScaled(T(coef), cur)
 	}
-	tensor.PutBuf(cur)
-	tensor.PutBuf(next)
+	tensor.PutBufOf(cur)
+	tensor.PutBufOf(next)
 	return z
 }
 
-// Fit trains the MLP with propagation in the loss path.
+// propagate is the float64 diffusion used by the serving/benchmark paths.
+func (m *APPNP) propagate(h *tensor.Matrix) *tensor.Matrix {
+	return appnpPropagate(m.op, m.Alpha, m.K, h)
+}
+
+// appnpNet returns the pointer to the dtype-matching trained-network field.
+func appnpNet[T tensor.Elem](m *APPNP) **nn.SequentialOf[T] {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(&m.net32).(**nn.SequentialOf[T])
+	}
+	return any(&m.net).(**nn.SequentialOf[T])
+}
+
+// appnpOp returns the pointer to the dtype-matching operator field.
+func appnpOp[T tensor.Elem](m *APPNP) **graph.OperatorOf[T] {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(&m.op32).(**graph.OperatorOf[T])
+	}
+	return any(&m.op).(**graph.OperatorOf[T])
+}
+
+// Fit trains the MLP with propagation in the loss path, at the tier
+// selected by cfg.DType.
 func (m *APPNP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.dtype() == DTypeFloat32 {
+		return fitAPPNP[float32](m, ds, cfg)
+	}
+	return fitAPPNP[float64](m, ds, cfg)
+}
+
+func fitAPPNP[T tensor.Elem](m *APPNP, ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	pcg, rng := newRunRNG(cfg.Seed)
-	m.op = graph.NewOperator(ds.G, graph.NormSymmetric, true)
-	m.x = ds.X
-	m.classes = ds.NumClasses
-	m.logits = nil // refit invalidates the cached predictions
-	m.net = nn.NewMLP(nn.MLPConfig{
+	op := graph.NewOperatorOf[T](ds.G, graph.NormSymmetric, true)
+	x := tensor.FromFloat64[T](ds.X)
+	net := nn.NewMLPOf[T](nn.MLPConfig{
 		In: ds.X.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
 		Dropout: cfg.Dropout, Bias: true,
 	}, rng)
-	opt := nn.NewAdam(cfg.LR)
+
+	m.net, m.net32, m.op, m.op32, m.x32 = nil, nil, nil, nil, nil
+	*appnpNet[T](m) = net
+	*appnpOp[T](m) = op
+	m.x = ds.X
+	if x32, ok := any(x).(*tensor.Mat[float32]); ok {
+		m.x32 = x32
+	}
+	m.classes = ds.NumClasses
+	m.logits = nil // refit invalidates the cached predictions
+
+	opt := nn.NewAdamOf[T](cfg.LR)
 	opt.WeightDecay = cfg.WeightDecay
 
 	rep := &Report{Model: m.Name()}
 	defer opt.Reset()
-	err := runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.Spec{
-		Source: train.FullBatch{},
-		Step: func(train.Batch) error {
-			h := m.net.Forward(ds.X, true)
-			z := m.propagate(h)
+	err := runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.SpecOf[T]{
+		Source: train.FullBatchOf[T]{},
+		Step: func(train.BatchOf[T]) error {
+			h := net.Forward(x, true)
+			z := appnpPropagate(op, m.Alpha, m.K, h)
 			_, gz := maskedLoss(z, ds.Labels, ds.TrainIdx)
-			tensor.PutBuf(z)
-			gh := m.propagate(gz) // symmetric diffusion is self-adjoint
-			tensor.PutBuf(gz)
-			m.net.Backward(gh)
-			tensor.PutBuf(gh)
-			opt.Step(m.net.Params())
+			tensor.PutBufOf(z)
+			gh := appnpPropagate(op, m.Alpha, m.K, gz) // symmetric diffusion is self-adjoint
+			tensor.PutBufOf(gz)
+			net.Backward(gh)
+			tensor.PutBufOf(gh)
+			opt.Step(net.Params())
 			return nil
 		},
 		Validate: func() (float64, error) {
-			valZ := m.propagate(m.net.Forward(ds.X, false))
+			valZ := appnpPropagate(op, m.Alpha, m.K, net.Forward(x, false))
 			val := accuracyAt(valZ, ds.Labels, ds.ValIdx)
-			tensor.PutBuf(valZ)
+			tensor.PutBufOf(valZ)
 			return val, nil
 		},
-		Params:    m.net.Params(),
+		Params:    net.Params(),
 		Optimizer: opt,
 		PeakFloats: func() int {
 			n := ds.G.N
-			return 2*n*(ds.X.Cols+cfg.Hidden+2*ds.NumClasses) + m.net.NumParams()*3
+			return 2*n*(ds.X.Cols+cfg.Hidden+2*ds.NumClasses) + net.NumParams()*3
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	logits := m.propagate(m.net.Forward(ds.X, false))
+	logits := appnpPropagate(op, m.Alpha, m.K, net.Forward(x, false))
 	fillAccuracies(func(idx []int) []int {
 		return nn.Argmax(logits.SelectRows(idx))
 	}, ds, rep)
-	tensor.PutBuf(logits)
+	tensor.PutBufOf(logits)
 	return rep, nil
 }
 
@@ -290,25 +398,37 @@ func (m *APPNP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 // every call — the recompute bug that made decoupled serving pay the
 // whole-graph cost per request.
 func (m *APPNP) Predict(ds *dataset.Dataset) ([]int, error) {
-	if m.net == nil {
+	if m.net == nil && m.net32 == nil {
 		return nil, fmt.Errorf("models: APPNP.Predict before Fit")
 	}
 	return nn.Argmax(m.fullLogits()), nil
 }
 
 // fullLogits returns (computing and caching on first call) the propagated
-// full-graph logits over the features the model was fit on.
+// full-graph logits over the features the model was fit on. A float32
+// model computes the diffusion in float32 and widens once into the cache.
 func (m *APPNP) fullLogits() *tensor.Matrix {
 	if m.logits == nil {
-		z := m.propagate(m.net.Forward(m.x, false))
-		m.logits = z.Clone()
-		tensor.PutBuf(z)
+		if m.net32 != nil {
+			z := appnpPropagate(m.op32, m.Alpha, m.K, m.net32.Forward(m.x32, false))
+			c := tensor.New(z.Rows, z.Cols)
+			tensor.WidenInto(z, c)
+			tensor.PutBufOf(z)
+			m.logits = c
+		} else {
+			z := m.propagate(m.net.Forward(m.x, false))
+			m.logits = z.Clone()
+			tensor.PutBuf(z)
+		}
 	}
 	return m.logits
 }
 
 // Nodes implements NodeScorer.
 func (m *APPNP) Nodes() int {
+	if m.x32 != nil {
+		return m.x32.Rows
+	}
 	if m.x == nil {
 		return 0
 	}
@@ -323,7 +443,7 @@ func (m *APPNP) Classes() int { return m.classes }
 // the K-hop walk per request.
 // lint:confine score-path
 func (m *APPNP) Score(idx []int, out *tensor.Matrix) error {
-	if m.net == nil {
+	if m.net == nil && m.net32 == nil {
 		return fmt.Errorf("models: APPNP.Score before Fit or Restore")
 	}
 	z := m.fullLogits()
@@ -352,6 +472,9 @@ type GAMLP struct {
 	hops    []*tensor.Matrix
 	theta   *nn.Param // raw attention logits, 1 x (K+1)
 	net     *nn.Sequential
+	hops32  []*tensor.Mat[float32]
+	theta32 *nn.ParamOf[float32]
+	net32   *nn.SequentialOf[float32]
 	classes int
 	logits  *tensor.Matrix // cached full-graph logits, nil until first Predict
 }
@@ -367,19 +490,19 @@ func NewGAMLP(k int) (*GAMLP, error) {
 // Name implements Trainer.
 func (m *GAMLP) Name() string { return fmt.Sprintf("GAMLP-K%d", m.K) }
 
-// attention returns softmax(θ).
-func (m *GAMLP) attention() []float64 {
-	raw := m.theta.Value.Row(0)
+// gamlpAttention returns softmax(θ), accumulated in float64 at every tier.
+func gamlpAttention[T tensor.Elem](theta *nn.ParamOf[T]) []float64 {
+	raw := theta.Value.Row(0)
 	out := make([]float64, len(raw))
-	max := raw[0]
+	max := float64(raw[0])
 	for _, v := range raw[1:] {
-		if v > max {
-			max = v
+		if float64(v) > max {
+			max = float64(v)
 		}
 	}
 	var sum float64
 	for i, v := range raw {
-		out[i] = math.Exp(v - max)
+		out[i] = math.Exp(float64(v) - max)
 		sum += out[i]
 	}
 	for i := range out {
@@ -388,43 +511,84 @@ func (m *GAMLP) attention() []float64 {
 	return out
 }
 
-// combine produces Σ_k a_k H_k restricted to the given rows. The result
+// gamlpCombine produces Σ_k a_k H_k restricted to the given rows. The result
 // comes from the shared tensor workspace; callers release it with
-// tensor.PutBuf after the last use.
-func (m *GAMLP) combine(att []float64, idx []int) *tensor.Matrix {
-	out := tensor.GetZeroBuf(len(idx), m.hops[0].Cols)
-	sel := tensor.GetBuf(len(idx), m.hops[0].Cols)
-	for k, h := range m.hops {
+// tensor.PutBufOf after the last use.
+func gamlpCombine[T tensor.Elem](hops []*tensor.Mat[T], att []float64, idx []int) *tensor.Mat[T] {
+	out := tensor.GetZeroBufOf[T](len(idx), hops[0].Cols)
+	sel := tensor.GetBufOf[T](len(idx), hops[0].Cols)
+	for k, h := range hops {
 		h.SelectRowsInto(idx, sel)
-		out.AddScaled(att[k], sel)
+		out.AddScaled(T(att[k]), sel)
 	}
-	tensor.PutBuf(sel)
+	tensor.PutBufOf(sel)
 	return out
 }
 
-// Fit precomputes hop embeddings and trains attention + MLP jointly.
+// gamlpHops returns the pointer to the dtype-matching hop-embedding field.
+func gamlpHops[T tensor.Elem](m *GAMLP) *[]*tensor.Mat[T] {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(&m.hops32).(*[]*tensor.Mat[T])
+	}
+	return any(&m.hops).(*[]*tensor.Mat[T])
+}
+
+// gamlpTheta returns the pointer to the dtype-matching attention parameter.
+func gamlpTheta[T tensor.Elem](m *GAMLP) **nn.ParamOf[T] {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(&m.theta32).(**nn.ParamOf[T])
+	}
+	return any(&m.theta).(**nn.ParamOf[T])
+}
+
+// gamlpNet returns the pointer to the dtype-matching trained-network field.
+func gamlpNet[T tensor.Elem](m *GAMLP) **nn.SequentialOf[T] {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(&m.net32).(**nn.SequentialOf[T])
+	}
+	return any(&m.net).(**nn.SequentialOf[T])
+}
+
+// Fit precomputes hop embeddings and trains attention + MLP jointly, at the
+// tier selected by cfg.DType.
 func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.dtype() == DTypeFloat32 {
+		return fitGAMLP[float32](m, ds, cfg)
+	}
+	return fitGAMLP[float64](m, ds, cfg)
+}
+
+func fitGAMLP[T tensor.Elem](m *GAMLP, ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	rep := &Report{Model: m.Name()}
 	start := time.Now()
-	m.hops = hopEmbeddings(ds, m.K)
-	m.classes = ds.NumClasses
-	m.logits = nil // refit invalidates the cached predictions
+	hops := hopEmbeddings[T](ds, m.K)
 	rep.Precompute = time.Since(start)
 
 	pcg, rng := newRunRNG(cfg.Seed)
-	m.theta = nn.NewParam("gamlp.theta", tensor.New(1, m.K+1))
-	m.net = nn.NewMLP(nn.MLPConfig{
+	theta := nn.NewParam("gamlp.theta", tensor.NewOf[T](1, m.K+1))
+	net := nn.NewMLPOf[T](nn.MLPConfig{
 		In: ds.X.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
 		Dropout: cfg.Dropout, Bias: true,
 	}, rng)
-	opt := nn.NewAdam(cfg.LR)
-	opt.WeightDecay = cfg.WeightDecay
-	params := append(m.net.Params(), m.theta)
 
-	src := train.NewIndexBatches(ds.TrainIdx, cfg.BatchSize)
+	m.hops, m.theta, m.net, m.hops32, m.theta32, m.net32 = nil, nil, nil, nil, nil, nil
+	*gamlpHops[T](m) = hops
+	*gamlpTheta[T](m) = theta
+	*gamlpNet[T](m) = net
+	m.classes = ds.NumClasses
+	m.logits = nil // refit invalidates the cached predictions
+
+	opt := nn.NewAdamOf[T](cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	params := append(net.Params(), theta)
+
+	src := train.NewIndexBatchesOf[T](ds.TrainIdx, cfg.BatchSize)
 	// Batch scratch reused across the run (attention-gradient accumulator);
 	// pooled matrices are released as soon as the backward pass has consumed
 	// them.
@@ -432,51 +596,51 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	valLabels := dataset.LabelsAt(ds.Labels, ds.ValIdx)
 	valIota := rangeIdx(len(ds.ValIdx))
 	defer opt.Reset()
-	err := runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.Spec{
+	err := runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.SpecOf[T]{
 		Source: src,
-		Step: func(b train.Batch) error {
+		Step: func(b train.BatchOf[T]) error {
 			bIdx := b.Indices
-			att := m.attention()
-			x := m.combine(att, bIdx)
-			logits := m.net.Forward(x, true)
-			gLogits := tensor.GetBuf(logits.Rows, logits.Cols)
+			att := gamlpAttention(theta)
+			x := gamlpCombine(hops, att, bIdx)
+			logits := net.Forward(x, true)
+			gLogits := tensor.GetBufOf[T](logits.Rows, logits.Cols)
 			nn.SoftmaxCrossEntropyInto(logits, dataset.LabelsAt(ds.Labels, bIdx), gLogits)
-			gx := m.net.Backward(gLogits)
-			tensor.PutBuf(gLogits)
-			tensor.PutBuf(x)
+			gx := net.Backward(gLogits)
+			tensor.PutBufOf(gLogits)
+			tensor.PutBufOf(x)
 			// Attention gradient: ∂L/∂a_k = <gx, H_k[idx]>, then softmax
-			// Jacobian back to θ.
-			sel := tensor.GetBuf(len(bIdx), m.hops[0].Cols)
-			for k, h := range m.hops {
+			// Jacobian back to θ. Dot products accumulate in float64.
+			sel := tensor.GetBufOf[T](len(bIdx), hops[0].Cols)
+			for k, h := range hops {
 				h.SelectRowsInto(bIdx, sel)
 				var dot float64
 				for i := range gx.Data {
-					dot += gx.Data[i] * sel.Data[i]
+					dot += float64(gx.Data[i]) * float64(sel.Data[i])
 				}
 				ga[k] = dot
 			}
-			tensor.PutBuf(sel)
+			tensor.PutBufOf(sel)
 			var inner float64
 			for k := range ga {
 				inner += att[k] * ga[k]
 			}
 			for k := range ga {
-				m.theta.Grad.Data[k] += att[k] * (ga[k] - inner)
+				theta.Grad.Data[k] += T(att[k] * (ga[k] - inner))
 			}
 			opt.Step(params)
 			return nil
 		},
 		Validate: func() (float64, error) {
-			att := m.attention()
-			valX := m.combine(att, ds.ValIdx)
-			valLogits := m.net.Forward(valX, false)
-			tensor.PutBuf(valX)
+			att := gamlpAttention(theta)
+			valX := gamlpCombine(hops, att, ds.ValIdx)
+			valLogits := net.Forward(valX, false)
+			tensor.PutBufOf(valX)
 			return accuracyAt(valLogits, valLabels, valIota), nil
 		},
 		Params:    params,
 		Optimizer: opt,
 		PeakFloats: func() int {
-			return src.BatchSize()*(ds.X.Cols*(m.K+2)+cfg.Hidden+ds.NumClasses) + m.net.NumParams()*3
+			return src.BatchSize()*(ds.X.Cols*(m.K+2)+cfg.Hidden+ds.NumClasses) + net.NumParams()*3
 		},
 	})
 	if err != nil {
@@ -484,10 +648,10 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	}
 
 	fillAccuracies(func(idx []int) []int {
-		att := m.attention()
-		x := m.combine(att, idx)
-		pred := nn.Argmax(m.net.Forward(x, false))
-		tensor.PutBuf(x)
+		att := gamlpAttention(theta)
+		x := gamlpCombine(hops, att, idx)
+		pred := nn.Argmax(net.Forward(x, false))
+		tensor.PutBufOf(x)
 		return pred
 	}, ds, rep)
 	return rep, nil
@@ -497,26 +661,40 @@ func (m *GAMLP) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 // first use after Fit/Restore: Predict used to recombine every hop
 // embedding and rerun the head over the whole graph on every call.
 func (m *GAMLP) Predict(ds *dataset.Dataset) ([]int, error) {
-	if m.net == nil {
+	if m.net == nil && m.net32 == nil {
 		return nil, fmt.Errorf("models: GAMLP.Predict before Fit")
 	}
 	return nn.Argmax(m.fullLogits()), nil
 }
 
 // fullLogits returns (computing and caching on first call) the full-graph
-// logits under the learned hop attention.
+// logits under the learned hop attention. A float32 model combines and
+// scores in float32, widening once into the cache.
 func (m *GAMLP) fullLogits() *tensor.Matrix {
 	if m.logits == nil {
-		att := m.attention()
-		x := m.combine(att, rangeIdx(m.hops[0].Rows))
-		m.logits = m.net.Forward(x, false).Clone()
-		tensor.PutBuf(x)
+		if m.net32 != nil {
+			att := gamlpAttention(m.theta32)
+			x := gamlpCombine(m.hops32, att, rangeIdx(m.hops32[0].Rows))
+			y := m.net32.Forward(x, false)
+			c := tensor.New(y.Rows, y.Cols)
+			tensor.WidenInto(y, c)
+			m.logits = c
+			tensor.PutBufOf(x)
+		} else {
+			att := gamlpAttention(m.theta)
+			x := gamlpCombine(m.hops, att, rangeIdx(m.hops[0].Rows))
+			m.logits = m.net.Forward(x, false).Clone()
+			tensor.PutBuf(x)
+		}
 	}
 	return m.logits
 }
 
 // Nodes implements NodeScorer.
 func (m *GAMLP) Nodes() int {
+	if len(m.hops32) > 0 {
+		return m.hops32[0].Rows
+	}
 	if len(m.hops) == 0 {
 		return 0
 	}
@@ -530,24 +708,33 @@ func (m *GAMLP) Classes() int { return m.classes }
 // one pooled head forward.
 // lint:confine score-path
 func (m *GAMLP) Score(idx []int, out *tensor.Matrix) error {
-	if m.net == nil {
+	if m.net == nil && m.net32 == nil {
 		return fmt.Errorf("models: GAMLP.Score before Fit or Restore")
 	}
 	if out.Rows != len(idx) || out.Cols != m.classes {
 		return fmt.Errorf("models: GAMLP.Score dst %dx%d, want %dx%d", out.Rows, out.Cols, len(idx), m.classes)
 	}
-	for _, n := range idx {
-		if n < 0 || n >= m.hops[0].Rows {
-			return fmt.Errorf("models: GAMLP.Score node %d outside [0,%d)", n, m.hops[0].Rows)
+	n := m.Nodes()
+	for _, v := range idx {
+		if v < 0 || v >= n {
+			return fmt.Errorf("models: GAMLP.Score node %d outside [0,%d)", v, n)
 		}
+	}
+	if m.net32 != nil {
+		att := gamlpAttention(m.theta32)
+		x := gamlpCombine(m.hops32, att, idx)
+		y := m.net32.Forward(x, false)
+		tensor.WidenInto(y, out)
+		tensor.PutBufOf(x)
+		return nil
 	}
 	for _, h := range m.hops {
 		if tensor.Overlaps(out.Data, h.Data) {
 			return fmt.Errorf("models: GAMLP.Score dst aliases a hop embedding")
 		}
 	}
-	att := m.attention()
-	x := m.combine(att, idx)
+	att := gamlpAttention(m.theta)
+	x := gamlpCombine(m.hops, att, idx)
 	y := m.net.Forward(x, false)
 	copy(out.Data, y.Data)
 	tensor.PutBuf(x)
@@ -556,7 +743,12 @@ func (m *GAMLP) Score(idx []int, out *tensor.Matrix) error {
 
 // HopAttention exposes the learned softmax hop weights (for the ablation
 // benchmarks).
-func (m *GAMLP) HopAttention() []float64 { return m.attention() }
+func (m *GAMLP) HopAttention() []float64 {
+	if m.theta32 != nil {
+		return gamlpAttention(m.theta32)
+	}
+	return gamlpAttention(m.theta)
+}
 
 // LD2 is the multi-filter heterophilous decoupled model: precompute
 // identity, low-pass, and high-pass spectral channels of the features,
@@ -565,10 +757,7 @@ func (m *GAMLP) HopAttention() []float64 { return m.attention() }
 type LD2 struct {
 	Hops int
 
-	emb     *tensor.Matrix
-	net     *nn.Sequential
-	classes int
-	logits  *tensor.Matrix // cached full-graph logits, nil until first Predict
+	decoupledState
 }
 
 // NewLD2 constructs LD2 with K-hop low/high-pass channels.
@@ -583,6 +772,8 @@ func NewLD2(hops int) (*LD2, error) {
 func (m *LD2) Name() string { return fmt.Sprintf("LD2-K%d", m.Hops) }
 
 // embed precomputes the multi-filter embedding — shared by Fit and Restore.
+// The spectral channels always run in float64 (the filter recurrences are
+// precision-sensitive); a float32 run narrows the result at the boundary.
 func (m *LD2) embed(ds *dataset.Dataset) (*tensor.Matrix, error) {
 	// Self-looped operator: the low-pass channel is then exactly Â^K (self
 	// signal diluted by degree normalization), and the high-pass channel is
@@ -605,24 +796,33 @@ func (m *LD2) embed(ds *dataset.Dataset) (*tensor.Matrix, error) {
 	return spectral.ConcatColumns(mats), nil
 }
 
-// Fit precomputes the multi-filter embedding and trains the head.
+// Fit precomputes the multi-filter embedding and trains the head at the
+// tier selected by cfg.DType.
 func (m *LD2) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.dtype() == DTypeFloat32 {
+		return fitLD2[float32](m, ds, cfg)
+	}
+	return fitLD2[float64](m, ds, cfg)
+}
+
+func fitLD2[T tensor.Elem](m *LD2, ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	rep := &Report{Model: m.Name()}
 	start := time.Now()
-	emb, err := m.embed(ds)
+	emb64, err := m.embed(ds)
 	if err != nil {
 		return nil, err
 	}
-	m.emb = emb
-	m.classes = ds.NumClasses
-	m.logits = nil // refit invalidates the cached predictions
+	emb := tensor.FromFloat64[T](emb64)
 	rep.Precompute = time.Since(start)
 
-	net, err := decoupledHead(m.Name(), m.emb, ds, cfg, []int{cfg.Hidden}, rep)
+	net, err := decoupledHead(m.Name(), emb, ds, cfg, []int{cfg.Hidden}, rep)
 	if err != nil {
 		return nil, err
 	}
-	m.net = net
+	decStore(&m.decoupledState, emb, net, ds.NumClasses)
 	return rep, nil
 }
 
@@ -646,19 +846,11 @@ func normalizeChannel(m *tensor.Matrix) {
 // Predict implements Trainer. Predictions come from the logits cached on
 // first use after Fit/Restore.
 func (m *LD2) Predict(ds *dataset.Dataset) ([]int, error) {
-	if m.net == nil {
-		return nil, fmt.Errorf("models: LD2.Predict before Fit")
-	}
-	return nn.Argmax(headLogits(m.net, m.emb, &m.logits)), nil
+	return m.decoupledState.predict(m.Name())
 }
 
 // Nodes implements NodeScorer.
-func (m *LD2) Nodes() int {
-	if m.emb == nil {
-		return 0
-	}
-	return m.emb.Rows
-}
+func (m *LD2) Nodes() int { return m.decoupledState.nodes() }
 
 // Classes implements NodeScorer.
 func (m *LD2) Classes() int { return m.classes }
@@ -666,8 +858,5 @@ func (m *LD2) Classes() int { return m.classes }
 // Score implements NodeScorer.
 // lint:confine score-path
 func (m *LD2) Score(idx []int, out *tensor.Matrix) error {
-	if m.net == nil {
-		return fmt.Errorf("models: LD2.Score before Fit or Restore")
-	}
-	return scoreHead(m.Name(), m.net, m.emb, m.classes, idx, out)
+	return m.decoupledState.score(m.Name(), idx, out)
 }

@@ -1,0 +1,105 @@
+package models
+
+import (
+	"math"
+	"testing"
+)
+
+// float32Cfg returns the quick training config switched to the raw-speed
+// tier.
+func float32Cfg() TrainConfig {
+	cfg := quickCfg()
+	cfg.DType = DTypeFloat32
+	return cfg
+}
+
+// TestFloat32TierLearns trains every float32-capable family end-to-end on
+// the raw-speed tier and requires the same "clearly beats chance" bar as
+// the float64 smoke tests, plus a working Predict surface.
+func TestFloat32TierLearns(t *testing.T) {
+	ds := smallTask(t)
+	makers := []struct {
+		name string
+		mk   func() (Trainer, error)
+	}{
+		{"gcn", func() (Trainer, error) { return NewGCN(2) }},
+		{"clustergcn", func() (Trainer, error) { return NewClusterGCN(2, 8) }},
+		{"sgc", func() (Trainer, error) { return NewSGC(2) }},
+		{"appnp", func() (Trainer, error) { return NewAPPNP(10, 0.15) }},
+		{"sign", func() (Trainer, error) { return NewSIGN(2) }},
+		{"gamlp", func() (Trainer, error) { return NewGAMLP(2) }},
+		{"ld2", func() (Trainer, error) { return NewLD2(2) }},
+	}
+	for _, mk := range makers {
+		t.Run(mk.name, func(t *testing.T) {
+			m, err := mk.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := m.Fit(ds, float32Cfg())
+			if err != nil {
+				t.Fatalf("%s float32 Fit: %v", m.Name(), err)
+			}
+			if rep.TestAcc < 0.7 {
+				t.Errorf("%s float32: test accuracy %.3f below 0.7", m.Name(), rep.TestAcc)
+			}
+			pred, err := m.Predict(ds)
+			if err != nil {
+				t.Fatalf("%s float32 Predict: %v", m.Name(), err)
+			}
+			if len(pred) != ds.G.N {
+				t.Errorf("%s float32: Predict returned %d values", m.Name(), len(pred))
+			}
+		})
+	}
+}
+
+// TestGCNFloat32MatchesFloat64Accuracy is the equal-accuracy half of the
+// raw-speed tier's contract: at identical config and seed, float32 GCN test
+// accuracy must land within ±0.5 points of the float64 reference.
+func TestGCNFloat32MatchesFloat64Accuracy(t *testing.T) {
+	ds := smallTask(t)
+
+	m64, err := NewGCN(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep64, err := m64.Fit(ds, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m32, err := NewGCN(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep32, err := m32.Fit(ds, float32Cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if diff := math.Abs(rep32.TestAcc - rep64.TestAcc); diff > 0.005 {
+		t.Errorf("float32 GCN accuracy %.4f vs float64 %.4f: |diff| %.4f > 0.005",
+			rep32.TestAcc, rep64.TestAcc, diff)
+	}
+}
+
+// TestFloat32UnsupportedFamiliesError pins the explicit error contract for
+// the families that intentionally stay float64-only.
+func TestFloat32UnsupportedFamiliesError(t *testing.T) {
+	ds := smallTask(t)
+	makers := []func() (Trainer, error){
+		func() (Trainer, error) { return NewGraphSAGE(2, 5) },
+		func() (Trainer, error) { return NewImplicitNet(0.8, nil) },
+		func() (Trainer, error) { return NewGraphTransformer(2) },
+	}
+	for _, mk := range makers {
+		m, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Fit(ds, float32Cfg()); err == nil {
+			t.Errorf("%s: float32 Fit succeeded, want explicit unsupported error", m.Name())
+		}
+	}
+}

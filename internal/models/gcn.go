@@ -10,26 +10,30 @@ import (
 	"scalegnn/internal/train"
 )
 
-// GCNConv is one graph-convolution layer y = Lin(Â x): propagation followed
-// by a dense transform. Backward exploits the symmetry of Â (undirected
-// graphs): ∂L/∂x = Â · Lin.Backward(g). Propagation buffers are recycled
-// through the shared tensor workspace under the nn.Layer lifetime contract.
-type GCNConv struct {
-	Op  *graph.Operator
-	Lin *nn.Linear
+// GCNConvOf is one graph-convolution layer y = Lin(Â x): propagation
+// followed by a dense transform. Backward exploits the symmetry of Â
+// (undirected graphs): ∂L/∂x = Â · Lin.Backward(g). Propagation buffers are
+// recycled through the shared tensor workspace under the nn.Layer lifetime
+// contract.
+type GCNConvOf[T tensor.Elem] struct {
+	Op  *graph.OperatorOf[T]
+	Lin *nn.LinearOf[T]
 
-	px, gx tensor.Buf
+	px, gx tensor.BufOf[T]
 }
 
+// GCNConv is the float64 instantiation of GCNConvOf.
+type GCNConv = GCNConvOf[float64]
+
 // Forward propagates then transforms.
-func (c *GCNConv) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+func (c *GCNConvOf[T]) Forward(x *tensor.Mat[T], training bool) *tensor.Mat[T] {
 	px := c.px.Next(x.Rows, x.Cols)
 	c.Op.ApplyInto(x, px)
 	return c.Lin.Forward(px, training)
 }
 
 // Backward transforms the gradient then propagates it back through Â.
-func (c *GCNConv) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+func (c *GCNConvOf[T]) Backward(gradOut *tensor.Mat[T]) *tensor.Mat[T] {
 	g := c.Lin.Backward(gradOut)
 	gx := c.gx.Next(g.Rows, g.Cols)
 	c.Op.ApplyInto(g, gx)
@@ -37,9 +41,12 @@ func (c *GCNConv) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 }
 
 // Params returns the dense transform's parameters.
-func (c *GCNConv) Params() []*nn.Param { return c.Lin.Params() }
+func (c *GCNConvOf[T]) Params() []*nn.ParamOf[T] { return c.Lin.Params() }
 
-var _ nn.Layer = (*GCNConv)(nil)
+var (
+	_ nn.Layer            = (*GCNConv)(nil)
+	_ nn.LayerOf[float32] = (*GCNConvOf[float32])(nil)
+)
 
 // GCN is the canonical full-batch graph convolutional network — the
 // baseline whose full-graph activations are the scalability bottleneck the
@@ -47,7 +54,9 @@ var _ nn.Layer = (*GCNConv)(nil)
 type GCN struct {
 	Layers int
 
-	net *nn.Sequential
+	net   *nn.Sequential            // float64 tier
+	net32 *nn.SequentialOf[float32] // float32 tier
+	x32   *tensor.Mat[float32]      // narrowed features the float32 net was fit on
 }
 
 // NewGCN constructs a GCN with the given number of convolution layers
@@ -62,15 +71,33 @@ func NewGCN(layers int) (*GCN, error) {
 // Name implements Trainer.
 func (m *GCN) Name() string { return fmt.Sprintf("GCN-%dL", m.Layers) }
 
-// Fit trains full-batch with Adam on the training mask.
+// Fit trains full-batch with Adam on the training mask, at the tier
+// selected by cfg.DType.
 func (m *GCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	pcg, rng := newRunRNG(cfg.Seed)
-	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
+	if cfg.dtype() == DTypeFloat32 {
+		return fitGCN[float32](m, ds, cfg)
+	}
+	return fitGCN[float64](m, ds, cfg)
+}
 
-	var layers []nn.Layer
+// gcnNet returns the pointer to the dtype-matching trained-network field.
+func gcnNet[T tensor.Elem](m *GCN) **nn.SequentialOf[T] {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(&m.net32).(**nn.SequentialOf[T])
+	}
+	return any(&m.net).(**nn.SequentialOf[T])
+}
+
+func fitGCN[T tensor.Elem](m *GCN, ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
+	pcg, rng := newRunRNG(cfg.Seed)
+	op := graph.NewOperatorOf[T](ds.G, graph.NormSymmetric, true)
+	x := tensor.FromFloat64[T](ds.X)
+
+	var layers []nn.LayerOf[T]
 	in := ds.X.Cols
 	for l := 0; l < m.Layers; l++ {
 		out := cfg.Hidden
@@ -78,47 +105,52 @@ func (m *GCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 			out = ds.NumClasses
 		}
 		if cfg.Dropout > 0 {
-			layers = append(layers, nn.NewDropout(cfg.Dropout, rng))
+			layers = append(layers, nn.NewDropoutOf[T](cfg.Dropout, rng))
 		}
-		layers = append(layers, &GCNConv{Op: op, Lin: nn.NewLinear(in, out, true, rng)})
+		layers = append(layers, &GCNConvOf[T]{Op: op, Lin: nn.NewLinearOf[T](in, out, true, rng)})
 		if l != m.Layers-1 {
-			layers = append(layers, nn.NewReLU())
+			layers = append(layers, nn.NewReLUOf[T]())
 		}
 		in = out
 	}
-	m.net = nn.NewSequential(layers...)
-	opt := nn.NewAdam(cfg.LR)
+	net := nn.NewSequentialOf(layers...)
+	m.net, m.net32, m.x32 = nil, nil, nil // a refit at either tier invalidates both
+	*gcnNet[T](m) = net
+	if x32, ok := any(x).(*tensor.Mat[float32]); ok {
+		m.x32 = x32
+	}
+	opt := nn.NewAdamOf[T](cfg.LR)
 	opt.WeightDecay = cfg.WeightDecay
 
 	rep := &Report{Model: m.Name()}
 	defer opt.Reset()
-	err := runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.Spec{
-		Source: train.FullBatch{},
-		Step: func(train.Batch) error {
-			logits := m.net.Forward(ds.X, true)
+	err := runLoop(m.Name(), ds, cfg, pcg, rng, rep, train.SpecOf[T]{
+		Source: train.FullBatchOf[T]{},
+		Step: func(train.BatchOf[T]) error {
+			logits := net.Forward(x, true)
 			_, grad := maskedLoss(logits, ds.Labels, ds.TrainIdx)
-			m.net.Backward(grad)
-			tensor.PutBuf(grad)
-			opt.Step(m.net.Params())
+			net.Backward(grad)
+			tensor.PutBufOf(grad)
+			opt.Step(net.Params())
 			return nil
 		},
 		Validate: func() (float64, error) {
-			return accuracyAt(m.net.Forward(ds.X, false), ds.Labels, ds.ValIdx), nil
+			return accuracyAt(net.Forward(x, false), ds.Labels, ds.ValIdx), nil
 		},
-		Params:    m.net.Params(),
+		Params:    net.Params(),
 		Optimizer: opt,
 		// Full-batch resident floats: every layer's activations plus
 		// gradients over all n nodes — the term that scales with graph size.
 		PeakFloats: func() int {
 			n := ds.G.N
-			return 2*n*(ds.X.Cols+(m.Layers-1)*cfg.Hidden+ds.NumClasses) + m.net.NumParams()*3
+			return 2*n*(ds.X.Cols+(m.Layers-1)*cfg.Hidden+ds.NumClasses) + net.NumParams()*3
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	logits := m.net.Forward(ds.X, false)
+	logits := net.Forward(x, false)
 	fillAccuracies(func(idx []int) []int {
 		return nn.Argmax(logits.SelectRows(idx))
 	}, ds, rep)
@@ -127,6 +159,13 @@ func (m *GCN) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 
 // Predict implements Trainer.
 func (m *GCN) Predict(ds *dataset.Dataset) ([]int, error) {
+	if m.net32 != nil {
+		x := m.x32
+		if x == nil || x.Rows != ds.G.N {
+			x = tensor.FromFloat64[float32](ds.X)
+		}
+		return nn.Argmax(m.net32.Forward(x, false)), nil
+	}
 	if m.net == nil {
 		return nil, fmt.Errorf("models: GCN.Predict before Fit")
 	}

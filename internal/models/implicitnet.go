@@ -88,6 +88,9 @@ func (m *ImplicitNet) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.dtype() == DTypeFloat32 {
+		return nil, errFloat32Unsupported(m.Name())
+	}
 	m.ds = ds
 	m.hidden = cfg.Hidden
 	pcg, rng := newRunRNG(cfg.Seed)

@@ -35,6 +35,16 @@ import (
 	"scalegnn/internal/train"
 )
 
+// Element-type tiers selectable via TrainConfig.DType.
+const (
+	// DTypeFloat64 is the bitwise-reproducible reference tier (the default).
+	DTypeFloat64 = "float64"
+	// DTypeFloat32 is the raw-speed tier: half the memory traffic through
+	// every dense kernel and SpMM, same RNG stream, same accuracy to within
+	// rounding. GCN, ClusterGCN, and the decoupled families support it.
+	DTypeFloat32 = "float32"
+)
+
 // TrainConfig holds the optimizer and schedule settings shared by all
 // models.
 type TrainConfig struct {
@@ -45,6 +55,10 @@ type TrainConfig struct {
 	Dropout     float64
 	BatchSize   int // mini-batch models only; <= 0 means full batch
 	Seed        uint64
+	// DType selects the numeric tier: "" or "float64" for the reference
+	// path, "float32" for the raw-speed tier. Models without a float32 path
+	// (GraphSAGE, ImplicitNet, GraphTransformer) reject float32.
+	DType string
 	// Patience stops training after this many epochs without val-accuracy
 	// improvement; 0 disables early stopping.
 	Patience int
@@ -83,7 +97,26 @@ func (c TrainConfig) validate() error {
 	if c.Hidden < 1 {
 		return fmt.Errorf("models: hidden width %d < 1", c.Hidden)
 	}
+	switch c.DType {
+	case "", DTypeFloat64, DTypeFloat32:
+	default:
+		return fmt.Errorf("models: unknown dtype %q (want %q or %q)", c.DType, DTypeFloat64, DTypeFloat32)
+	}
 	return nil
+}
+
+// dtype returns the normalized numeric tier ("" means float64).
+func (c TrainConfig) dtype() string {
+	if c.DType == "" {
+		return DTypeFloat64
+	}
+	return c.DType
+}
+
+// errFloat32Unsupported is the uniform rejection for models without a
+// float32 training path.
+func errFloat32Unsupported(name string) error {
+	return fmt.Errorf("models: %s has no float32 tier (iterative sampling/equilibrium/attention models stay float64); drop DType or use float64", name)
 }
 
 // Report summarizes one training run.
@@ -126,25 +159,25 @@ type Trainer interface {
 // maskedLoss computes softmax cross-entropy on the selected rows of the
 // full logits matrix and scatters the gradient back to full shape. The
 // returned gradient is drawn from the shared tensor workspace: callers
-// release it with tensor.PutBuf once the backward pass has consumed it.
-func maskedLoss(logits *tensor.Matrix, labels []int, idx []int) (float64, *tensor.Matrix) {
-	sel := tensor.GetBuf(len(idx), logits.Cols)
+// release it with tensor.PutBufOf once the backward pass has consumed it.
+func maskedLoss[T tensor.Elem](logits *tensor.Mat[T], labels []int, idx []int) (float64, *tensor.Mat[T]) {
+	sel := tensor.GetBufOf[T](len(idx), logits.Cols)
 	logits.SelectRowsInto(idx, sel)
-	gSel := tensor.GetBuf(len(idx), logits.Cols)
+	gSel := tensor.GetBufOf[T](len(idx), logits.Cols)
 	loss := nn.SoftmaxCrossEntropyInto(sel, dataset.LabelsAt(labels, idx), gSel)
-	tensor.PutBuf(sel)
-	full := tensor.GetZeroBuf(logits.Rows, logits.Cols)
+	tensor.PutBufOf(sel)
+	full := tensor.GetZeroBufOf[T](logits.Rows, logits.Cols)
 	full.ScatterAddRows(idx, gSel)
-	tensor.PutBuf(gSel)
+	tensor.PutBufOf(gSel)
 	return loss, full
 }
 
 // accuracyAt computes accuracy of full-graph logits on an index set.
-func accuracyAt(logits *tensor.Matrix, labels []int, idx []int) float64 {
-	sel := tensor.GetBuf(len(idx), logits.Cols)
+func accuracyAt[T tensor.Elem](logits *tensor.Mat[T], labels []int, idx []int) float64 {
+	sel := tensor.GetBufOf[T](len(idx), logits.Cols)
 	logits.SelectRowsInto(idx, sel)
 	pred := nn.Argmax(sel)
-	tensor.PutBuf(sel)
+	tensor.PutBufOf(sel)
 	return metrics.Accuracy(pred, dataset.LabelsAt(labels, idx))
 }
 
@@ -160,9 +193,11 @@ func newRunRNG(seed uint64) (*rand.PCG, *rand.Rand) {
 // runFingerprint hashes the run identity a snapshot must match to be
 // resumable: the model family, the dataset's shape and splits, and every
 // config field that shapes weights or the training trajectory. Epochs and
-// Patience are excluded so a run can be extended or re-stopped.
+// Patience are excluded so a run can be extended or re-stopped. The dtype
+// is folded in only for the float32 tier, so every snapshot written before
+// dtypes existed still matches its (float64) run.
 func runFingerprint(model string, ds *dataset.Dataset, cfg TrainConfig) uint64 {
-	return ckpt.NewFingerprint().
+	f := ckpt.NewFingerprint().
 		String(model).
 		U64(uint64(ds.G.N)).U64(uint64(ds.G.NumEdges())).
 		U64(uint64(ds.X.Cols)).U64(uint64(ds.NumClasses)).
@@ -170,8 +205,11 @@ func runFingerprint(model string, ds *dataset.Dataset, cfg TrainConfig) uint64 {
 		U64(math.Float64bits(cfg.LR)).U64(math.Float64bits(cfg.WeightDecay)).
 		U64(math.Float64bits(cfg.Dropout)).
 		U64(uint64(cfg.Hidden)).U64(uint64(int64(cfg.BatchSize))).
-		U64(cfg.Seed).
-		Sum()
+		U64(cfg.Seed)
+	if cfg.dtype() == DTypeFloat32 {
+		f = f.String(DTypeFloat32)
+	}
+	return f.Sum()
 }
 
 // runLoop adapts the model-level TrainConfig to the shared training engine
@@ -180,7 +218,7 @@ func runFingerprint(model string, ds *dataset.Dataset, cfg TrainConfig) uint64 {
 // accounting is still recorded before the error propagates. When
 // cfg.Checkpoint is enabled, the engine-level config is completed here
 // with the run fingerprint and the serializable RNG source.
-func runLoop(model string, ds *dataset.Dataset, cfg TrainConfig, pcg *rand.PCG, rng *rand.Rand, rep *Report, spec train.Spec) error {
+func runLoop[T tensor.Elem](model string, ds *dataset.Dataset, cfg TrainConfig, pcg *rand.PCG, rng *rand.Rand, rep *Report, spec train.SpecOf[T]) error {
 	ck := cfg.Checkpoint
 	if ck.Dir != "" {
 		ck.RNG = pcg
@@ -205,36 +243,37 @@ func runLoop(model string, ds *dataset.Dataset, cfg TrainConfig, pcg *rand.PCG, 
 // SGD — the shared training path of every decoupled model (SGC, SIGN, LD2
 // all reduce to this after their precompute step), driven by the engine's
 // precomputed-embedding batch source. Returns the trained network and fills
-// the timing/accuracy parts of the report.
-func decoupledHead(model string, emb *tensor.Matrix, ds *dataset.Dataset, cfg TrainConfig, hidden []int, rep *Report) (*nn.Sequential, error) {
+// the timing/accuracy parts of the report. The element type follows emb:
+// float32 embeddings train a float32 head end to end.
+func decoupledHead[T tensor.Elem](model string, emb *tensor.Mat[T], ds *dataset.Dataset, cfg TrainConfig, hidden []int, rep *Report) (*nn.SequentialOf[T], error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	pcg, rng := newRunRNG(cfg.Seed)
-	mlp := nn.NewMLP(nn.MLPConfig{
+	mlp := nn.NewMLPOf[T](nn.MLPConfig{
 		In: emb.Cols, Hidden: hidden, Out: ds.NumClasses,
 		Dropout: cfg.Dropout, Bias: true,
 	}, rng)
-	opt := nn.NewAdam(cfg.LR)
+	opt := nn.NewAdamOf[T](cfg.LR)
 	opt.WeightDecay = cfg.WeightDecay
 
 	// The source owns the batch-index and gathered-feature scratch; vb holds
 	// the validation selection. All recycled across the run.
 	src := train.NewEmbeddingBatches(emb, ds.TrainIdx, cfg.BatchSize)
 	defer src.Release()
-	var vb tensor.Buf
+	var vb tensor.BufOf[T]
 	defer vb.Release()
 	valLabels := dataset.LabelsAt(ds.Labels, ds.ValIdx)
 	valIota := rangeIdx(len(ds.ValIdx))
 	defer opt.Reset()
-	err := runLoop(model, ds, cfg, pcg, rng, rep, train.Spec{
+	err := runLoop(model, ds, cfg, pcg, rng, rep, train.SpecOf[T]{
 		Source: src,
-		Step: func(b train.Batch) error {
+		Step: func(b train.BatchOf[T]) error {
 			logits := mlp.Forward(b.X, true)
-			grad := tensor.GetBuf(logits.Rows, logits.Cols)
+			grad := tensor.GetBufOf[T](logits.Rows, logits.Cols)
 			nn.SoftmaxCrossEntropyInto(logits, dataset.LabelsAt(ds.Labels, b.Indices), grad)
 			mlp.Backward(grad)
-			tensor.PutBuf(grad)
+			tensor.PutBufOf(grad)
 			opt.Step(mlp.Params())
 			return nil
 		},

@@ -112,5 +112,5 @@ func NAIPredict(m *SGC, hops []*tensor.Matrix, threshold float64, minHops int) (
 // HopEmbeddings exposes the [X, ÂX, …, Â^K X] precompute for NAIPredict and
 // external analysis.
 func HopEmbeddings(ds *dataset.Dataset, k int) []*tensor.Matrix {
-	return hopEmbeddings(ds, k)
+	return hopEmbeddings[float64](ds, k)
 }

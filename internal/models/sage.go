@@ -176,6 +176,9 @@ func (m *GraphSAGE) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.dtype() == DTypeFloat32 {
+		return nil, errFloat32Unsupported(m.Name())
+	}
 	pcg, rng := newRunRNG(cfg.Seed)
 	sampler, err := sampling.NewNeighborSampler(ds.G, m.Fanout)
 	if err != nil {

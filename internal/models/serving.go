@@ -21,7 +21,9 @@ import (
 // Score computes class logits for a set of nodes in one batched head
 // forward; implementations reuse pooled scratch and layer-internal buffers,
 // so a NodeScorer is NOT safe for concurrent Score calls — the serving
-// layer funnels all scoring through one dispatcher.
+// layer funnels all scoring through one dispatcher. Logits are delivered as
+// float64 regardless of the tier the model was trained at: a float32 model
+// computes in float32 and widens once at the boundary.
 type NodeScorer interface {
 	// Name identifies the model family (matches Trainer.Name).
 	Name() string
@@ -38,7 +40,9 @@ type NodeScorer interface {
 // Restorer rebuilds a trained model from a checkpoint snapshot without
 // retraining: the graph-side precompute reruns, the head weights come from
 // the snapshot. The dataset and config must describe the run that produced
-// the snapshot — Restore rejects a mismatched ckpt.ErrFingerprint.
+// the snapshot — Restore rejects a mismatched ckpt.ErrFingerprint. A
+// float32-run snapshot restores only under cfg.DType = "float32" (the
+// fingerprint encodes the tier).
 type Restorer interface {
 	Restore(ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error
 }
@@ -66,10 +70,14 @@ func RunFingerprint(name string, ds *dataset.Dataset, cfg TrainConfig) uint64 {
 }
 
 // headLogits lazily computes and caches the full-graph head output — the
-// forward pass every decoupled Predict used to rerun per call.
-func headLogits(net *nn.Sequential, emb *tensor.Matrix, cache **tensor.Matrix) *tensor.Matrix {
+// forward pass every decoupled Predict used to rerun per call. The cache is
+// always float64; a float32 head widens its logits once on the first call.
+func headLogits[T tensor.Elem](net *nn.SequentialOf[T], emb *tensor.Mat[T], cache **tensor.Matrix) *tensor.Matrix {
 	if *cache == nil {
-		*cache = net.Forward(emb, false).Clone()
+		y := net.Forward(emb, false)
+		c := tensor.New(y.Rows, y.Cols)
+		tensor.WidenInto(y, c)
+		*cache = c
 	}
 	return *cache
 }
@@ -77,12 +85,13 @@ func headLogits(net *nn.Sequential, emb *tensor.Matrix, cache **tensor.Matrix) *
 // scoreHead gathers embedding rows for idx and runs them through the head —
 // the batched serving kernel shared by the embedding+head families. Row
 // independence of the dense kernels makes the result bitwise-equal to the
-// same rows of a full-graph forward.
-func scoreHead(name string, net *nn.Sequential, emb *tensor.Matrix, classes int, idx []int, out *tensor.Matrix) error {
+// same rows of a full-graph forward at the model's tier; float32 logits
+// widen into the float64 destination.
+func scoreHead[T tensor.Elem](name string, net *nn.SequentialOf[T], emb *tensor.Mat[T], classes int, idx []int, out *tensor.Matrix) error {
 	if out.Rows != len(idx) || out.Cols != classes {
 		return fmt.Errorf("models: %s.Score dst %dx%d, want %dx%d", name, out.Rows, out.Cols, len(idx), classes)
 	}
-	if tensor.Overlaps(out.Data, emb.Data) {
+	if e64, ok := any(emb).(*tensor.Matrix); ok && tensor.Overlaps(out.Data, e64.Data) {
 		return fmt.Errorf("models: %s.Score dst aliases the embedding", name)
 	}
 	for _, n := range idx {
@@ -90,16 +99,16 @@ func scoreHead(name string, net *nn.Sequential, emb *tensor.Matrix, classes int,
 			return fmt.Errorf("models: %s.Score node %d outside [0,%d)", name, n, emb.Rows)
 		}
 	}
-	sel := tensor.GetBuf(len(idx), emb.Cols)
+	sel := tensor.GetBufOf[T](len(idx), emb.Cols)
 	emb.SelectRowsInto(idx, sel)
 	y := net.Forward(sel, false)
-	copy(out.Data, y.Data)
-	tensor.PutBuf(sel)
+	tensor.WidenInto(y, out)
+	tensor.PutBufOf(sel)
 	return nil
 }
 
 // checkSnapshotFingerprint rejects restoring a snapshot produced by a
-// different model, dataset, or hyperparameter set.
+// different model, dataset, hyperparameter set, or numeric tier.
 func checkSnapshotFingerprint(name string, ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error {
 	want := runFingerprint(name, ds, cfg)
 	if snap.Fingerprint != want {
@@ -109,9 +118,20 @@ func checkSnapshotFingerprint(name string, ds *dataset.Dataset, cfg TrainConfig,
 	return nil
 }
 
+// blockValues returns a block's payload as []T, converting when the block
+// was written at a different precision (e.g. a pre-dtype v1 snapshot read
+// into a float64 run comes back uncopied).
+func blockValues[T tensor.Elem](b ckpt.Block) []T {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(b.Float32()).([]T)
+	}
+	return any(b.Float64()).([]T)
+}
+
 // restoreParams copies the snapshot's param.* blocks into the freshly built
 // parameter list, in the same order the training engine saved them.
-func restoreParams(name string, params []*nn.Param, snap *ckpt.Snapshot) error {
+func restoreParams[T tensor.Elem](name string, params []*nn.ParamOf[T], snap *ckpt.Snapshot) error {
 	blocks := make(map[string]ckpt.Block, len(snap.Blocks))
 	for _, b := range snap.Blocks {
 		blocks[b.Name] = b
@@ -126,7 +146,7 @@ func restoreParams(name string, params []*nn.Param, snap *ckpt.Snapshot) error {
 			return fmt.Errorf("models: restore %s: block %q is %dx%d, model wants %dx%d",
 				name, key, b.Rows, b.Cols, p.Value.Rows, p.Value.Cols)
 		}
-		copy(p.Value.Data, b.Data)
+		copy(p.Value.Data, blockValues[T](b))
 	}
 	if _, extra := blocks[fmt.Sprintf("param.%d", len(params))]; extra {
 		return fmt.Errorf("models: restore %s: snapshot has more than %d parameter blocks", name, len(params))
@@ -143,16 +163,23 @@ func (m *SGC) Restore(ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot)
 	if err := checkSnapshotFingerprint(m.Name(), ds, cfg, snap); err != nil {
 		return err
 	}
-	op := graph.NewOperator(ds.G, graph.NormSymmetric, true)
-	emb := op.PowerApply(ds.X, m.K)
+	if cfg.dtype() == DTypeFloat32 {
+		return restoreSGC[float32](m, ds, cfg, snap)
+	}
+	return restoreSGC[float64](m, ds, cfg, snap)
+}
+
+func restoreSGC[T tensor.Elem](m *SGC, ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error {
+	op := graph.NewOperatorOf[T](ds.G, graph.NormSymmetric, true)
+	emb := op.PowerApply(tensor.FromFloat64[T](ds.X), m.K)
 	_, rng := newRunRNG(cfg.Seed)
-	net := nn.NewMLP(nn.MLPConfig{
+	net := nn.NewMLPOf[T](nn.MLPConfig{
 		In: emb.Cols, Out: ds.NumClasses, Dropout: cfg.Dropout, Bias: true,
 	}, rng)
 	if err := restoreParams(m.Name(), net.Params(), snap); err != nil {
 		return err
 	}
-	m.emb, m.net, m.classes, m.logits = emb, net, ds.NumClasses, nil
+	decStore(&m.decoupledState, emb, net, ds.NumClasses)
 	return nil
 }
 
@@ -164,16 +191,23 @@ func (m *SIGN) Restore(ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot
 	if err := checkSnapshotFingerprint(m.Name(), ds, cfg, snap); err != nil {
 		return err
 	}
-	emb := spectral.ConcatColumns(hopEmbeddings(ds, m.K))
+	if cfg.dtype() == DTypeFloat32 {
+		return restoreSIGN[float32](m, ds, cfg, snap)
+	}
+	return restoreSIGN[float64](m, ds, cfg, snap)
+}
+
+func restoreSIGN[T tensor.Elem](m *SIGN, ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error {
+	emb := spectral.ConcatColumns(hopEmbeddings[T](ds, m.K))
 	_, rng := newRunRNG(cfg.Seed)
-	net := nn.NewMLP(nn.MLPConfig{
+	net := nn.NewMLPOf[T](nn.MLPConfig{
 		In: emb.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
 		Dropout: cfg.Dropout, Bias: true,
 	}, rng)
 	if err := restoreParams(m.Name(), net.Params(), snap); err != nil {
 		return err
 	}
-	m.emb, m.net, m.classes, m.logits = emb, net, ds.NumClasses, nil
+	decStore(&m.decoupledState, emb, net, ds.NumClasses)
 	return nil
 }
 
@@ -185,19 +219,27 @@ func (m *LD2) Restore(ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot)
 	if err := checkSnapshotFingerprint(m.Name(), ds, cfg, snap); err != nil {
 		return err
 	}
-	emb, err := m.embed(ds)
+	if cfg.dtype() == DTypeFloat32 {
+		return restoreLD2[float32](m, ds, cfg, snap)
+	}
+	return restoreLD2[float64](m, ds, cfg, snap)
+}
+
+func restoreLD2[T tensor.Elem](m *LD2, ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error {
+	emb64, err := m.embed(ds)
 	if err != nil {
 		return err
 	}
+	emb := tensor.FromFloat64[T](emb64)
 	_, rng := newRunRNG(cfg.Seed)
-	net := nn.NewMLP(nn.MLPConfig{
+	net := nn.NewMLPOf[T](nn.MLPConfig{
 		In: emb.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
 		Dropout: cfg.Dropout, Bias: true,
 	}, rng)
 	if err := restoreParams(m.Name(), net.Params(), snap); err != nil {
 		return err
 	}
-	m.emb, m.net, m.classes, m.logits = emb, net, ds.NumClasses, nil
+	decStore(&m.decoupledState, emb, net, ds.NumClasses)
 	return nil
 }
 
@@ -210,16 +252,32 @@ func (m *APPNP) Restore(ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapsho
 	if err := checkSnapshotFingerprint(m.Name(), ds, cfg, snap); err != nil {
 		return err
 	}
+	if cfg.dtype() == DTypeFloat32 {
+		return restoreAPPNP[float32](m, ds, cfg, snap)
+	}
+	return restoreAPPNP[float64](m, ds, cfg, snap)
+}
+
+func restoreAPPNP[T tensor.Elem](m *APPNP, ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error {
 	_, rng := newRunRNG(cfg.Seed)
-	net := nn.NewMLP(nn.MLPConfig{
+	net := nn.NewMLPOf[T](nn.MLPConfig{
 		In: ds.X.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
 		Dropout: cfg.Dropout, Bias: true,
 	}, rng)
 	if err := restoreParams(m.Name(), net.Params(), snap); err != nil {
 		return err
 	}
-	m.op = graph.NewOperator(ds.G, graph.NormSymmetric, true)
-	m.net, m.x, m.classes, m.logits = net, ds.X, ds.NumClasses, nil
+	op := graph.NewOperatorOf[T](ds.G, graph.NormSymmetric, true)
+	x := tensor.FromFloat64[T](ds.X)
+	m.net, m.net32, m.op, m.op32, m.x32 = nil, nil, nil, nil, nil
+	*appnpNet[T](m) = net
+	*appnpOp[T](m) = op
+	m.x = ds.X
+	if x32, ok := any(x).(*tensor.Mat[float32]); ok {
+		m.x32 = x32
+	}
+	m.classes = ds.NumClasses
+	m.logits = nil
 	return nil
 }
 
@@ -232,16 +290,28 @@ func (m *GAMLP) Restore(ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapsho
 	if err := checkSnapshotFingerprint(m.Name(), ds, cfg, snap); err != nil {
 		return err
 	}
-	hops := hopEmbeddings(ds, m.K)
-	theta := nn.NewParam("gamlp.theta", tensor.New(1, m.K+1))
+	if cfg.dtype() == DTypeFloat32 {
+		return restoreGAMLP[float32](m, ds, cfg, snap)
+	}
+	return restoreGAMLP[float64](m, ds, cfg, snap)
+}
+
+func restoreGAMLP[T tensor.Elem](m *GAMLP, ds *dataset.Dataset, cfg TrainConfig, snap *ckpt.Snapshot) error {
+	hops := hopEmbeddings[T](ds, m.K)
+	theta := nn.NewParam("gamlp.theta", tensor.NewOf[T](1, m.K+1))
 	_, rng := newRunRNG(cfg.Seed)
-	net := nn.NewMLP(nn.MLPConfig{
+	net := nn.NewMLPOf[T](nn.MLPConfig{
 		In: ds.X.Cols, Hidden: []int{cfg.Hidden}, Out: ds.NumClasses,
 		Dropout: cfg.Dropout, Bias: true,
 	}, rng)
 	if err := restoreParams(m.Name(), append(net.Params(), theta), snap); err != nil {
 		return err
 	}
-	m.hops, m.theta, m.net, m.classes, m.logits = hops, theta, net, ds.NumClasses, nil
+	m.hops, m.theta, m.net, m.hops32, m.theta32, m.net32 = nil, nil, nil, nil, nil, nil
+	*gamlpHops[T](m) = hops
+	*gamlpTheta[T](m) = theta
+	*gamlpNet[T](m) = net
+	m.classes = ds.NumClasses
+	m.logits = nil
 	return nil
 }

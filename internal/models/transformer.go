@@ -139,6 +139,9 @@ func (m *GraphTransformer) Fit(ds *dataset.Dataset, cfg TrainConfig) (*Report, e
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.dtype() == DTypeFloat32 {
+		return nil, errFloat32Unsupported(m.Name())
+	}
 	rep := &Report{Model: m.Name()}
 	preStart := time.Now()
 	ix, err := hublabel.Build(ds.G)

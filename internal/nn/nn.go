@@ -6,6 +6,13 @@
 // that: Linear / ReLU / Dropout layers composed into Sequential networks,
 // softmax cross-entropy, and SGD/Adam.
 //
+// Every module is generic over tensor.Elem: the float64 instantiations
+// (exposed under the historical names Param, Layer, Linear, ...) are the
+// bitwise-reproducible reference path, and the float32 instantiations form
+// the raw-speed tier. Transcendentals (exp, log, sqrt) and loss/stat
+// accumulations always run in float64 regardless of T, so the float32 tier
+// loses precision only where values are stored, not where they are reduced.
+//
 // Gradients are exact; every layer's backward pass is unit-tested against
 // finite differences.
 package nn
@@ -18,25 +25,29 @@ import (
 	"scalegnn/internal/tensor"
 )
 
-// Param is a learnable parameter with its accumulated gradient.
-type Param struct {
+// ParamOf is a learnable parameter with its accumulated gradient.
+type ParamOf[T tensor.Elem] struct {
 	Name  string
-	Value *tensor.Matrix
-	Grad  *tensor.Matrix
+	Value *tensor.Mat[T]
+	Grad  *tensor.Mat[T]
 }
 
-// NewParam allocates a parameter and its zero gradient.
-func NewParam(name string, value *tensor.Matrix) *Param {
-	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
+// Param is the float64 instantiation of ParamOf.
+type Param = ParamOf[float64]
+
+// NewParam allocates a parameter and its zero gradient. The element type is
+// inferred from value.
+func NewParam[T tensor.Elem](name string, value *tensor.Mat[T]) *ParamOf[T] {
+	return &ParamOf[T]{Name: name, Value: value, Grad: tensor.NewOf[T](value.Rows, value.Cols)}
 }
 
 // ZeroGrad clears the accumulated gradient.
-func (p *Param) ZeroGrad() { p.Grad.Zero() }
+func (p *ParamOf[T]) ZeroGrad() { p.Grad.Zero() }
 
 // NumValues returns the number of scalar parameters.
-func (p *Param) NumValues() int { return len(p.Value.Data) }
+func (p *ParamOf[T]) NumValues() int { return len(p.Value.Data) }
 
-// Layer is a differentiable module. Forward consumes a batch (rows =
+// LayerOf is a differentiable module. Forward consumes a batch (rows =
 // samples) and must retain whatever it needs for Backward; Backward
 // consumes ∂L/∂output and returns ∂L/∂input, accumulating parameter
 // gradients along the way. Layers are stateful across a single
@@ -48,45 +59,58 @@ func (p *Param) NumValues() int { return len(p.Value.Data) }
 // (forward → loss → backward → step, then the next pass) satisfy this
 // naturally; clone any output that must outlive the next pass, and run
 // Backward before any intervening Forward on the same network.
-type Layer interface {
-	Forward(x *tensor.Matrix, training bool) *tensor.Matrix
-	Backward(gradOut *tensor.Matrix) *tensor.Matrix
-	Params() []*Param
+type LayerOf[T tensor.Elem] interface {
+	Forward(x *tensor.Mat[T], training bool) *tensor.Mat[T]
+	Backward(gradOut *tensor.Mat[T]) *tensor.Mat[T]
+	Params() []*ParamOf[T]
 }
 
-// Linear is a fully-connected layer y = xW + b.
+// Layer is the float64 instantiation of LayerOf.
+type Layer = LayerOf[float64]
+
+// LinearOf is a fully-connected layer y = xW + b.
 //
 // Forward/backward outputs live in pooled workspace buffers that are
 // recycled on the next call (see tensor.Buf): a result is valid until the
 // layer's next pass, which is exactly the lifetime training loops need.
 // Clone anything that must survive longer.
-type Linear struct {
-	W, B  *Param
+type LinearOf[T tensor.Elem] struct {
+	W, B  *ParamOf[T]
 	InF   int
 	OutF  int
 	hasB  bool
-	lastX *tensor.Matrix
+	lastX *tensor.Mat[T]
 
-	y, gx, wg tensor.Buf // pooled output / input-grad / weight-grad buffers
+	y, gx, wg tensor.BufOf[T] // pooled output / input-grad / weight-grad buffers
 }
 
-// NewLinear constructs a Linear layer with Glorot-uniform weights and zero
-// bias. If bias is false the layer is purely linear.
+// Linear is the float64 instantiation of LinearOf.
+type Linear = LinearOf[float64]
+
+// NewLinear constructs a float64 Linear layer with Glorot-uniform weights
+// and zero bias. If bias is false the layer is purely linear.
 func NewLinear(inF, outF int, bias bool, rng *rand.Rand) *Linear {
-	l := &Linear{
-		W:    NewParam(fmt.Sprintf("linear_%dx%d.W", inF, outF), tensor.GlorotUniform(inF, outF, rng)),
+	return NewLinearOf[float64](inF, outF, bias, rng)
+}
+
+// NewLinearOf is NewLinear for any element type. Weight initialization
+// draws from rng in float64 and narrows, so a float32 layer consumes the
+// RNG stream exactly like its float64 twin.
+func NewLinearOf[T tensor.Elem](inF, outF int, bias bool, rng *rand.Rand) *LinearOf[T] {
+	l := &LinearOf[T]{
+		W:    NewParam(fmt.Sprintf("linear_%dx%d.W", inF, outF), tensor.GlorotUniformOf[T](inF, outF, rng)),
 		InF:  inF,
 		OutF: outF,
 		hasB: bias,
 	}
 	if bias {
-		l.B = NewParam(fmt.Sprintf("linear_%dx%d.b", inF, outF), tensor.New(1, outF))
+		l.B = NewParam(fmt.Sprintf("linear_%dx%d.b", inF, outF), tensor.NewOf[T](1, outF))
 	}
 	return l
 }
 
 // Forward computes xW (+ b).
-func (l *Linear) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+func (l *LinearOf[T]) Forward(x *tensor.Mat[T], training bool) *tensor.Mat[T] {
 	if x.Cols != l.InF {
 		panic(fmt.Sprintf("nn: Linear input cols %d != inF %d", x.Cols, l.InF))
 	}
@@ -103,7 +127,7 @@ func (l *Linear) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 
 // Backward accumulates ∂L/∂W = xᵀ g and ∂L/∂b = Σ rows(g), returning
 // ∂L/∂x = g Wᵀ.
-func (l *Linear) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+func (l *LinearOf[T]) Backward(gradOut *tensor.Mat[T]) *tensor.Mat[T] {
 	if l.lastX == nil {
 		panic("nn: Linear.Backward before Forward(training=true)")
 	}
@@ -124,25 +148,31 @@ func (l *Linear) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 }
 
 // Params returns the layer's learnables.
-func (l *Linear) Params() []*Param {
+func (l *LinearOf[T]) Params() []*ParamOf[T] {
 	if l.hasB {
-		return []*Param{l.W, l.B}
+		return []*ParamOf[T]{l.W, l.B}
 	}
-	return []*Param{l.W}
+	return []*ParamOf[T]{l.W}
 }
 
-// ReLU is the rectified-linear activation. Outputs live in pooled buffers
+// ReLUOf is the rectified-linear activation. Outputs live in pooled buffers
 // recycled on the next call, like Linear's.
-type ReLU struct {
+type ReLUOf[T tensor.Elem] struct {
 	mask []bool
-	y, g tensor.Buf
+	y, g tensor.BufOf[T]
 }
 
-// NewReLU returns a ReLU layer.
+// ReLU is the float64 instantiation of ReLUOf.
+type ReLU = ReLUOf[float64]
+
+// NewReLU returns a float64 ReLU layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
+// NewReLUOf returns a ReLU layer for any element type.
+func NewReLUOf[T tensor.Elem]() *ReLUOf[T] { return &ReLUOf[T]{} }
+
 // Forward zeroes negative entries.
-func (r *ReLU) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+func (r *ReLUOf[T]) Forward(x *tensor.Mat[T], training bool) *tensor.Mat[T] {
 	y := r.y.Next(x.Rows, x.Cols)
 	copy(y.Data, x.Data)
 	if training {
@@ -164,7 +194,7 @@ func (r *ReLU) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 }
 
 // Backward zeroes the gradient where the input was negative.
-func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+func (r *ReLUOf[T]) Backward(gradOut *tensor.Mat[T]) *tensor.Mat[T] {
 	g := r.g.Next(gradOut.Rows, gradOut.Cols)
 	copy(g.Data, gradOut.Data)
 	for i := range g.Data {
@@ -176,28 +206,37 @@ func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 }
 
 // Params returns nil; ReLU has no learnables.
-func (r *ReLU) Params() []*Param { return nil }
+func (r *ReLUOf[T]) Params() []*ParamOf[T] { return nil }
 
-// Dropout randomly zeroes entries during training with probability P,
+// DropoutOf randomly zeroes entries during training with probability P,
 // scaling survivors by 1/(1-P) (inverted dropout). At inference it is the
 // identity.
-type Dropout struct {
+type DropoutOf[T tensor.Elem] struct {
 	P    float64
 	rng  *rand.Rand
 	keep []bool
-	y, g tensor.Buf
+	y, g tensor.BufOf[T]
 }
 
-// NewDropout constructs a dropout layer with drop probability p.
+// Dropout is the float64 instantiation of DropoutOf.
+type Dropout = DropoutOf[float64]
+
+// NewDropout constructs a float64 dropout layer with drop probability p.
 func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	return NewDropoutOf[float64](p, rng)
+}
+
+// NewDropoutOf constructs a dropout layer for any element type. Mask draws
+// happen in float64 so the RNG stream is dtype-independent.
+func NewDropoutOf[T tensor.Elem](p float64, rng *rand.Rand) *DropoutOf[T] {
 	if p < 0 || p >= 1 {
 		panic(fmt.Sprintf("nn: dropout p=%v outside [0,1)", p))
 	}
-	return &Dropout{P: p, rng: rng}
+	return &DropoutOf[T]{P: p, rng: rng}
 }
 
 // Forward applies inverted dropout when training.
-func (d *Dropout) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+func (d *DropoutOf[T]) Forward(x *tensor.Mat[T], training bool) *tensor.Mat[T] {
 	if !training || d.P == 0 {
 		return x
 	}
@@ -207,7 +246,7 @@ func (d *Dropout) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 		d.keep = make([]bool, len(y.Data))
 	}
 	d.keep = d.keep[:len(y.Data)]
-	scale := 1 / (1 - d.P)
+	scale := T(1 / (1 - d.P))
 	for i := range y.Data {
 		if d.rng.Float64() < d.P {
 			y.Data[i] = 0
@@ -221,13 +260,13 @@ func (d *Dropout) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 }
 
 // Backward routes gradient only through kept entries.
-func (d *Dropout) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+func (d *DropoutOf[T]) Backward(gradOut *tensor.Mat[T]) *tensor.Mat[T] {
 	if d.P == 0 {
 		return gradOut
 	}
 	g := d.g.Next(gradOut.Rows, gradOut.Cols)
 	copy(g.Data, gradOut.Data)
-	scale := 1 / (1 - d.P)
+	scale := T(1 / (1 - d.P))
 	for i := range g.Data {
 		if d.keep[i] {
 			g.Data[i] *= scale
@@ -239,18 +278,26 @@ func (d *Dropout) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 }
 
 // Params returns nil; Dropout has no learnables.
-func (d *Dropout) Params() []*Param { return nil }
+func (d *DropoutOf[T]) Params() []*ParamOf[T] { return nil }
 
-// Sequential chains layers.
-type Sequential struct {
-	Layers []Layer
+// SequentialOf chains layers.
+type SequentialOf[T tensor.Elem] struct {
+	Layers []LayerOf[T]
 }
 
-// NewSequential builds a sequential container.
+// Sequential is the float64 instantiation of SequentialOf.
+type Sequential = SequentialOf[float64]
+
+// NewSequential builds a float64 sequential container.
 func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
 
+// NewSequentialOf builds a sequential container for any element type.
+func NewSequentialOf[T tensor.Elem](layers ...LayerOf[T]) *SequentialOf[T] {
+	return &SequentialOf[T]{Layers: layers}
+}
+
 // Forward runs all layers in order.
-func (s *Sequential) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+func (s *SequentialOf[T]) Forward(x *tensor.Mat[T], training bool) *tensor.Mat[T] {
 	for _, l := range s.Layers {
 		x = l.Forward(x, training)
 	}
@@ -258,7 +305,7 @@ func (s *Sequential) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 }
 
 // Backward runs all layers in reverse.
-func (s *Sequential) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+func (s *SequentialOf[T]) Backward(gradOut *tensor.Mat[T]) *tensor.Mat[T] {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
 		gradOut = s.Layers[i].Backward(gradOut)
 	}
@@ -266,8 +313,8 @@ func (s *Sequential) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 }
 
 // Params concatenates all layer parameters.
-func (s *Sequential) Params() []*Param {
-	var ps []*Param
+func (s *SequentialOf[T]) Params() []*ParamOf[T] {
+	var ps []*ParamOf[T]
 	for _, l := range s.Layers {
 		ps = append(ps, l.Params()...)
 	}
@@ -275,7 +322,7 @@ func (s *Sequential) Params() []*Param {
 }
 
 // NumParams returns the total scalar parameter count of the network.
-func (s *Sequential) NumParams() int {
+func (s *SequentialOf[T]) NumParams() int {
 	n := 0
 	for _, p := range s.Params() {
 		n += p.NumValues()
@@ -292,36 +339,44 @@ type MLPConfig struct {
 	Bias    bool
 }
 
-// NewMLP builds In -> Hidden... -> Out with ReLU between layers and dropout
-// before each linear layer (the standard decoupled-GNN classifier shape).
+// NewMLP builds a float64 In -> Hidden... -> Out network with ReLU between
+// layers and dropout before each linear layer (the standard decoupled-GNN
+// classifier shape).
 func NewMLP(cfg MLPConfig, rng *rand.Rand) *Sequential {
-	var layers []Layer
+	return NewMLPOf[float64](cfg, rng)
+}
+
+// NewMLPOf is NewMLP for any element type; layer construction consumes rng
+// identically across dtypes.
+func NewMLPOf[T tensor.Elem](cfg MLPConfig, rng *rand.Rand) *SequentialOf[T] {
+	var layers []LayerOf[T]
 	dims := append([]int{cfg.In}, cfg.Hidden...)
 	dims = append(dims, cfg.Out)
 	for i := 0; i+1 < len(dims); i++ {
 		if cfg.Dropout > 0 {
-			layers = append(layers, NewDropout(cfg.Dropout, rng))
+			layers = append(layers, NewDropoutOf[T](cfg.Dropout, rng))
 		}
-		layers = append(layers, NewLinear(dims[i], dims[i+1], cfg.Bias, rng))
+		layers = append(layers, NewLinearOf[T](dims[i], dims[i+1], cfg.Bias, rng))
 		if i+2 < len(dims) {
-			layers = append(layers, NewReLU())
+			layers = append(layers, NewReLUOf[T]())
 		}
 	}
-	return NewSequential(layers...)
+	return NewSequentialOf(layers...)
 }
 
 // SoftmaxCrossEntropy computes mean cross-entropy over rows of logits
 // against integer labels, returning the scalar loss and ∂L/∂logits.
 // Rows are softmax-normalized with the max-subtraction trick for stability.
-func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
-	grad := tensor.New(logits.Rows, logits.Cols)
+func SoftmaxCrossEntropy[T tensor.Elem](logits *tensor.Mat[T], labels []int) (float64, *tensor.Mat[T]) {
+	grad := tensor.NewOf[T](logits.Rows, logits.Cols)
 	return SoftmaxCrossEntropyInto(logits, labels, grad), grad
 }
 
 // SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing ∂L/∂logits into
 // grad (same shape as logits, fully overwritten) — the zero-allocation form
-// for pooled training loops. grad may not alias logits.
-func SoftmaxCrossEntropyInto(logits *tensor.Matrix, labels []int, grad *tensor.Matrix) float64 {
+// for pooled training loops. grad may not alias logits. Exponentials, the
+// normalizer, and the loss accumulate in float64 for every element type.
+func SoftmaxCrossEntropyInto[T tensor.Elem](logits *tensor.Mat[T], labels []int, grad *tensor.Mat[T]) float64 {
 	if logits.Rows != len(labels) {
 		panic(fmt.Sprintf("nn: %d logit rows vs %d labels", logits.Rows, len(labels)))
 	}
@@ -338,58 +393,58 @@ func SoftmaxCrossEntropyInto(logits *tensor.Matrix, labels []int, grad *tensor.M
 	invN := 1 / float64(logits.Rows)
 	for i := 0; i < logits.Rows; i++ {
 		row := logits.Row(i)
-		max := row[0]
+		max := float64(row[0])
 		for _, v := range row[1:] {
-			if v > max {
-				max = v
+			if float64(v) > max {
+				max = float64(v)
 			}
 		}
 		var sum float64
 		grow := grad.Row(i)
 		for j, v := range row {
-			e := math.Exp(v - max)
-			grow[j] = e
+			e := math.Exp(float64(v) - max)
+			grow[j] = T(e)
 			sum += e
 		}
 		y := labels[i]
 		if y < 0 || y >= logits.Cols {
 			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, logits.Cols))
 		}
-		loss += -(row[y] - max - math.Log(sum))
+		loss += -(float64(row[y]) - max - math.Log(sum))
 		for j := range grow {
-			grow[j] = grow[j] / sum * invN
+			grow[j] = T(float64(grow[j]) / sum * invN)
 		}
-		grow[y] -= invN
+		grow[y] -= T(invN)
 	}
 	return loss * invN
 }
 
 // Softmax returns row-wise softmax probabilities of logits.
-func Softmax(logits *tensor.Matrix) *tensor.Matrix {
+func Softmax[T tensor.Elem](logits *tensor.Mat[T]) *tensor.Mat[T] {
 	out := logits.Clone()
 	for i := 0; i < out.Rows; i++ {
 		row := out.Row(i)
-		max := row[0]
+		max := float64(row[0])
 		for _, v := range row[1:] {
-			if v > max {
-				max = v
+			if float64(v) > max {
+				max = float64(v)
 			}
 		}
 		var sum float64
 		for j, v := range row {
-			e := math.Exp(v - max)
-			row[j] = e
+			e := math.Exp(float64(v) - max)
+			row[j] = T(e)
 			sum += e
 		}
 		for j := range row {
-			row[j] /= sum
+			row[j] = T(float64(row[j]) / sum)
 		}
 	}
 	return out
 }
 
 // Argmax returns the index of the largest entry in each row.
-func Argmax(m *tensor.Matrix) []int {
+func Argmax[T tensor.Elem](m *tensor.Mat[T]) []int {
 	out := make([]int, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
@@ -404,34 +459,41 @@ func Argmax(m *tensor.Matrix) []int {
 	return out
 }
 
-// LayerNorm normalizes each row to zero mean and unit variance, then
+// LayerNormOf normalizes each row to zero mean and unit variance, then
 // applies learnable per-feature gain and bias — the normalization used by
 // Transformer-style graph models to keep attention activations in range.
-type LayerNorm struct {
-	Gain *Param
-	Bias *Param
+// Row statistics accumulate in float64 for every element type.
+type LayerNormOf[T tensor.Elem] struct {
+	Gain *ParamOf[T]
+	Bias *ParamOf[T]
 	Eps  float64
 
-	lastX    *tensor.Matrix
-	lastNorm *tensor.Matrix // normalized (pre-gain) activations
+	lastX    *tensor.Mat[T]
+	lastNorm *tensor.Mat[T] // normalized (pre-gain) activations
 	invStd   []float64
 
-	y, norm, gx tensor.Buf // pooled buffers, recycled per pass
+	y, norm, gx tensor.BufOf[T] // pooled buffers, recycled per pass
 }
 
-// NewLayerNorm constructs a LayerNorm over dim features.
-func NewLayerNorm(dim int) *LayerNorm {
-	gain := tensor.New(1, dim)
+// LayerNorm is the float64 instantiation of LayerNormOf.
+type LayerNorm = LayerNormOf[float64]
+
+// NewLayerNorm constructs a float64 LayerNorm over dim features.
+func NewLayerNorm(dim int) *LayerNorm { return NewLayerNormOf[float64](dim) }
+
+// NewLayerNormOf constructs a LayerNorm for any element type.
+func NewLayerNormOf[T tensor.Elem](dim int) *LayerNormOf[T] {
+	gain := tensor.NewOf[T](1, dim)
 	gain.Fill(1)
-	return &LayerNorm{
+	return &LayerNormOf[T]{
 		Gain: NewParam(fmt.Sprintf("layernorm_%d.gain", dim), gain),
-		Bias: NewParam(fmt.Sprintf("layernorm_%d.bias", dim), tensor.New(1, dim)),
+		Bias: NewParam(fmt.Sprintf("layernorm_%d.bias", dim), tensor.NewOf[T](1, dim)),
 		Eps:  1e-5,
 	}
 }
 
 // Forward normalizes rows and applies gain/bias.
-func (l *LayerNorm) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+func (l *LayerNormOf[T]) Forward(x *tensor.Mat[T], training bool) *tensor.Mat[T] {
 	d := float64(x.Cols)
 	y := l.y.Next(x.Rows, x.Cols)
 	grow := l.Gain.Value.Row(0)
@@ -439,7 +501,7 @@ func (l *LayerNorm) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 	// Training retains the normalized activations and inverse stddevs for
 	// Backward; inference computes the output directly so it never touches
 	// (or recycles) the retained training state.
-	var norm *tensor.Matrix
+	var norm *tensor.Mat[T]
 	var invStd []float64
 	if training {
 		norm = l.norm.Next(x.Rows, x.Cols)
@@ -452,12 +514,12 @@ func (l *LayerNorm) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 		row := x.Row(i)
 		var mean float64
 		for _, v := range row {
-			mean += v
+			mean += float64(v)
 		}
 		mean /= d
 		var varSum float64
 		for _, v := range row {
-			dv := v - mean
+			dv := float64(v) - mean
 			varSum += dv * dv
 		}
 		inv := 1 / math.Sqrt(varSum/d+l.Eps)
@@ -466,12 +528,12 @@ func (l *LayerNorm) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 			invStd[i] = inv
 			nrow := norm.Row(i)
 			for j, v := range row {
-				nrow[j] = (v - mean) * inv
+				nrow[j] = T((float64(v) - mean) * inv)
 				yrow[j] = nrow[j]*grow[j] + brow[j]
 			}
 		} else {
 			for j, v := range row {
-				yrow[j] = (v-mean)*inv*grow[j] + brow[j]
+				yrow[j] = T((float64(v)-mean)*inv)*grow[j] + brow[j]
 			}
 		}
 	}
@@ -485,7 +547,7 @@ func (l *LayerNorm) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 
 // Backward accumulates gain/bias gradients and returns ∂L/∂x using the
 // standard layer-norm backward formula.
-func (l *LayerNorm) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+func (l *LayerNormOf[T]) Backward(gradOut *tensor.Mat[T]) *tensor.Mat[T] {
 	if l.lastNorm == nil {
 		panic("nn: LayerNorm.Backward before Forward(training=true)")
 	}
@@ -506,21 +568,21 @@ func (l *LayerNorm) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 		// dx = invStd * (dnorm - mean(dnorm) - norm * mean(dnorm*norm)).
 		var meanDn, meanDnN float64
 		for j, g := range gout {
-			dn := g * grow[j]
+			dn := float64(g) * float64(grow[j])
 			meanDn += dn
-			meanDnN += dn * nrow[j]
+			meanDnN += dn * float64(nrow[j])
 		}
 		meanDn /= d
 		meanDnN /= d
 		gxrow := gx.Row(i)
 		inv := l.invStd[i]
 		for j, g := range gout {
-			dn := g * grow[j]
-			gxrow[j] = inv * (dn - meanDn - nrow[j]*meanDnN)
+			dn := float64(g) * float64(grow[j])
+			gxrow[j] = T(inv * (dn - meanDn - float64(nrow[j])*meanDnN))
 		}
 	}
 	return gx
 }
 
 // Params returns the gain and bias.
-func (l *LayerNorm) Params() []*Param { return []*Param{l.Gain, l.Bias} }
+func (l *LayerNormOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{l.Gain, l.Bias} }

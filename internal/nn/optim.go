@@ -7,38 +7,51 @@ import (
 	"scalegnn/internal/tensor"
 )
 
-// Optimizer updates parameters from their accumulated gradients and clears
-// the gradients afterwards.
-type Optimizer interface {
-	Step(params []*Param)
+// OptimizerOf updates parameters from their accumulated gradients and clears
+// the gradients afterwards. Update arithmetic runs in float64 for every
+// element type, so the float32 tier rounds each parameter exactly once per
+// step rather than compounding low-precision intermediates.
+type OptimizerOf[T tensor.Elem] interface {
+	Step(params []*ParamOf[T])
 }
 
-// SGD is stochastic gradient descent with optional L2 weight decay.
-type SGD struct {
+// Optimizer is the float64 instantiation of OptimizerOf.
+type Optimizer = OptimizerOf[float64]
+
+// SGDOf is stochastic gradient descent with optional L2 weight decay.
+type SGDOf[T tensor.Elem] struct {
 	LR          float64
 	WeightDecay float64
 }
 
-// NewSGD constructs an SGD optimizer.
+// SGD is the float64 instantiation of SGDOf.
+type SGD = SGDOf[float64]
+
+// NewSGD constructs a float64 SGD optimizer.
 func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
 
+// NewSGDOf constructs an SGD optimizer for any element type.
+func NewSGDOf[T tensor.Elem](lr float64) *SGDOf[T] { return &SGDOf[T]{LR: lr} }
+
 // Step applies one descent update and zeroes gradients.
-func (o *SGD) Step(params []*Param) {
+func (o *SGDOf[T]) Step(params []*ParamOf[T]) {
 	for _, p := range params {
 		for i, g := range p.Grad.Data {
+			g64 := float64(g)
 			if o.WeightDecay != 0 {
-				g += o.WeightDecay * p.Value.Data[i]
+				g64 += o.WeightDecay * float64(p.Value.Data[i])
 			}
-			p.Value.Data[i] -= o.LR * g
+			p.Value.Data[i] -= T(o.LR * g64)
 		}
 		p.ZeroGrad()
 	}
 }
 
-// Adam implements the Adam optimizer (Kingma & Ba) with bias correction and
+// AdamOf implements the Adam optimizer (Kingma & Ba) with bias correction and
 // optional decoupled L2 weight decay, the default trainer for every model in
-// this library.
-type Adam struct {
+// this library. Moment state is stored in T (halving optimizer memory on the
+// float32 tier) while each per-element update computes in float64.
+type AdamOf[T tensor.Elem] struct {
 	LR          float64
 	Beta1       float64
 	Beta2       float64
@@ -46,36 +59,45 @@ type Adam struct {
 	WeightDecay float64
 
 	t int
-	m map[*Param]*tensor.Matrix
-	v map[*Param]*tensor.Matrix
+	m map[*ParamOf[T]]*tensor.Mat[T]
+	v map[*ParamOf[T]]*tensor.Mat[T]
 }
 
-// NewAdam constructs Adam with the standard hyperparameters
+// Adam is the float64 instantiation of AdamOf.
+type Adam = AdamOf[float64]
+
+// NewAdam constructs float64 Adam with the standard hyperparameters
 // (β1=0.9, β2=0.999, ε=1e-8).
-func NewAdam(lr float64) *Adam {
-	return &Adam{
+func NewAdam(lr float64) *Adam { return NewAdamOf[float64](lr) }
+
+// NewAdamOf is NewAdam for any element type.
+func NewAdamOf[T tensor.Elem](lr float64) *AdamOf[T] {
+	return &AdamOf[T]{
 		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
-		m: make(map[*Param]*tensor.Matrix),
-		v: make(map[*Param]*tensor.Matrix),
+		m: make(map[*ParamOf[T]]*tensor.Mat[T]),
+		v: make(map[*ParamOf[T]]*tensor.Mat[T]),
 	}
 }
 
 // Step applies one Adam update and zeroes gradients.
-func (o *Adam) Step(params []*Param) {
+func (o *AdamOf[T]) Step(params []*ParamOf[T]) {
 	o.t++
 	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
 	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
 	for _, p := range params {
 		m, v := o.moments(p)
 		for i, g := range p.Grad.Data {
+			g64 := float64(g)
 			if o.WeightDecay != 0 {
-				g += o.WeightDecay * p.Value.Data[i]
+				g64 += o.WeightDecay * float64(p.Value.Data[i])
 			}
-			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
-			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
-			mhat := m.Data[i] / bc1
-			vhat := v.Data[i] / bc2
-			p.Value.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+			m64 := o.Beta1*float64(m.Data[i]) + (1-o.Beta1)*g64
+			v64 := o.Beta2*float64(v.Data[i]) + (1-o.Beta2)*g64*g64
+			m.Data[i] = T(m64)
+			v.Data[i] = T(v64)
+			mhat := m64 / bc1
+			vhat := v64 / bc2
+			p.Value.Data[i] -= T(o.LR * mhat / (math.Sqrt(vhat) + o.Eps))
 		}
 		p.ZeroGrad()
 	}
@@ -83,12 +105,12 @@ func (o *Adam) Step(params []*Param) {
 
 // moments returns p's first/second moment buffers, lazily creating
 // zero-initialized state (the Adam definition for an unseen parameter).
-func (o *Adam) moments(p *Param) (m, v *tensor.Matrix) {
+func (o *AdamOf[T]) moments(p *ParamOf[T]) (m, v *tensor.Mat[T]) {
 	m, ok := o.m[p]
 	if !ok {
-		m = tensor.GetZeroBuf(p.Value.Rows, p.Value.Cols)
+		m = tensor.GetZeroBufOf[T](p.Value.Rows, p.Value.Cols)
 		o.m[p] = m
-		o.v[p] = tensor.GetZeroBuf(p.Value.Rows, p.Value.Cols)
+		o.v[p] = tensor.GetZeroBufOf[T](p.Value.Rows, p.Value.Cols)
 	}
 	return m, o.v[p]
 }
@@ -98,8 +120,8 @@ func (o *Adam) moments(p *Param) (m, v *tensor.Matrix) {
 // entries). Unseen parameters export freshly created zero moments, so the
 // result is always complete. The matrices alias live optimizer state:
 // serialize them before the next Step and do not retain them.
-func (o *Adam) ExportMoments(params []*Param) (step int, moments []*tensor.Matrix) {
-	moments = make([]*tensor.Matrix, 0, 2*len(params))
+func (o *AdamOf[T]) ExportMoments(params []*ParamOf[T]) (step int, moments []*tensor.Mat[T]) {
+	moments = make([]*tensor.Mat[T], 0, 2*len(params))
 	for _, p := range params {
 		m, v := o.moments(p)
 		moments = append(moments, m, v)
@@ -111,7 +133,7 @@ func (o *Adam) ExportMoments(params []*Param) (step int, moments []*tensor.Matri
 // (checkpoint resume): moments holds m then v per parameter, shapes must
 // match, and step becomes the bias-correction counter. Values are copied
 // into the optimizer's own (pooled) buffers.
-func (o *Adam) ImportMoments(params []*Param, step int, moments []*tensor.Matrix) error {
+func (o *AdamOf[T]) ImportMoments(params []*ParamOf[T], step int, moments []*tensor.Mat[T]) error {
 	if len(moments) != 2*len(params) {
 		return fmt.Errorf("nn: ImportMoments got %d matrices for %d params (want %d)",
 			len(moments), len(params), 2*len(params))
@@ -142,13 +164,13 @@ func (o *Adam) ImportMoments(params []*Param, step int, moments []*tensor.Matrix
 // fits: every rebuilt Param is a fresh key, and the old entries can never
 // be hit again. Trainers call Reset when training completes (or before
 // reusing an optimizer with a reconstructed parameter set).
-func (o *Adam) Reset() {
+func (o *AdamOf[T]) Reset() {
 	for p, m := range o.m {
-		tensor.PutBuf(m)
+		tensor.PutBufOf(m)
 		delete(o.m, p)
 	}
 	for p, v := range o.v {
-		tensor.PutBuf(v)
+		tensor.PutBufOf(v)
 		delete(o.v, p)
 	}
 	o.t = 0
@@ -158,20 +180,20 @@ func (o *Adam) Reset() {
 // buffers to the shared workspace. Use it instead of Reset when only part
 // of the model was rebuilt and the surviving parameters should keep their
 // moments (and the step counter should keep its bias correction).
-func (o *Adam) Prune(keep []*Param) {
-	live := make(map[*Param]bool, len(keep))
+func (o *AdamOf[T]) Prune(keep []*ParamOf[T]) {
+	live := make(map[*ParamOf[T]]bool, len(keep))
 	for _, p := range keep {
 		live[p] = true
 	}
 	for p, m := range o.m {
 		if !live[p] {
-			tensor.PutBuf(m)
+			tensor.PutBufOf(m)
 			delete(o.m, p)
 		}
 	}
 	for p, v := range o.v {
 		if !live[p] {
-			tensor.PutBuf(v)
+			tensor.PutBufOf(v)
 			delete(o.v, p)
 		}
 	}
@@ -179,19 +201,20 @@ func (o *Adam) Prune(keep []*Param) {
 
 // ClipGradNorm rescales all gradients so their global L2 norm is at most
 // maxNorm, returning the pre-clip norm. It guards the implicit-GNN training
-// loops where fixed-point gradients can spike.
-func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+// loops where fixed-point gradients can spike. The norm accumulates in
+// float64 for every element type.
+func ClipGradNorm[T tensor.Elem](params []*ParamOf[T], maxNorm float64) float64 {
 	var sq float64
 	for _, p := range params {
 		for _, g := range p.Grad.Data {
-			sq += g * g
+			sq += float64(g) * float64(g)
 		}
 	}
 	norm := math.Sqrt(sq)
 	if norm > maxNorm && norm > 0 {
 		scale := maxNorm / norm
 		for _, p := range params {
-			p.Grad.Scale(scale)
+			p.Grad.Scale(T(scale))
 		}
 	}
 	return norm
@@ -203,7 +226,7 @@ func ClipGradNorm(params []*Param, maxNorm float64) float64 {
 //
 // loss must be a deterministic function of the layer output. Returns the
 // max absolute element-wise error between analytic and numeric ∂L/∂x.
-func GradCheck(layer Layer, x *tensor.Matrix, loss func(y *tensor.Matrix) (float64, *tensor.Matrix), eps float64) (float64, error) {
+func GradCheck[T tensor.Elem](layer LayerOf[T], x *tensor.Mat[T], loss func(y *tensor.Mat[T]) (float64, *tensor.Mat[T]), eps float64) (float64, error) {
 	y := layer.Forward(x, true)
 	_, gy := loss(y)
 	gx := layer.Backward(gy)
@@ -212,14 +235,14 @@ func GradCheck(layer Layer, x *tensor.Matrix, loss func(y *tensor.Matrix) (float
 	}
 	var maxErr float64
 	for i := range x.Data {
-		orig := x.Data[i]
-		x.Data[i] = orig + eps
+		orig := float64(x.Data[i])
+		x.Data[i] = T(orig + eps)
 		lp, _ := loss(layer.Forward(x, false))
-		x.Data[i] = orig - eps
+		x.Data[i] = T(orig - eps)
 		lm, _ := loss(layer.Forward(x, false))
-		x.Data[i] = orig
+		x.Data[i] = T(orig)
 		numeric := (lp - lm) / (2 * eps)
-		if e := math.Abs(numeric - gx.Data[i]); e > maxErr {
+		if e := math.Abs(numeric - float64(gx.Data[i])); e > maxErr {
 			maxErr = e
 		}
 	}

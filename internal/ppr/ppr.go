@@ -72,31 +72,32 @@ func PowerIteration(g *graph.CSR, s int, cfg Config) (p []float64, iters int, co
 	}
 	sp := obs.Start("ppr.power_iteration")
 	defer func() { sp.SetCount(int64(iters)); sp.End() }()
+	// The mass-transfer step next = (A·D^{-1}) p is the column-stochastic
+	// CSR operator, so each round is one row-parallel SpMV gather through
+	// graph.Operator instead of a serial per-edge scatter. Dangling nodes
+	// (degree 0) drop out of the operator entirely; their mass restarts at
+	// the source below, matching the scatter formulation.
+	op := graph.NewOperator(g, graph.NormColumn, false)
+	var dangling []int
+	for u := 0; u < g.N; u++ {
+		if g.Degree(u) == 0 {
+			dangling = append(dangling, u)
+		}
+	}
 	p = make([]float64, g.N)
 	next := make([]float64, g.N)
 	p[s] = 1
 	for ; iters < cfg.MaxIter; iters++ {
-		for i := range next {
-			next[i] = 0
-		}
-		next[s] = cfg.Alpha
+		op.ApplyVecInto(p, next)
 		decay := 1 - cfg.Alpha
-		for u := 0; u < g.N; u++ {
-			pu := p[u]
-			if pu == 0 {
-				continue
-			}
-			d := g.Degree(u)
-			if d == 0 {
-				// Dangling mass restarts at the source.
-				next[s] += decay * pu
-				continue
-			}
-			share := decay * pu / float64(d)
-			for _, v := range g.Neighbors(u) {
-				next[v] += share
-			}
+		var dangMass float64
+		for _, u := range dangling {
+			dangMass += p[u]
 		}
+		for i := range next {
+			next[i] *= decay
+		}
+		next[s] += cfg.Alpha + decay*dangMass
 		var diff float64
 		for i := range p {
 			d := p[i] - next[i]
@@ -369,6 +370,12 @@ func DiffusionEmbedding(g *graph.CSR, x *tensor.Matrix, cfg Config) (*tensor.Mat
 	if x.Rows != g.N {
 		return nil, 0, fmt.Errorf("ppr: features have %d rows for n=%d", x.Rows, g.N)
 	}
+	if cfg.Epsilon == 0 {
+		// Exact mode: no residual threshold means push degenerates to
+		// touching every node, so route the whole feature matrix through the
+		// CSR×dense SpMM path instead of per-column scalar pushes.
+		return diffusionExact(g, x, cfg)
+	}
 	// Columns diffuse independently: chunk them over internal/par with a
 	// per-chunk scratch column. Workers write disjoint output columns and
 	// the push counter is an order-exact integer sum, so the embedding is
@@ -405,4 +412,37 @@ func DiffusionEmbedding(g *graph.CSR, x *tensor.Matrix, cfg Config) (*tensor.Mat
 		}
 	}
 	return out, int(totalPushes.Load()), nil
+}
+
+// diffusionExact computes the truncated diffusion
+// Z = α Σ_{k=0..MaxIter} (1−α)^k (A·D^{-1})^k X with the CSR SpMM operator,
+// ping-ponging two dense matrices through Operator.ApplyInto — never
+// materializing the dense adjacency and never running per-edge scalar
+// loops. The geometric tail below cfg.Tol is truncated. Returns zero pushes
+// (the SpMM path has no push-work measure).
+func diffusionExact(g *graph.CSR, x *tensor.Matrix, cfg Config) (*tensor.Matrix, int, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, 0, err
+	}
+	sp := obs.Start("ppr.diffusion_exact")
+	defer sp.End()
+	op := graph.NewOperator(g, graph.NormColumn, false)
+	out := x.Clone()
+	out.Scale(cfg.Alpha)
+	cur := x.Clone()
+	next := tensor.New(x.Rows, x.Cols)
+	w := cfg.Alpha
+	hops := 0
+	for k := 1; k <= cfg.MaxIter; k++ {
+		w *= 1 - cfg.Alpha
+		if w < cfg.Tol {
+			break
+		}
+		op.ApplyInto(cur, next)
+		cur, next = next, cur
+		out.AddScaled(w, cur)
+		hops++
+	}
+	sp.SetCount(int64(hops))
+	return out, 0, nil
 }

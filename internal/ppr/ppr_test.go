@@ -435,3 +435,46 @@ func TestPushVectorValidation(t *testing.T) {
 		t.Error("row mismatch should error")
 	}
 }
+
+func TestDiffusionExactMatchesPush(t *testing.T) {
+	// Epsilon == 0 selects the SpMM-backed exact diffusion; it must agree
+	// with a tight push-based run and with the dense geometric series.
+	rng := tensor.NewRand(59)
+	g := graph.BarabasiAlbert(120, 3, rng)
+	x := tensor.RandUniform(g.N, 4, 0, 1, rng)
+
+	exact, pushes, err := DiffusionEmbedding(g, x, Config{Alpha: 0.2, Tol: 1e-10, MaxIter: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushes != 0 {
+		t.Fatalf("exact path reported %d pushes, want 0", pushes)
+	}
+
+	push, _, err := DiffusionEmbedding(g, x, Config{Alpha: 0.2, Epsilon: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := exact.Clone()
+	diff.Sub(push)
+	if diff.MaxAbs() > 1e-3 {
+		t.Errorf("exact vs push max error %v", diff.MaxAbs())
+	}
+
+	// Dense reference: Z = α Σ_k (1-α)^k (A D^{-1})^k X.
+	op := graph.NewOperator(g, graph.NormColumn, false)
+	want := x.Clone()
+	want.Scale(0.2)
+	cur := x
+	w := 0.2
+	for k := 1; k <= 400; k++ {
+		cur = op.Apply(cur)
+		w *= 0.8
+		want.AddScaled(w, cur)
+	}
+	diff = exact.Clone()
+	diff.Sub(want)
+	if diff.MaxAbs() > 1e-6 {
+		t.Errorf("exact vs dense series max error %v", diff.MaxAbs())
+	}
+}

@@ -148,10 +148,11 @@ func MultiFilter(op *graph.Operator, x *tensor.Matrix, channels []ChannelSpec) (
 	return ConcatColumns(mats), nil
 }
 
-// ConcatColumns stacks matrices with equal row counts side by side.
-func ConcatColumns(mats []*tensor.Matrix) *tensor.Matrix {
+// ConcatColumns stacks matrices with equal row counts side by side. It is
+// generic over the tensor element type; float64 call sites are unchanged.
+func ConcatColumns[T tensor.Elem](mats []*tensor.Mat[T]) *tensor.Mat[T] {
 	if len(mats) == 0 {
-		return tensor.New(0, 0)
+		return tensor.NewOf[T](0, 0)
 	}
 	rows := mats[0].Rows
 	total := 0
@@ -161,7 +162,7 @@ func ConcatColumns(mats []*tensor.Matrix) *tensor.Matrix {
 		}
 		total += m.Cols
 	}
-	out := tensor.New(rows, total)
+	out := tensor.NewOf[T](rows, total)
 	for i := 0; i < rows; i++ {
 		dst := out.Row(i)
 		off := 0

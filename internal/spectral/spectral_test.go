@@ -293,7 +293,7 @@ func TestConcatColumns(t *testing.T) {
 	if !c.Equal(want, 0) {
 		t.Errorf("concat = %v", c.Data)
 	}
-	if ConcatColumns(nil).Rows != 0 {
+	if ConcatColumns[float64](nil).Rows != 0 {
 		t.Error("empty concat should be empty")
 	}
 }

@@ -1,0 +1,91 @@
+package tensor
+
+// This file holds the dtype boundary: datasets, checkpoints, and the
+// serving API stay float64, while the raw-speed tier computes in float32.
+// Conversions are explicit one-time copies at those boundaries — never
+// silent per-element casts inside kernels.
+
+// FromFloat64 views a float64 matrix as a Mat[T]. For T = float64 it
+// returns src itself (zero copy, shared storage); for float32 it returns a
+// freshly narrowed copy. Callers on the float32 path own the copy and may
+// mutate it freely; callers on the float64 path must treat the result as a
+// view of src.
+func FromFloat64[T Elem](src *Matrix) *Mat[T] {
+	if m, ok := any(src).(*Mat[T]); ok {
+		return m
+	}
+	out := NewOf[T](src.Rows, src.Cols)
+	for i, v := range src.Data {
+		out.Data[i] = T(v)
+	}
+	return out
+}
+
+// ToFloat64 views a Mat[T] as a float64 matrix. For T = float64 it returns
+// src itself (zero copy, shared storage); for float32 it returns a freshly
+// widened copy.
+func ToFloat64[T Elem](src *Mat[T]) *Matrix {
+	if m, ok := any(src).(*Matrix); ok {
+		return m
+	}
+	out := New(src.Rows, src.Cols)
+	for i, v := range src.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}
+
+// WidenInto widens src into the float64 dst (same shape). For T = float64
+// this is a plain copy.
+func WidenInto[T Elem](src *Mat[T], dst *Matrix) {
+	if src.Rows != dst.Rows || src.Cols != dst.Cols {
+		panic("tensor: WidenInto shape mismatch")
+	}
+	if m, ok := any(src).(*Matrix); ok {
+		if m == dst {
+			return
+		}
+		if Overlaps(m.Data, dst.Data) {
+			panic("tensor: WidenInto dst aliases src")
+		}
+		copy(dst.Data, m.Data)
+		return
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = float64(v)
+	}
+}
+
+// NarrowInto narrows the float64 src into dst (same shape). For T = float64
+// this is a plain copy.
+func NarrowInto[T Elem](src *Matrix, dst *Mat[T]) {
+	if src.Rows != dst.Rows || src.Cols != dst.Cols {
+		panic("tensor: NarrowInto shape mismatch")
+	}
+	if m, ok := any(dst).(*Matrix); ok {
+		if m == src {
+			return
+		}
+		if Overlaps(m.Data, src.Data) {
+			panic("tensor: NarrowInto dst aliases src")
+		}
+		copy(m.Data, src.Data)
+		return
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = T(v)
+	}
+}
+
+// Float64Slice widens a []T to []float64; for T = float64 it returns x
+// itself.
+func Float64Slice[T Elem](x []T) []float64 {
+	if s, ok := any(x).([]float64); ok {
+		return s
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}

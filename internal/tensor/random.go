@@ -20,29 +20,50 @@ func NewRand(seed uint64) *rand.Rand {
 	return rand.New(NewPCG(seed))
 }
 
-// RandNormal fills a new rows x cols matrix with N(0, std²) entries.
+// RandNormalOf fills a new rows x cols matrix of element type T with
+// N(0, std²) entries. The draws happen in float64 and narrow afterwards, so
+// a float32 run consumes the RNG stream exactly like its float64 twin —
+// dtype never shifts downstream random decisions (shuffles, dropout masks).
+func RandNormalOf[T Elem](rows, cols int, std float64, rng *rand.Rand) *Mat[T] {
+	m := NewOf[T](rows, cols)
+	for i := range m.Data {
+		m.Data[i] = T(rng.NormFloat64() * std)
+	}
+	return m
+}
+
+// RandNormal fills a new float64 rows x cols matrix with N(0, std²) entries.
 func RandNormal(rows, cols int, std float64, rng *rand.Rand) *Matrix {
-	m := New(rows, cols)
+	return RandNormalOf[float64](rows, cols, std, rng)
+}
+
+// RandUniformOf fills a new rows x cols matrix of element type T with
+// Uniform[lo, hi) entries, drawing in float64 (see RandNormalOf).
+func RandUniformOf[T Elem](rows, cols int, lo, hi float64, rng *rand.Rand) *Mat[T] {
+	m := NewOf[T](rows, cols)
 	for i := range m.Data {
-		m.Data[i] = rng.NormFloat64() * std
+		m.Data[i] = T(lo + rng.Float64()*(hi-lo))
 	}
 	return m
 }
 
-// RandUniform fills a new rows x cols matrix with Uniform[lo, hi) entries.
+// RandUniform fills a new float64 rows x cols matrix with Uniform[lo, hi)
+// entries.
 func RandUniform(rows, cols int, lo, hi float64, rng *rand.Rand) *Matrix {
-	m := New(rows, cols)
-	for i := range m.Data {
-		m.Data[i] = lo + rng.Float64()*(hi-lo)
-	}
-	return m
+	return RandUniformOf[float64](rows, cols, lo, hi, rng)
 }
 
-// GlorotUniform returns a rows x cols matrix initialized with the Glorot
-// (Xavier) uniform scheme, the standard initializer for GNN weight matrices.
-func GlorotUniform(rows, cols int, rng *rand.Rand) *Matrix {
+// GlorotUniformOf returns a rows x cols matrix of element type T
+// initialized with the Glorot (Xavier) uniform scheme, the standard
+// initializer for GNN weight matrices.
+func GlorotUniformOf[T Elem](rows, cols int, rng *rand.Rand) *Mat[T] {
 	limit := math.Sqrt(6.0 / float64(rows+cols))
-	return RandUniform(rows, cols, -limit, limit, rng)
+	return RandUniformOf[T](rows, cols, -limit, limit, rng)
+}
+
+// GlorotUniform returns a float64 Glorot-initialized rows x cols matrix.
+func GlorotUniform(rows, cols int, rng *rand.Rand) *Matrix {
+	return GlorotUniformOf[float64](rows, cols, rng)
 }
 
 // Perm returns a deterministic pseudo-random permutation of [0, n).

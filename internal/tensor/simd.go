@@ -1,0 +1,109 @@
+// Vectorized float32 fast paths. The generic kernels in tensor.go dispatch
+// here via concrete-type assertions (pointer asserts only — no boxing, no
+// allocation) when the operands are Mat[float32] and the CPU supports the
+// AVX2+FMA kernels. The float64 reference tier never reaches this file, so
+// its bitwise accumulation order is untouched.
+package tensor
+
+import (
+	"fmt"
+
+	"scalegnn/internal/par"
+)
+
+// FastF32 reports whether the vectorized float32 kernels are active on this
+// machine (amd64 with AVX2+FMA, not disabled via SCALEGNN_NOSIMD=1).
+func FastF32() bool { return fastF32 }
+
+// F32Axpy computes y += a*x over equal-length float32 slices, vectorized
+// when available. It is exported for sibling packages (the graph SpMM inner
+// loop) that run concrete float32 hot loops.
+func F32Axpy(a float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: F32Axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	if fastF32 {
+		f32AxpyAVX(a, x, y)
+		return
+	}
+	axpyUnrolled(a, x, y)
+}
+
+// matMulIntoF32 is the float32 MatMulInto kernel: the same mmBlockK cache
+// blocking as the generic path, with the 8-column register tile replaced by
+// one YMM accumulator group. The tile kernel keeps 4 k-strided partial sums
+// to hide FMA latency, which reassociates the k-sum — allowed on the
+// float32 tier (parity with float64 is tolerance-checked, not bitwise).
+func matMulIntoF32(a, b, dst *Mat[float32]) {
+	n := b.Cols
+	par.Range(a.Rows, minChunkDense, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := dst.Row(i)
+			for j := range orow {
+				orow[j] = 0
+			}
+			for kb := 0; kb < len(arow); kb += mmBlockK {
+				kend := kb + mmBlockK
+				if kend > len(arow) {
+					kend = len(arow)
+				}
+				ab := arow[kb:kend]
+				bb := b.Data[kb*n : kend*n]
+				j := 0
+				for ; j+8 <= n; j += 8 {
+					f32GemmTileAVX(ab, bb[j:], orow[j:j+8], n)
+				}
+				for ; j < n; j++ {
+					s := orow[j]
+					bo := j
+					for _, av := range ab {
+						s += av * bb[bo]
+						bo += n
+					}
+					orow[j] = s
+				}
+			}
+		}
+	})
+}
+
+// matMulTIntoF32 is the float32 a*bᵀ kernel: one vectorized dot product per
+// output element.
+func matMulTIntoF32(a, b, dst *Mat[float32]) {
+	par.Range(a.Rows, minChunkDense, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				orow[j] = f32DotAVX(arow, b.Row(j))
+			}
+		}
+	})
+}
+
+// tMatMulIntoF32 is the float32 aᵀ*b kernel: k outermost as in the generic
+// path, with the row update vectorized.
+func tMatMulIntoF32(a, b, dst *Mat[float32]) {
+	dst.Zero()
+	par.Range(a.Cols, minChunkDense, func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				if av := arow[i]; av != 0 {
+					f32AxpyAVX(av, brow, dst.Row(i))
+				}
+			}
+		}
+	})
+}
+
+// matVecIntoF32 is the float32 matrix-vector kernel.
+func matVecIntoF32(a *Mat[float32], x, dst []float32) {
+	par.Range(a.Rows, minChunkDense, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = f32DotAVX(a.Row(i), x)
+		}
+	})
+}

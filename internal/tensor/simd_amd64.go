@@ -1,0 +1,23 @@
+//go:build amd64
+
+package tensor
+
+import "os"
+
+// fastF32 gates the AVX2+FMA float32 kernels in simd_amd64.s. It is decided
+// once at init (CPU capability plus the SCALEGNN_NOSIMD kill switch) and
+// read-only afterwards, so the hot paths can branch on it without locks.
+// Tests flip it temporarily to compare the vector and scalar paths.
+var fastF32 = cpuHasAVX2FMA() && os.Getenv("SCALEGNN_NOSIMD") == ""
+
+// cpuHasAVX2FMA reports CPU+OS support for the AVX2/FMA kernels.
+func cpuHasAVX2FMA() bool
+
+// f32AxpyAVX computes y += a*x. Caller guarantees len(x) == len(y).
+func f32AxpyAVX(a float32, x, y []float32)
+
+// f32DotAVX returns dot(x, y). Caller guarantees len(x) == len(y).
+func f32DotAVX(x, y []float32) float32
+
+// f32GemmTileAVX adds sum_k a[k]*b[k*stride:k*stride+8] into acc[0:8].
+func f32GemmTileAVX(a, b, acc []float32, stride int)

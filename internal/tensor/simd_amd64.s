@@ -1,0 +1,195 @@
+// AVX2+FMA float32 kernels for the raw-speed tier. These are only ever
+// dispatched for Mat[float32] operands (and only when cpuHasAVX2FMA reports
+// support), so the float64 reference path keeps its bitwise-stable scalar
+// loops. The gemm tile and dot kernels keep four independent partial
+// accumulators to hide FMA latency; that reassociates the k-sum, which the
+// float32 tier explicitly permits (parity with float64 is tolerance-based).
+
+#include "textflag.h"
+
+// func cpuHasAVX2FMA() bool
+//
+// True when the CPU and OS support AVX2 + FMA + OS-managed YMM state:
+// CPUID.1:ECX has FMA(12), OSXSAVE(27), AVX(28); XCR0 has XMM|YMM;
+// CPUID.7.0:EBX has AVX2(5).
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JLT  no
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL $0x18001000, R9 // (1<<28)|(1<<27)|(1<<12)
+	ANDL R9, CX
+	CMPL CX, R9
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX          // XCR0: XMM|YMM state enabled
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1 << 5), BX  // AVX2
+	JEQ  no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func f32AxpyAVX(a float32, x, y []float32)
+//
+// y[i] += a * x[i] for i < len(y). Caller guarantees len(x) == len(y).
+// Elements are independent, so vectorization never reassociates a sum.
+TEXT ·f32AxpyAVX(SB), NOSPLIT, $0-56
+	VBROADCASTSS a+0(FP), Y3
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DI
+	MOVQ y_len+40(FP), CX
+	MOVQ CX, BX
+	ANDQ $-16, BX
+	XORQ AX, AX
+loop16:
+	CMPQ AX, BX
+	JGE  head8
+	VMOVUPS (SI)(AX*4), Y0
+	VMOVUPS 32(SI)(AX*4), Y1
+	VFMADD213PS (DI)(AX*4), Y3, Y0   // Y0 = a*x + y
+	VFMADD213PS 32(DI)(AX*4), Y3, Y1
+	VMOVUPS Y0, (DI)(AX*4)
+	VMOVUPS Y1, 32(DI)(AX*4)
+	ADDQ $16, AX
+	JMP  loop16
+head8:
+	MOVQ CX, BX
+	ANDQ $-8, BX
+loop8:
+	CMPQ AX, BX
+	JGE  scalar
+	VMOVUPS (SI)(AX*4), Y0
+	VFMADD213PS (DI)(AX*4), Y3, Y0
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  loop8
+scalar:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSS (SI)(AX*4), X0
+	VFMADD213SS (DI)(AX*4), X3, X0
+	VMOVSS X0, (DI)(AX*4)
+	INCQ AX
+	JMP  scalar
+done:
+	VZEROUPPER
+	RET
+
+// func f32DotAVX(x, y []float32) float32
+//
+// Returns dot(x, y) over len(x) elements (caller guarantees equal lengths).
+// Four YMM partial accumulators, reduced at the end.
+TEXT ·f32DotAVX(SB), NOSPLIT, $0-52
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	MOVQ y_base+24(FP), DI
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ CX, BX
+	ANDQ $-32, BX
+	XORQ AX, AX
+loop32:
+	CMPQ AX, BX
+	JGE  head8
+	VMOVUPS (SI)(AX*4), Y4
+	VFMADD231PS (DI)(AX*4), Y4, Y0
+	VMOVUPS 32(SI)(AX*4), Y5
+	VFMADD231PS 32(DI)(AX*4), Y5, Y1
+	VMOVUPS 64(SI)(AX*4), Y6
+	VFMADD231PS 64(DI)(AX*4), Y6, Y2
+	VMOVUPS 96(SI)(AX*4), Y7
+	VFMADD231PS 96(DI)(AX*4), Y7, Y3
+	ADDQ $32, AX
+	JMP  loop32
+head8:
+	MOVQ CX, BX
+	ANDQ $-8, BX
+loop8:
+	CMPQ AX, BX
+	JGE  reduce
+	VMOVUPS (SI)(AX*4), Y4
+	VFMADD231PS (DI)(AX*4), Y4, Y0
+	ADDQ $8, AX
+	JMP  loop8
+reduce:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+scalar:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSS (SI)(AX*4), X1
+	VFMADD231SS (DI)(AX*4), X1, X0
+	INCQ AX
+	JMP  scalar
+done:
+	VMOVSS X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func f32GemmTileAVX(a, b, acc []float32, stride int)
+//
+// acc[0:8] += sum_k a[k] * b[k*stride : k*stride+8] — one 8-column output
+// tile of the register-blocked matmul. Four k-strided partial accumulators
+// hide FMA latency; they are summed into acc at the end.
+TEXT ·f32GemmTileAVX(SB), NOSPLIT, $0-80
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DX
+	MOVQ acc_base+48(FP), DI
+	MOVQ stride+72(FP), R9
+	SHLQ $2, R9          // stride in bytes
+	VMOVUPS (DI), Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ CX, BX
+	ANDQ $-4, BX
+	XORQ AX, AX
+loop4:
+	CMPQ AX, BX
+	JGE  tail
+	VBROADCASTSS (SI)(AX*4), Y4
+	VFMADD231PS (DX), Y4, Y0
+	VBROADCASTSS 4(SI)(AX*4), Y5
+	VFMADD231PS (DX)(R9*1), Y5, Y1
+	LEAQ (DX)(R9*2), R10
+	VBROADCASTSS 8(SI)(AX*4), Y6
+	VFMADD231PS (R10), Y6, Y2
+	VBROADCASTSS 12(SI)(AX*4), Y7
+	VFMADD231PS (R10)(R9*1), Y7, Y3
+	LEAQ (R10)(R9*2), DX
+	ADDQ $4, AX
+	JMP  loop4
+tail:
+	CMPQ AX, CX
+	JGE  sum
+	VBROADCASTSS (SI)(AX*4), Y4
+	VFMADD231PS (DX), Y4, Y0
+	ADDQ R9, DX
+	INCQ AX
+	JMP  tail
+sum:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VMOVUPS Y0, (DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package tensor
+
+// fastF32 is false off amd64: there are no vector kernels, so every tier
+// runs the portable scalar loops. Declared as a var (not a const) so the
+// dispatch code reads identically on both build variants.
+var fastF32 = false
+
+func f32AxpyAVX(a float32, x, y []float32) { panic("tensor: no SIMD on this arch") }
+func f32DotAVX(x, y []float32) float32     { panic("tensor: no SIMD on this arch") }
+func f32GemmTileAVX(a, b, acc []float32, stride int) {
+	panic("tensor: no SIMD on this arch")
+}

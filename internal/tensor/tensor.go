@@ -1,9 +1,17 @@
-// Package tensor provides dense float64 matrices and vectors used as the
-// numeric substrate for all neural-network and graph-propagation code in
-// scalegnn. It is deliberately small: row-major dense matrices, the BLAS-1/2/3
-// style kernels the GNN models need, and nothing else. Heavy kernels
-// (matrix-matrix multiply, matrix transpose multiply) are parallelized across
-// goroutines with deterministic work partitioning.
+// Package tensor provides dense matrices and vectors used as the numeric
+// substrate for all neural-network and graph-propagation code in scalegnn.
+// It is deliberately small: row-major dense matrices over a generic element
+// type (float32 for the raw-speed tier, float64 for the reference path), the
+// BLAS-1/2/3 style kernels the GNN models need, and nothing else. Heavy
+// kernels (matrix-matrix multiply, matrix transpose multiply) are
+// parallelized across goroutines with deterministic work partitioning and
+// register-blocked inner loops.
+//
+// The float64 kernels are bitwise-stable: for finite inputs every output
+// element is accumulated in strictly increasing k order with a single
+// accumulator, so blocking and unrolling never reassociate a sum. Changing
+// tile sizes must preserve that invariant — it is what keeps checkpoints,
+// fingerprints, and distributed replicas exactly reproducible.
 package tensor
 
 import (
@@ -13,41 +21,56 @@ import (
 	"scalegnn/internal/par"
 )
 
-// Matrix is a dense, row-major matrix of float64 values.
+// Elem is the set of element types the tensor stack supports: float64 for
+// the bitwise-reproducible reference path and float32 for the raw-speed
+// tier (half the memory traffic in the bandwidth-bound aggregation phase).
+type Elem interface {
+	float32 | float64
+}
+
+// Mat is a dense, row-major matrix of T values.
 //
 // The zero value is an empty matrix. Data is laid out so that element (i, j)
 // lives at Data[i*Cols+j]; rows are therefore contiguous, which matches the
 // access pattern of per-node feature operations in GNNs.
-type Matrix struct {
+type Mat[T Elem] struct {
 	Rows, Cols int
-	Data       []float64
+	Data       []T
 }
 
-// New returns a zero-initialized matrix with the given shape.
+// Matrix is the float64 instantiation — the historical element type and the
+// one every fingerprinted code path uses.
+type Matrix = Mat[float64]
+
+// New returns a zero-initialized float64 matrix with the given shape.
 // It panics if either dimension is negative.
-func New(rows, cols int) *Matrix {
+func New(rows, cols int) *Matrix { return NewOf[float64](rows, cols) }
+
+// NewOf returns a zero-initialized rows x cols matrix of the given element
+// type. It panics if either dimension is negative.
+func NewOf[T Elem](rows, cols int) *Mat[T] {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
 	}
-	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+	return &Mat[T]{Rows: rows, Cols: cols, Data: make([]T, rows*cols)}
 }
 
 // FromSlice wraps an existing flat slice as a rows x cols matrix.
 // The slice is used directly (not copied); len(data) must equal rows*cols.
-func FromSlice(rows, cols int, data []float64) *Matrix {
+func FromSlice[T Elem](rows, cols int, data []T) *Mat[T] {
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
 	}
-	return &Matrix{Rows: rows, Cols: cols, Data: data}
+	return &Mat[T]{Rows: rows, Cols: cols, Data: data}
 }
 
 // FromRows builds a matrix from a slice of equal-length rows.
-func FromRows(rows [][]float64) *Matrix {
+func FromRows[T Elem](rows [][]T) *Mat[T] {
 	if len(rows) == 0 {
-		return New(0, 0)
+		return NewOf[T](0, 0)
 	}
 	cols := len(rows[0])
-	m := New(len(rows), cols)
+	m := NewOf[T](len(rows), cols)
 	for i, r := range rows {
 		if len(r) != cols {
 			panic(fmt.Sprintf("tensor: FromRows row %d has %d cols, want %d", i, len(r), cols))
@@ -58,52 +81,52 @@ func FromRows(rows [][]float64) *Matrix {
 }
 
 // At returns element (i, j).
-func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+func (m *Mat[T]) At(i, j int) T { return m.Data[i*m.Cols+j] }
 
 // Set assigns element (i, j).
-func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+func (m *Mat[T]) Set(i, j int, v T) { m.Data[i*m.Cols+j] = v }
 
 // Row returns a view (not a copy) of row i.
-func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+func (m *Mat[T]) Row(i int) []T { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // Clone returns a deep copy of m.
-func (m *Matrix) Clone() *Matrix {
-	out := New(m.Rows, m.Cols)
+func (m *Mat[T]) Clone() *Mat[T] {
+	out := NewOf[T](m.Rows, m.Cols)
 	copy(out.Data, m.Data)
 	return out
 }
 
 // Shape returns (rows, cols).
-func (m *Matrix) Shape() (int, int) { return m.Rows, m.Cols }
+func (m *Mat[T]) Shape() (int, int) { return m.Rows, m.Cols }
 
 // SameShape reports whether m and other have identical dimensions.
-func (m *Matrix) SameShape(other *Matrix) bool {
+func (m *Mat[T]) SameShape(other *Mat[T]) bool {
 	return m.Rows == other.Rows && m.Cols == other.Cols
 }
 
 // Zero resets all entries to 0 in place.
-func (m *Matrix) Zero() {
+func (m *Mat[T]) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
 	}
 }
 
 // Fill sets every entry to v in place.
-func (m *Matrix) Fill(v float64) {
+func (m *Mat[T]) Fill(v T) {
 	for i := range m.Data {
 		m.Data[i] = v
 	}
 }
 
 // Copy copies src into m. Shapes must match.
-func (m *Matrix) Copy(src *Matrix) {
+func (m *Mat[T]) Copy(src *Mat[T]) {
 	mustSameShape("Copy", m, src)
 	copy(m.Data, src.Data)
 }
 
 // T returns the transpose of m as a new matrix.
-func (m *Matrix) T() *Matrix {
-	out := New(m.Cols, m.Rows)
+func (m *Mat[T]) T() *Mat[T] {
+	out := NewOf[T](m.Cols, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
@@ -114,7 +137,7 @@ func (m *Matrix) T() *Matrix {
 }
 
 // Add computes m += other element-wise.
-func (m *Matrix) Add(other *Matrix) {
+func (m *Mat[T]) Add(other *Mat[T]) {
 	mustSameShape("Add", m, other)
 	for i, v := range other.Data {
 		m.Data[i] += v
@@ -122,7 +145,7 @@ func (m *Matrix) Add(other *Matrix) {
 }
 
 // Sub computes m -= other element-wise.
-func (m *Matrix) Sub(other *Matrix) {
+func (m *Mat[T]) Sub(other *Mat[T]) {
 	mustSameShape("Sub", m, other)
 	for i, v := range other.Data {
 		m.Data[i] -= v
@@ -130,7 +153,7 @@ func (m *Matrix) Sub(other *Matrix) {
 }
 
 // Mul computes m *= other element-wise (Hadamard product).
-func (m *Matrix) Mul(other *Matrix) {
+func (m *Mat[T]) Mul(other *Mat[T]) {
 	mustSameShape("Mul", m, other)
 	for i, v := range other.Data {
 		m.Data[i] *= v
@@ -138,22 +161,28 @@ func (m *Matrix) Mul(other *Matrix) {
 }
 
 // Scale multiplies every entry by s in place.
-func (m *Matrix) Scale(s float64) {
+func (m *Mat[T]) Scale(s T) {
 	for i := range m.Data {
 		m.Data[i] *= s
 	}
 }
 
 // AddScaled computes m += s*other element-wise.
-func (m *Matrix) AddScaled(s float64, other *Matrix) {
+func (m *Mat[T]) AddScaled(s T, other *Mat[T]) {
 	mustSameShape("AddScaled", m, other)
+	if fastF32 {
+		if fm, ok := any(m).(*Mat[float32]); ok {
+			f32AxpyAVX(float32(s), any(other).(*Mat[float32]).Data, fm.Data)
+			return
+		}
+	}
 	for i, v := range other.Data {
 		m.Data[i] += s * v
 	}
 }
 
 // AddRowVector adds vector v (length Cols) to every row of m.
-func (m *Matrix) AddRowVector(v []float64) {
+func (m *Mat[T]) AddRowVector(v []T) {
 	if len(v) != m.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVector len %d != cols %d", len(v), m.Cols))
 	}
@@ -166,26 +195,29 @@ func (m *Matrix) AddRowVector(v []float64) {
 }
 
 // Apply replaces every entry x with f(x) in place.
-func (m *Matrix) Apply(f func(float64) float64) {
+func (m *Mat[T]) Apply(f func(T) T) {
 	for i, v := range m.Data {
 		m.Data[i] = f(v)
 	}
 }
 
 // MaxAbs returns the largest absolute entry, or 0 for an empty matrix.
-func (m *Matrix) MaxAbs() float64 {
-	var max float64
+func (m *Mat[T]) MaxAbs() T {
+	var max T
 	for _, v := range m.Data {
-		if a := math.Abs(v); a > max {
-			max = a
+		if v < 0 {
+			v = -v
+		}
+		if v > max {
+			max = v
 		}
 	}
 	return max
 }
 
 // Sum returns the sum of all entries.
-func (m *Matrix) Sum() float64 {
-	var s float64
+func (m *Mat[T]) Sum() T {
+	var s T
 	for _, v := range m.Data {
 		s += v
 	}
@@ -193,25 +225,25 @@ func (m *Matrix) Sum() float64 {
 }
 
 // FrobeniusNorm returns the Frobenius norm of m.
-func (m *Matrix) FrobeniusNorm() float64 {
-	var s float64
+func (m *Mat[T]) FrobeniusNorm() T {
+	var s T
 	for _, v := range m.Data {
 		s += v * v
 	}
-	return math.Sqrt(s)
+	return T(math.Sqrt(float64(s)))
 }
 
 // SelectRows gathers the given rows of m into a new matrix, one output row
 // per index, in order. Indices may repeat.
-func (m *Matrix) SelectRows(idx []int) *Matrix {
-	out := New(len(idx), m.Cols)
+func (m *Mat[T]) SelectRows(idx []int) *Mat[T] {
+	out := NewOf[T](len(idx), m.Cols)
 	m.SelectRowsInto(idx, out)
 	return out
 }
 
 // SelectRowsInto gathers the given rows of m into dst (shape len(idx) x
 // m.Cols), overwriting it. dst must not alias m.
-func (m *Matrix) SelectRowsInto(idx []int, dst *Matrix) {
+func (m *Mat[T]) SelectRowsInto(idx []int, dst *Mat[T]) {
 	if dst.Rows != len(idx) || dst.Cols != m.Cols {
 		panic(fmt.Sprintf("tensor: SelectRowsInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, len(idx), m.Cols))
 	}
@@ -225,7 +257,7 @@ func (m *Matrix) SelectRowsInto(idx []int, dst *Matrix) {
 
 // ScatterAddRows adds each row of src into row idx[i] of m. It is the adjoint
 // of SelectRows and is used to backpropagate through row gathering.
-func (m *Matrix) ScatterAddRows(idx []int, src *Matrix) {
+func (m *Mat[T]) ScatterAddRows(idx []int, src *Mat[T]) {
 	if len(idx) != src.Rows || m.Cols != src.Cols {
 		panic("tensor: ScatterAddRows shape mismatch")
 	}
@@ -239,19 +271,19 @@ func (m *Matrix) ScatterAddRows(idx []int, src *Matrix) {
 
 // Equal reports whether m and other are identical in shape and, entry-wise,
 // differ by at most tol in absolute value.
-func (m *Matrix) Equal(other *Matrix, tol float64) bool {
+func (m *Mat[T]) Equal(other *Mat[T], tol float64) bool {
 	if !m.SameShape(other) {
 		return false
 	}
 	for i, v := range m.Data {
-		if math.Abs(v-other.Data[i]) > tol {
+		if math.Abs(float64(v)-float64(other.Data[i])) > tol {
 			return false
 		}
 	}
 	return true
 }
 
-func mustSameShape(op string, a, b *Matrix) {
+func mustSameShape[T Elem](op string, a, b *Mat[T]) {
 	if !a.SameShape(b) {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -261,10 +293,17 @@ func mustSameShape(op string, a, b *Matrix) {
 // passed to the shared partitioner in internal/par.
 const minChunkDense = 64
 
+// mmBlockK is the k-tile of the matmul kernels: a tile of b spanning
+// mmBlockK rows is consumed column-block by column-block before the kernel
+// advances, bounding the streamed working set regardless of how tall b is.
+// Accumulation still visits k in strictly increasing order per output
+// element, so tiling never perturbs float64 results.
+const mmBlockK = 256
+
 // mustNotAlias panics if dst shares backing memory with any operand — the
 // in-place kernels read operands while writing dst, so aliasing (including
 // overlapping FromSlice views) would silently corrupt the output.
-func mustNotAlias(op string, dst *Matrix, operands ...*Matrix) {
+func mustNotAlias[T Elem](op string, dst *Mat[T], operands ...*Mat[T]) {
 	for _, o := range operands {
 		if Overlaps(dst.Data, o.Data) {
 			panic(fmt.Sprintf("tensor: %s dst aliases an operand", op))
@@ -272,10 +311,10 @@ func mustNotAlias(op string, dst *Matrix, operands ...*Matrix) {
 	}
 }
 
-// MatMul returns a*b using a cache-friendly ikj loop order, parallelized over
-// row blocks of a. Panics if inner dimensions disagree.
-func MatMul(a, b *Matrix) *Matrix {
-	out := New(a.Rows, b.Cols)
+// MatMul returns a*b, parallelized over row blocks of a. Panics if inner
+// dimensions disagree.
+func MatMul[T Elem](a, b *Mat[T]) *Mat[T] {
+	out := NewOf[T](a.Rows, b.Cols)
 	MatMulInto(a, b, out)
 	return out
 }
@@ -283,7 +322,13 @@ func MatMul(a, b *Matrix) *Matrix {
 // MatMulInto computes a*b into dst (shape a.Rows x b.Cols), overwriting it.
 // dst must not alias a or b. This is the zero-allocation form used by the
 // pooled training hot path.
-func MatMulInto(a, b, dst *Matrix) {
+//
+// The kernel is register-blocked: each output row is produced in 8-column
+// tiles held in scalar accumulators while k streams through a tile of b, so
+// the inner loop is 8 independent multiply-adds with no load/store of dst.
+// Per output element the sum still runs over k in increasing order with one
+// accumulator — bitwise-equal to the naive ikj loop for finite inputs.
+func MatMulInto[T Elem](a, b, dst *Mat[T]) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -291,6 +336,13 @@ func MatMulInto(a, b, dst *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	mustNotAlias("MatMulInto", dst, a, b)
+	if fastF32 {
+		if fa, ok := any(a).(*Mat[float32]); ok {
+			matMulIntoF32(fa, any(b).(*Mat[float32]), any(dst).(*Mat[float32]))
+			return
+		}
+	}
+	n := b.Cols
 	par.Range(a.Rows, minChunkDense, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
@@ -298,30 +350,74 @@ func MatMulInto(a, b, dst *Matrix) {
 			for j := range orow {
 				orow[j] = 0
 			}
-			for k, av := range arow {
-				if av == 0 {
-					continue
+			for kb := 0; kb < len(arow); kb += mmBlockK {
+				kend := kb + mmBlockK
+				if kend > len(arow) {
+					kend = len(arow)
 				}
-				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
+				matMulTile(arow[kb:kend], b.Data[kb*n:kend*n], orow, n)
 			}
 		}
 	})
 }
 
+// matMulTile adds ablk · bblk into orow, where ablk is a k-tile of one row
+// of a and bblk the matching rows of b. Columns advance in tiles of 8 with
+// the partial sums pinned in registers; zero a-entries are skipped, which
+// both exploits ReLU sparsity and preserves the historical Inf/NaN
+// behavior of the skip.
+func matMulTile[T Elem](ablk, bblk []T, orow []T, n int) {
+	j := 0
+	for ; j+8 <= n; j += 8 {
+		s0, s1, s2, s3 := orow[j], orow[j+1], orow[j+2], orow[j+3]
+		s4, s5, s6, s7 := orow[j+4], orow[j+5], orow[j+6], orow[j+7]
+		bo := j
+		for _, av := range ablk {
+			if av != 0 {
+				brow := bblk[bo : bo+8 : bo+8]
+				s0 += av * brow[0]
+				s1 += av * brow[1]
+				s2 += av * brow[2]
+				s3 += av * brow[3]
+				s4 += av * brow[4]
+				s5 += av * brow[5]
+				s6 += av * brow[6]
+				s7 += av * brow[7]
+			}
+			bo += n
+		}
+		orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+		orow[j+4], orow[j+5], orow[j+6], orow[j+7] = s4, s5, s6, s7
+	}
+	for ; j < n; j++ {
+		s := orow[j]
+		bo := j
+		for _, av := range ablk {
+			if av != 0 {
+				s += av * bblk[bo]
+			}
+			bo += n
+		}
+		orow[j] = s
+	}
+}
+
 // MatMulT returns a * bᵀ. It is used for gradient computations where the
 // transposed operand is the natural layout.
-func MatMulT(a, b *Matrix) *Matrix {
-	out := New(a.Rows, b.Rows)
+func MatMulT[T Elem](a, b *Mat[T]) *Mat[T] {
+	out := NewOf[T](a.Rows, b.Rows)
 	MatMulTInto(a, b, out)
 	return out
 }
 
 // MatMulTInto computes a * bᵀ into dst (shape a.Rows x b.Rows), overwriting
 // it. dst must not alias a or b.
-func MatMulTInto(a, b, dst *Matrix) {
+//
+// Four output columns (rows of b) are produced per pass so each element of
+// arow is loaded once per four dot products; every dot product keeps its own
+// single accumulator running over k in increasing order, so float64 results
+// are bitwise-equal to the naive per-column loop.
+func MatMulTInto[T Elem](a, b, dst *Mat[T]) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT inner dim mismatch %dx%d * (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -329,13 +425,31 @@ func MatMulTInto(a, b, dst *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulTInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
 	mustNotAlias("MatMulTInto", dst, a, b)
+	if fastF32 {
+		if fa, ok := any(a).(*Mat[float32]); ok {
+			matMulTIntoF32(fa, any(b).(*Mat[float32]), any(dst).(*Mat[float32]))
+			return
+		}
+	}
 	par.Range(a.Rows, minChunkDense, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
 			orow := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
+			j := 0
+			for ; j+4 <= b.Rows; j += 4 {
+				b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+				var s0, s1, s2, s3 T
+				for k, av := range arow {
+					s0 += av * b0[k]
+					s1 += av * b1[k]
+					s2 += av * b2[k]
+					s3 += av * b3[k]
+				}
+				orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+			}
+			for ; j < b.Rows; j++ {
 				brow := b.Row(j)
-				var s float64
+				var s T
 				for k, av := range arow {
 					s += av * brow[k]
 				}
@@ -346,15 +460,20 @@ func MatMulTInto(a, b, dst *Matrix) {
 }
 
 // TMatMul returns aᵀ * b, parallelized over columns of the output.
-func TMatMul(a, b *Matrix) *Matrix {
-	out := New(a.Cols, b.Cols)
+func TMatMul[T Elem](a, b *Mat[T]) *Mat[T] {
+	out := NewOf[T](a.Cols, b.Cols)
 	TMatMulInto(a, b, out)
 	return out
 }
 
 // TMatMulInto computes aᵀ * b into dst (shape a.Cols x b.Cols), overwriting
 // it. dst must not alias a or b.
-func TMatMulInto(a, b, dst *Matrix) {
+//
+// k runs outermost in increasing order (so each dst element accumulates in
+// k order, preserving float64 bitwise stability); within a k step the
+// update of each output row is an unrolled axpy. Work is partitioned over
+// output rows (columns of a) to stay deterministic and race-free.
+func TMatMulInto[T Elem](a, b, dst *Mat[T]) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: TMatMul inner dim mismatch (%dx%d)ᵀ * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -362,9 +481,13 @@ func TMatMulInto(a, b, dst *Matrix) {
 		panic(fmt.Sprintf("tensor: TMatMulInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
 	mustNotAlias("TMatMulInto", dst, a, b)
+	if fastF32 {
+		if fa, ok := any(a).(*Mat[float32]); ok {
+			tMatMulIntoF32(fa, any(b).(*Mat[float32]), any(dst).(*Mat[float32]))
+			return
+		}
+	}
 	dst.Zero()
-	// Accumulate row-by-row of a/b; partition over output rows (columns of a)
-	// to stay deterministic and race-free.
 	par.Range(a.Cols, minChunkDense, func(lo, hi int) {
 		for k := 0; k < a.Rows; k++ {
 			arow := a.Row(k)
@@ -374,25 +497,40 @@ func TMatMulInto(a, b, dst *Matrix) {
 				if av == 0 {
 					continue
 				}
-				orow := dst.Row(i)
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
+				axpyUnrolled(av, brow, dst.Row(i))
 			}
 		}
 	})
 }
 
+// axpyUnrolled computes y += a*x with a 4-wide unrolled loop. Elements are
+// independent, so unrolling cannot reassociate any sum.
+func axpyUnrolled[T Elem](a T, x, y []T) {
+	n := len(y)
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		xq := x[j : j+4 : j+4]
+		yq := y[j : j+4 : j+4]
+		yq[0] += a * xq[0]
+		yq[1] += a * xq[1]
+		yq[2] += a * xq[2]
+		yq[3] += a * xq[3]
+	}
+	for ; j < n; j++ {
+		y[j] += a * x[j]
+	}
+}
+
 // MatVec returns a*x for a vector x of length a.Cols.
-func MatVec(a *Matrix, x []float64) []float64 {
-	out := make([]float64, a.Rows)
+func MatVec[T Elem](a *Mat[T], x []T) []T {
+	out := make([]T, a.Rows)
 	MatVecInto(a, x, out)
 	return out
 }
 
 // MatVecInto computes a*x into dst (length a.Rows), overwriting it. dst must
 // not alias x.
-func MatVecInto(a *Matrix, x, dst []float64) {
+func MatVecInto[T Elem](a *Mat[T], x, dst []T) {
 	if a.Cols != len(x) {
 		panic(fmt.Sprintf("tensor: MatVec dim mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
 	}
@@ -402,10 +540,16 @@ func MatVecInto(a *Matrix, x, dst []float64) {
 	if Overlaps(dst, x) || Overlaps(dst, a.Data) {
 		panic("tensor: MatVecInto dst aliases an operand")
 	}
+	if fastF32 {
+		if fa, ok := any(a).(*Mat[float32]); ok {
+			matVecIntoF32(fa, any(x).([]float32), any(dst).([]float32))
+			return
+		}
+	}
 	par.Range(a.Rows, minChunkDense, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := a.Row(i)
-			var s float64
+			var s T
 			for j, v := range row {
 				s += v * x[j]
 			}
@@ -415,11 +559,11 @@ func MatVecInto(a *Matrix, x, dst []float64) {
 }
 
 // Dot returns the dot product of equal-length vectors x and y.
-func Dot(x, y []float64) float64 {
+func Dot[T Elem](x, y []T) T {
 	if len(x) != len(y) {
 		panic("tensor: Dot length mismatch")
 	}
-	var s float64
+	var s T
 	for i, v := range x {
 		s += v * y[i]
 	}
@@ -427,10 +571,10 @@ func Dot(x, y []float64) float64 {
 }
 
 // Norm2 returns the Euclidean norm of x.
-func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+func Norm2[T Elem](x []T) T { return T(math.Sqrt(float64(Dot(x, x)))) }
 
 // Axpy computes y += a*x in place.
-func Axpy(a float64, x, y []float64) {
+func Axpy[T Elem](a T, x, y []T) {
 	if len(x) != len(y) {
 		panic("tensor: Axpy length mismatch")
 	}
@@ -440,24 +584,27 @@ func Axpy(a float64, x, y []float64) {
 }
 
 // ScaleVec multiplies every entry of x by a in place.
-func ScaleVec(a float64, x []float64) {
+func ScaleVec[T Elem](a T, x []T) {
 	for i := range x {
 		x[i] *= a
 	}
 }
 
 // L1Norm returns the sum of absolute values of x.
-func L1Norm(x []float64) float64 {
-	var s float64
+func L1Norm[T Elem](x []T) T {
+	var s T
 	for _, v := range x {
-		s += math.Abs(v)
+		if v < 0 {
+			v = -v
+		}
+		s += v
 	}
 	return s
 }
 
 // Normalize scales x to unit Euclidean norm in place and returns its original
 // norm. A zero vector is left unchanged.
-func Normalize(x []float64) float64 {
+func Normalize[T Elem](x []T) T {
 	n := Norm2(x)
 	if n == 0 {
 		return 0

@@ -55,7 +55,7 @@ func TestFromRows(t *testing.T) {
 	if m.At(2, 1) != 6 {
 		t.Errorf("At(2,1) = %v", m.At(2, 1))
 	}
-	empty := FromRows(nil)
+	empty := FromRows[float64](nil)
 	if empty.Rows != 0 || empty.Cols != 0 {
 		t.Error("FromRows(nil) should be empty")
 	}

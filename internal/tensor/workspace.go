@@ -8,49 +8,73 @@ import (
 	"scalegnn/internal/obs"
 )
 
-// Workspace is a shape-keyed pool of matrices backing the allocation-free
-// training hot path. Get/Put recycle buffers of identical shape through a
-// sync.Pool per shape, so steady-state forward/backward passes reuse the
-// same memory epoch after epoch instead of reallocating per call. Buffers
-// are dropped automatically under GC pressure (sync.Pool semantics), so a
-// workspace never pins more memory than the live working set.
+// Pool is a shape-keyed pool of matrices backing the allocation-free
+// training hot path, generic over the element type. Get/Put recycle buffers
+// of identical shape through a sync.Pool per shape, so steady-state
+// forward/backward passes reuse the same memory epoch after epoch instead
+// of reallocating per call. Buffers are dropped automatically under GC
+// pressure (sync.Pool semantics), so a pool never pins more memory than the
+// live working set.
 //
-// A Workspace is safe for concurrent use. The zero value is ready to use.
-type Workspace struct {
-	pools sync.Map // shapeKey -> *sync.Pool of *Matrix
+// A Pool is safe for concurrent use. The zero value is ready to use.
+type Pool[T Elem] struct {
+	pools sync.Map // shapeKey -> *sync.Pool of *Mat[T]
 }
+
+// Workspace is the float64 pool — the historical name every float64 call
+// site uses.
+type Workspace = Pool[float64]
 
 type shapeKey struct{ rows, cols int }
 
-// NewWorkspace returns an empty workspace.
+// NewWorkspace returns an empty float64 workspace.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
-// Default is the process-wide workspace used by the package-level
+// Default is the process-wide float64 workspace used by the package-level
 // GetBuf/GetZeroBuf/PutBuf helpers and, through them, by the nn layers and
 // model training loops.
 var Default = NewWorkspace()
 
+// Default32 is the process-wide float32 workspace backing the raw-speed
+// tier's pooled buffers.
+var Default32 = &Pool[float32]{}
+
+// DefaultPool returns the process-wide pool for the element type T —
+// Default for float64, Default32 for float32 — so generic layers and
+// kernels share pooled buffers with every other user of that dtype.
+func DefaultPool[T Elem]() *Pool[T] {
+	var z T
+	var p any
+	switch any(z).(type) {
+	case float32:
+		p = Default32
+	default:
+		p = Default
+	}
+	return p.(*Pool[T])
+}
+
 // Get returns a rows x cols matrix with UNSPECIFIED contents: callers must
 // fully overwrite it (the *Into kernels do). Use GetZero when zeros are
 // required.
-func (w *Workspace) Get(rows, cols int) *Matrix {
+func (w *Pool[T]) Get(rows, cols int) *Mat[T] {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: Workspace.Get invalid shape %dx%d", rows, cols))
 	}
 	p, ok := w.pools.Load(shapeKey{rows, cols})
 	if ok {
-		if m, _ := p.(*sync.Pool).Get().(*Matrix); m != nil {
+		if m, _ := p.(*sync.Pool).Get().(*Mat[T]); m != nil {
 			poolHits.Add(1)
 			return m
 		}
 	}
 	poolMisses.Add(1)
-	return New(rows, cols)
+	return NewOf[T](rows, cols)
 }
 
-// Pool hit/miss refs for every workspace in the process. Unbound (the
-// default) they cost one atomic pointer load per Get — nothing is counted
-// and nothing allocates; EnablePoolMetrics turns them on.
+// Pool hit/miss refs for every workspace in the process (all element
+// types). Unbound (the default) they cost one atomic pointer load per Get —
+// nothing is counted and nothing allocates; EnablePoolMetrics turns them on.
 var (
 	poolHits   obs.CounterRef
 	poolMisses obs.CounterRef
@@ -74,7 +98,7 @@ func EnablePoolMetrics(reg *obs.Registry) {
 }
 
 // GetZero returns a zeroed rows x cols matrix.
-func (w *Workspace) GetZero(rows, cols int) *Matrix {
+func (w *Pool[T]) GetZero(rows, cols int) *Mat[T] {
 	m := w.Get(rows, cols)
 	m.Zero()
 	return m
@@ -82,7 +106,7 @@ func (w *Workspace) GetZero(rows, cols int) *Matrix {
 
 // Put returns m to the pool for its exact shape. m must not be used after
 // Put. Putting nil or an empty matrix is a no-op.
-func (w *Workspace) Put(m *Matrix) {
+func (w *Pool[T]) Put(m *Mat[T]) {
 	if m == nil || len(m.Data) == 0 {
 		return
 	}
@@ -94,16 +118,28 @@ func (w *Workspace) Put(m *Matrix) {
 	p.(*sync.Pool).Put(m)
 }
 
-// GetBuf returns a matrix from the Default workspace (contents unspecified).
+// GetBuf returns a float64 matrix from the Default workspace (contents
+// unspecified).
 func GetBuf(rows, cols int) *Matrix { return Default.Get(rows, cols) }
 
-// GetZeroBuf returns a zeroed matrix from the Default workspace.
+// GetZeroBuf returns a zeroed float64 matrix from the Default workspace.
 func GetZeroBuf(rows, cols int) *Matrix { return Default.GetZero(rows, cols) }
 
-// PutBuf returns a matrix to the Default workspace.
+// PutBuf returns a float64 matrix to the Default workspace.
 func PutBuf(m *Matrix) { Default.Put(m) }
 
-// Buf is a single-slot recycling handle for the canonical layer-output
+// GetBufOf returns a matrix of element type T from that type's default pool
+// (contents unspecified).
+func GetBufOf[T Elem](rows, cols int) *Mat[T] { return DefaultPool[T]().Get(rows, cols) }
+
+// GetZeroBufOf returns a zeroed matrix of element type T from that type's
+// default pool.
+func GetZeroBufOf[T Elem](rows, cols int) *Mat[T] { return DefaultPool[T]().GetZero(rows, cols) }
+
+// PutBufOf returns a matrix to its element type's default pool.
+func PutBufOf[T Elem](m *Mat[T]) { DefaultPool[T]().Put(m) }
+
+// BufOf is a single-slot recycling handle for the canonical layer-output
 // pattern: each call to Next recycles the buffer handed out by the previous
 // call and acquires a fresh one from the workspace. Because training loops
 // consume a layer's output before the next forward/backward pass, the
@@ -113,24 +149,32 @@ func PutBuf(m *Matrix) { Default.Put(m) }
 // Callers that hold a returned matrix across two calls to Next on the same
 // Buf will observe it being overwritten — clone anything that must outlive
 // the next pass.
-type Buf struct {
-	ws  *Workspace // nil means Default
-	cur *Matrix
+type BufOf[T Elem] struct {
+	ws  *Pool[T] // nil means the default pool for T
+	cur *Mat[T]
 }
 
-// NewBuf returns a Buf drawing from ws (nil means the Default workspace).
+// Buf is the float64 instantiation of BufOf.
+type Buf = BufOf[float64]
+
+// NewBuf returns a float64 Buf drawing from ws (nil means the Default
+// workspace).
 func NewBuf(ws *Workspace) Buf { return Buf{ws: ws} }
 
-func (b *Buf) workspace() *Workspace {
+// NewBufOf returns a BufOf[T] drawing from ws (nil means the default pool
+// for T).
+func NewBufOf[T Elem](ws *Pool[T]) BufOf[T] { return BufOf[T]{ws: ws} }
+
+func (b *BufOf[T]) workspace() *Pool[T] {
 	if b.ws == nil {
-		return Default
+		return DefaultPool[T]()
 	}
 	return b.ws
 }
 
 // Next recycles the previously returned buffer and hands out a rows x cols
 // matrix with unspecified contents.
-func (b *Buf) Next(rows, cols int) *Matrix {
+func (b *BufOf[T]) Next(rows, cols int) *Mat[T] {
 	ws := b.workspace()
 	if b.cur != nil {
 		ws.Put(b.cur)
@@ -140,14 +184,14 @@ func (b *Buf) Next(rows, cols int) *Matrix {
 }
 
 // NextZero is Next with zeroed contents.
-func (b *Buf) NextZero(rows, cols int) *Matrix {
+func (b *BufOf[T]) NextZero(rows, cols int) *Mat[T] {
 	m := b.Next(rows, cols)
 	m.Zero()
 	return m
 }
 
 // Release returns the current buffer (if any) to the workspace.
-func (b *Buf) Release() {
+func (b *BufOf[T]) Release() {
 	if b.cur != nil {
 		b.workspace().Put(b.cur)
 		b.cur = nil
@@ -158,7 +202,7 @@ func (b *Buf) Release() {
 // It is the full data-range aliasing check used by the *Into kernels and
 // graph propagation: views built with FromSlice over one backing slice
 // overlap even when their first elements differ.
-func Overlaps(a, b []float64) bool {
+func Overlaps[T Elem](a, b []T) bool {
 	if len(a) == 0 || len(b) == 0 {
 		return false
 	}

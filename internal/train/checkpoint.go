@@ -46,21 +46,51 @@ type RNGState interface {
 	encoding.BinaryUnmarshaler
 }
 
-// OptimizerState is the optimizer-side contract for checkpointing: export
+// OptimizerStateOf is the optimizer-side contract for checkpointing: export
 // and restore the per-parameter moment state and step counter.
-// *nn.Adam implements it.
-type OptimizerState interface {
-	ExportMoments(params []*nn.Param) (step int, moments []*tensor.Matrix)
-	ImportMoments(params []*nn.Param, step int, moments []*tensor.Matrix) error
+// *nn.AdamOf[T] implements it.
+type OptimizerStateOf[T tensor.Elem] interface {
+	ExportMoments(params []*nn.ParamOf[T]) (step int, moments []*tensor.Mat[T])
+	ImportMoments(params []*nn.ParamOf[T], step int, moments []*tensor.Mat[T]) error
+}
+
+// OptimizerState is the float64 instantiation of OptimizerStateOf.
+type OptimizerState = OptimizerStateOf[float64]
+
+// blockOf wraps a tensor's backing slice as a dtype-tagged checkpoint
+// block without copying: float64 data becomes a Float64 block, float32 a
+// Float32 block.
+func blockOf[T tensor.Elem](name string, rows, cols int, data []T) ckpt.Block {
+	switch d := any(data).(type) {
+	case []float64:
+		return ckpt.Block{Name: name, Dtype: ckpt.Float64, Rows: rows, Cols: cols, Data: d}
+	case []float32:
+		return ckpt.Block{Name: name, Dtype: ckpt.Float32, Rows: rows, Cols: cols, Data32: d}
+	default:
+		panic("train: unsupported block element type")
+	}
+}
+
+// blockData returns a block's payload as []T, converting across dtypes when
+// the snapshot was written at a different precision (e.g. a pre-dtype v1
+// snapshot read back into a float64 run returns its payload uncopied).
+func blockData[T tensor.Elem](b ckpt.Block) []T {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return any(b.Float32()).([]T)
+	default:
+		return any(b.Float64()).([]T)
+	}
 }
 
 // ckptRunner glues a run to its ckpt.Manager: it captures the pre-shuffle
 // RNG state each epoch (so a mid-epoch snapshot can re-derive the
 // permutation by replaying Shuffle), assembles Snapshots from the live
 // Spec, and restores them on resume.
-type ckptRunner struct {
+type ckptRunner[T tensor.Elem] struct {
 	mgr      *ckpt.Manager
-	spec     *Spec
+	spec     *SpecOf[T]
 	rng      RNGState
 	fp       uint64
 	every    int
@@ -68,7 +98,7 @@ type ckptRunner struct {
 	midRNG   []byte // mid-epoch cursor state awaiting replay, nil otherwise
 }
 
-func newCkptRunner(cfg *Config, spec *Spec) (*ckptRunner, error) {
+func newCkptRunner[T tensor.Elem](cfg *Config, spec *SpecOf[T]) (*ckptRunner[T], error) {
 	c := cfg.Checkpoint
 	if len(spec.Params) == 0 {
 		return nil, fmt.Errorf("train: checkpointing needs Spec.Params")
@@ -87,11 +117,11 @@ func newCkptRunner(cfg *Config, spec *Spec) (*ckptRunner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ckptRunner{mgr: mgr, spec: spec, rng: c.RNG, fp: c.Fingerprint, every: every}, nil
+	return &ckptRunner[T]{mgr: mgr, spec: spec, rng: c.RNG, fp: c.Fingerprint, every: every}, nil
 }
 
 // beginEpoch records the RNG state before the epoch's shuffle consumes it.
-func (c *ckptRunner) beginEpoch() error {
+func (c *ckptRunner[T]) beginEpoch() error {
 	state, err := c.rng.MarshalBinary()
 	if err != nil {
 		return fmt.Errorf("train: marshal rng: %w", err)
@@ -102,13 +132,13 @@ func (c *ckptRunner) beginEpoch() error {
 
 // boundary reports whether epoch (0-based, just completed) is a snapshot
 // point: the cadence hit, the final epoch, or an early stop.
-func (c *ckptRunner) boundary(epoch, maxEpochs int, stop bool) bool {
+func (c *ckptRunner[T]) boundary(epoch, maxEpochs int, stop bool) bool {
 	return stop || (epoch+1)%c.every == 0 || epoch == maxEpochs-1
 }
 
 // save durably writes the snapshot for the cursor (epoch, batch); batch
 // is -1 at epoch boundaries, otherwise the next batch index to run.
-func (c *ckptRunner) save(epoch, batch int, stopper *earlyStop, rep *Report, best snapshot) error {
+func (c *ckptRunner[T]) save(epoch, batch int, stopper *earlyStop, rep *Report, best snapshotOf[T]) error {
 	sp := obs.Start("ckpt.save")
 	defer sp.End()
 	rngState, err := c.rng.MarshalBinary()
@@ -130,23 +160,17 @@ func (c *ckptRunner) save(epoch, batch int, stopper *earlyStop, rep *Report, bes
 	nb := 2*len(c.spec.Params) + len(moments)/2 + len(best)
 	s.Blocks = make([]ckpt.Block, 0, nb)
 	for i, p := range c.spec.Params {
-		s.Blocks = append(s.Blocks, ckpt.Block{
-			Name: fmt.Sprintf("param.%d", i),
-			Rows: p.Value.Rows, Cols: p.Value.Cols, Data: p.Value.Data,
-		})
+		s.Blocks = append(s.Blocks, blockOf(
+			fmt.Sprintf("param.%d", i), p.Value.Rows, p.Value.Cols, p.Value.Data))
 	}
 	for i, m := range moments {
-		s.Blocks = append(s.Blocks, ckpt.Block{
-			Name: fmt.Sprintf("moment.%d", i),
-			Rows: m.Rows, Cols: m.Cols, Data: m.Data,
-		})
+		s.Blocks = append(s.Blocks, blockOf(
+			fmt.Sprintf("moment.%d", i), m.Rows, m.Cols, m.Data))
 	}
 	for i, data := range best {
 		p := c.spec.Params[i].Value
-		s.Blocks = append(s.Blocks, ckpt.Block{
-			Name: fmt.Sprintf("best.%d", i),
-			Rows: p.Rows, Cols: p.Cols, Data: data,
-		})
+		s.Blocks = append(s.Blocks, blockOf(
+			fmt.Sprintf("best.%d", i), p.Rows, p.Cols, data))
 	}
 	if _, err := c.mgr.Save(s); err != nil {
 		return fmt.Errorf("train: checkpoint save (epoch %d batch %d): %w", epoch, batch, err)
@@ -162,7 +186,7 @@ func (c *ckptRunner) save(epoch, batch int, stopper *earlyStop, rep *Report, bes
 // directly, a mid-epoch one (s.Batch >= 0) restores s.RNGEpoch, replays
 // Shuffle to re-derive the permutation, then restores s.RNG via
 // replayedShuffle.
-func (c *ckptRunner) resume(stopper *earlyStop, rep *Report) (*ckpt.Snapshot, snapshot, error) {
+func (c *ckptRunner[T]) resume(stopper *earlyStop, rep *Report) (*ckpt.Snapshot, snapshotOf[T], error) {
 	s, path, err := c.mgr.Latest(c.fp)
 	if err != nil || s == nil {
 		return nil, nil, err
@@ -171,7 +195,7 @@ func (c *ckptRunner) resume(stopper *earlyStop, rep *Report) (*ckpt.Snapshot, sn
 	for _, b := range s.Blocks {
 		blocks[b.Name] = b
 	}
-	block := func(name string, want *tensor.Matrix) (ckpt.Block, error) {
+	block := func(name string, want *tensor.Mat[T]) (ckpt.Block, error) {
 		b, ok := blocks[name]
 		if !ok {
 			return b, fmt.Errorf("train: resume %s: snapshot has no block %q", path, name)
@@ -182,30 +206,30 @@ func (c *ckptRunner) resume(stopper *earlyStop, rep *Report) (*ckpt.Snapshot, sn
 		}
 		return b, nil
 	}
-	moments := make([]*tensor.Matrix, 0, 2*len(c.spec.Params))
-	var best snapshot
+	moments := make([]*tensor.Mat[T], 0, 2*len(c.spec.Params))
+	var best snapshotOf[T]
 	for i, p := range c.spec.Params {
 		pb, err := block(fmt.Sprintf("param.%d", i), p.Value)
 		if err != nil {
 			return nil, nil, err
 		}
-		copy(p.Value.Data, pb.Data)
+		copy(p.Value.Data, blockData[T](pb))
 		for _, half := range []int{2 * i, 2*i + 1} {
 			mb, err := block(fmt.Sprintf("moment.%d", half), p.Value)
 			if err != nil {
 				return nil, nil, err
 			}
-			moments = append(moments, tensor.FromSlice(mb.Rows, mb.Cols, mb.Data))
+			moments = append(moments, tensor.FromSlice(mb.Rows, mb.Cols, blockData[T](mb)))
 		}
 		if bb, ok := blocks[fmt.Sprintf("best.%d", i)]; ok {
 			if best == nil {
-				best = make(snapshot, len(c.spec.Params))
+				best = make(snapshotOf[T], len(c.spec.Params))
 			}
-			if len(bb.Data) != len(p.Value.Data) {
+			if bb.Len() != len(p.Value.Data) {
 				return nil, nil, fmt.Errorf("train: resume %s: best.%d has %d values, want %d",
-					path, i, len(bb.Data), len(p.Value.Data))
+					path, i, bb.Len(), len(p.Value.Data))
 			}
-			best[i] = bb.Data
+			best[i] = blockData[T](bb)
 		}
 	}
 	if best != nil {
@@ -238,13 +262,13 @@ func (c *ckptRunner) resume(stopper *earlyStop, rep *Report) (*ckpt.Snapshot, sn
 // replayedShuffle finishes a mid-epoch resume after Run has re-derived the
 // permutation: the RNG jumps from the pre-shuffle state to the exact
 // mid-epoch cursor state.
-func (c *ckptRunner) replayedShuffle() error {
+func (c *ckptRunner[T]) replayedShuffle() error {
 	err := c.setRNG(c.midRNG)
 	c.midRNG = nil
 	return err
 }
 
-func (c *ckptRunner) setRNG(state []byte) error {
+func (c *ckptRunner[T]) setRNG(state []byte) error {
 	if err := c.rng.UnmarshalBinary(state); err != nil {
 		return fmt.Errorf("train: restore rng: %w", err)
 	}

@@ -32,6 +32,7 @@ import (
 	"scalegnn/internal/fault"
 	"scalegnn/internal/nn"
 	"scalegnn/internal/obs"
+	"scalegnn/internal/tensor"
 )
 
 // Config holds the engine-level schedule settings.
@@ -58,26 +59,30 @@ type Config struct {
 	Checkpoint CheckpointConfig
 }
 
-// Spec is what a model brings to the engine: its batch axis and the three
-// model-specific operations of one training run.
-type Spec struct {
+// SpecOf is what a model brings to the engine: its batch axis and the three
+// model-specific operations of one training run, generic over the element
+// type its parameters and features are stored in.
+type SpecOf[T tensor.Elem] struct {
 	// Source yields each epoch's batches. Required.
-	Source BatchSource
+	Source BatchSourceOf[T]
 	// Step runs forward/backward/optimizer-update for one batch. Required.
-	Step func(b Batch) error
+	Step func(b BatchOf[T]) error
 	// Validate returns the epoch's validation accuracy. Required.
 	Validate func() (float64, error)
 	// Params are the learnables snapshotted for Config.RestoreBest and
 	// serialized by checkpointing; may be nil when both are off.
-	Params []*nn.Param
+	Params []*nn.ParamOf[T]
 	// Optimizer exposes moment state for checkpointing; required when
 	// Config.Checkpoint is enabled, ignored otherwise.
-	Optimizer OptimizerState
+	Optimizer OptimizerStateOf[T]
 	// PeakFloats, when set, is called once after training to fill
 	// Report.PeakFloats (the resident-float peak of one step — the
 	// GPU-memory proxy reported by every family).
 	PeakFloats func() int
 }
+
+// Spec is the float64 instantiation of SpecOf.
+type Spec = SpecOf[float64]
 
 // StopReason records how a run ended.
 type StopReason string
@@ -141,14 +146,14 @@ func (e *earlyStop) update(epoch int, valAcc float64) (improved, stop bool) {
 	return false, e.patience > 0 && epoch-e.bestAt >= e.patience
 }
 
-// snapshot is a deep copy of parameter values.
-type snapshot [][]float64
+// snapshotOf is a deep copy of parameter values.
+type snapshotOf[T tensor.Elem] [][]T
 
-func takeSnapshot(params []*nn.Param, into snapshot) snapshot {
+func takeSnapshot[T tensor.Elem](params []*nn.ParamOf[T], into snapshotOf[T]) snapshotOf[T] {
 	if into == nil {
-		into = make(snapshot, len(params))
+		into = make(snapshotOf[T], len(params))
 		for i, p := range params {
-			into[i] = make([]float64, len(p.Value.Data))
+			into[i] = make([]T, len(p.Value.Data))
 		}
 	}
 	for i, p := range params {
@@ -157,7 +162,7 @@ func takeSnapshot(params []*nn.Param, into snapshot) snapshot {
 	return into
 }
 
-func (s snapshot) restore(params []*nn.Param) {
+func (s snapshotOf[T]) restore(params []*nn.ParamOf[T]) {
 	for i, p := range params {
 		copy(p.Value.Data, s[i])
 	}
@@ -165,8 +170,10 @@ func (s snapshot) restore(params []*nn.Param) {
 
 // Run executes one training run. It returns a non-nil partial Report
 // together with a wrapped context error when cancelled mid-run; any other
-// error (step, validation, config) returns a nil report.
-func Run(cfg Config, spec Spec) (*Report, error) {
+// error (step, validation, config) returns a nil report. The element type
+// is inferred from the Spec: float64 specs run the bitwise-reproducible
+// reference path, float32 specs the raw-speed tier.
+func Run[T tensor.Elem](cfg Config, spec SpecOf[T]) (*Report, error) {
 	if cfg.Epochs < 1 {
 		return nil, fmt.Errorf("train: epochs %d < 1", cfg.Epochs)
 	}
@@ -177,7 +184,7 @@ func Run(cfg Config, spec Spec) (*Report, error) {
 		return nil, fmt.Errorf("train: RestoreBest needs Spec.Params")
 	}
 
-	var ck *ckptRunner
+	var ck *ckptRunner[T]
 	if cfg.Checkpoint.Dir != "" {
 		var err error
 		if ck, err = newCkptRunner(&cfg, &spec); err != nil {
@@ -187,7 +194,7 @@ func Run(cfg Config, spec Spec) (*Report, error) {
 
 	stopper := earlyStop{best: -1, patience: cfg.Patience}
 	rep := &Report{BestVal: -1, BestEpoch: -1, Stopped: StopCompleted}
-	var best snapshot
+	var best snapshotOf[T]
 	// Resume before the clock starts: a restored run reports only the time
 	// it spent training after the snapshot.
 	startEpoch, resumeBatch := 0, -1

@@ -83,6 +83,18 @@ go run ./cmd/gnnserve -selftest -nodes 2000 -epochs 5 -duration 500ms \
 [ -s "$SERVE_TMP/BENCH_serve.json" ] || {
   echo "serve smoke failed: BENCH_serve.json missing or empty"; exit 1; }
 
+# Kernel perf-regression gate: run the kernel microbench suite at quick
+# scale and compare allocs/op against the checked-in baseline. The *Into
+# kernels are pool-backed — a pooling regression (per-row buffer, FromSlice
+# in the hot loop) shows up as tens-to-thousands of allocs/op and fails
+# here; ns/op is machine-dependent and intentionally not gated.
+echo "== kernel perf gate (gnnbench -kernels-out + gnnperfgate)"
+KERNELS_TMP=$(mktemp -d)
+trap 'rm -rf "$SERVE_TMP" "$KERNELS_TMP"' EXIT
+go run ./cmd/gnnbench -quick -kernels-out "$KERNELS_TMP/kernels.json" > /dev/null
+go run ./cmd/gnnperfgate -report "$KERNELS_TMP/kernels.json" \
+  -baseline scripts/kernel_allocs_baseline.json
+
 # Trace-overhead guard: the disabled tracer's fast path must stay free of
 # allocations (DESIGN.md "Observability", overhead contract). Any allocation
 # on a disabled span or unbound counter ref means every instrumentation
