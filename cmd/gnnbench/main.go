@@ -32,7 +32,7 @@ func main() {
 		seed        = flag.Uint64("seed", 42, "base random seed")
 		kernelsOut  = flag.String("kernels-out", "", "run the kernel microbenchmarks, write BENCH_kernels.json-style report here, and exit")
 		traceOut    = flag.String("trace-out", "", "write the span timeline to this file as JSONL")
-		metricsAddr = flag.String("metrics-addr", "", "serve expvar metrics and pprof on this address (e.g. localhost:6060)")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar metrics, /metrics (Prometheus), and pprof on this address (e.g. localhost:6060)")
 		pprofOut    = flag.String("pprof", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
@@ -62,7 +62,7 @@ func main() {
 		train.EnableMetrics(sess.Registry)
 	}
 	if addr := sess.Addr(); addr != "" {
-		fmt.Printf("metrics: http://%s/debug/vars  pprof: http://%s/debug/pprof/\n", addr, addr)
+		fmt.Printf("metrics: http://%s/metrics  expvar: http://%s/debug/vars  pprof: http://%s/debug/pprof/\n", addr, addr, addr)
 	}
 
 	if *kernelsOut != "" {

@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,10 +59,12 @@ func main() {
 		ckptKeep    = flag.Int("checkpoint-keep", 2, "retain the newest N snapshots")
 		resume      = flag.Bool("resume", false, "resume from the newest usable snapshot in -checkpoint-dir")
 		traceOut    = flag.String("trace-out", "", "write the span timeline to this file as JSONL")
-		metricsAddr = flag.String("metrics-addr", "", "serve expvar metrics and pprof on this address (e.g. localhost:6060)")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar metrics, /metrics, and pprof on this address (e.g. localhost:6060)")
 		pprofOut    = flag.String("pprof", "", "write a CPU profile of the run to this file")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON (default: human-readable text)")
 	)
 	flag.Parse()
+	logger = obs.NewLogger(os.Stderr, *logJSON, nil)
 
 	sess, err := obs.StartSession(obs.Options{
 		TraceOut: *traceOut, MetricsAddr: *metricsAddr, CPUProfile: *pprofOut,
@@ -71,7 +74,7 @@ func main() {
 	}
 	defer func() {
 		if err := sess.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "gnntrain: observability teardown: %v\n", err)
+			logger.Error("observability teardown", "err", err)
 		}
 	}()
 	if sess.Registry != nil {
@@ -81,7 +84,7 @@ func main() {
 		ckpt.EnableMetrics(sess.Registry)
 	}
 	if addr := sess.Addr(); addr != "" {
-		fmt.Printf("metrics: http://%s/debug/vars  pprof: http://%s/debug/pprof/\n", addr, addr)
+		logger.Info("debug listener up", "metrics", "http://"+addr+"/metrics", "pprof", "http://"+addr+"/debug/pprof/")
 	}
 
 	ds, err := dataset.Load(*graphPath, *labelPath, dataset.Config{
@@ -91,8 +94,9 @@ func main() {
 	if err != nil {
 		fatal("dataset: %v", err)
 	}
-	fmt.Printf("dataset: n=%d arcs=%d classes=%d homophily=%.3f\n",
-		ds.G.N, ds.G.NumEdges(), ds.NumClasses, dataset.EdgeHomophily(ds.G, ds.Labels))
+	logger.Info("dataset",
+		"n", ds.G.N, "arcs", ds.G.NumEdges(), "classes", ds.NumClasses,
+		"homophily", fmt.Sprintf("%.3f", dataset.EdgeHomophily(ds.G, ds.Labels)))
 
 	m, err := makeModel(*model, *hops)
 	if err != nil {
@@ -127,28 +131,38 @@ func main() {
 		cfg.Hooks = append(cfg.Hooks, obs.NewTrainHook(sess.Registry))
 	}
 	if *verbose {
-		cfg.Hooks = append(cfg.Hooks, epochPrinter{})
+		cfg.Hooks = append(cfg.Hooks, epochLogger{})
 	}
 
 	rep, err := m.Fit(ds, cfg)
 	if err != nil {
 		fatal("fit: %v", err)
 	}
+	// The report stays on stdout as the run's machine-consumable result
+	// (the crash-recovery gate greps it); everything else is structured
+	// logging on stderr.
 	fmt.Println(rep)
 }
 
-// epochPrinter is a train.Hook that logs each epoch's validation accuracy.
-type epochPrinter struct{}
+// logger is the process-wide structured logger, installed in main before
+// any other code runs.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
-func (epochPrinter) OnBatch(train.BatchEnd) {}
+// epochLogger is a train.Hook that logs each epoch's validation accuracy,
+// correlated with the run's span timeline by trace_id when tracing is on.
+type epochLogger struct{}
 
-func (epochPrinter) OnEpoch(e train.EpochEnd) {
-	marker := ""
-	if e.Improved {
-		marker = " *"
-	}
-	fmt.Printf("epoch %3d  val=%.4f  best=%.4f  elapsed=%v%s\n",
-		e.Epoch, e.ValAcc, e.Best, e.Elapsed.Round(1e6), marker)
+func (epochLogger) OnBatch(train.BatchEnd) {}
+
+func (epochLogger) OnEpoch(e train.EpochEnd) {
+	logger.Info("epoch",
+		slog.Int("epoch", e.Epoch),
+		slog.Float64("val", e.ValAcc),
+		slog.Float64("best", e.Best),
+		slog.Bool("improved", e.Improved),
+		slog.Duration("elapsed", e.Elapsed.Round(1e6)),
+		obs.TraceAttr(obs.TraceContext{Trace: e.Trace}),
+	)
 }
 
 func makeModel(name string, hops int) (models.Trainer, error) {

@@ -42,7 +42,7 @@ func runE21(cfg Config) (*Table, error) {
 	t := &Table{
 		ID: "E21", Title: fmt.Sprintf("Online inference serving (SGC-K2, n=%d, %d closed-loop clients, %v/run)", n, workers, dur),
 		Claim:  "decoupled models serve per-node predictions as a row gather + small MLP forward, so an in-process engine sustains thousands of QPS at millisecond p99; coalescing adapts batch size to load (§3.1.2)",
-		Header: []string{"engine config", "QPS", "rq/batch", "p50", "p99", "max", "hit%", fmt.Sprintf("p99<=%v", slo)},
+		Header: []string{"engine config", "QPS", "rq/batch", "p50", "p99", "max", "hit%", fmt.Sprintf("p99<=%v", slo), "health"},
 	}
 
 	configs := []struct {
@@ -57,7 +57,7 @@ func runE21(cfg Config) (*Table, error) {
 	}
 	var qpsDrain, qpsWindowed, p99Drain float64
 	for _, c := range configs {
-		res, rqPerBatch, err := serveOnce(m, n, c.window, c.cache, workers, dur, slo, cfg.Seed)
+		res, rqPerBatch, health, err := serveOnce(m, n, c.window, c.cache, workers, dur, slo, cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.label, err)
 		}
@@ -72,7 +72,7 @@ func runE21(cfg Config) (*Table, error) {
 			fmt.Sprintf("%.2fms", res.P99Ms),
 			fmt.Sprintf("%.2fms", res.MaxMs),
 			fmt.Sprintf("%.0f", res.CacheHitRate*100),
-			met)
+			met, health)
 		switch c.label {
 		case "drain coalescing":
 			qpsDrain, p99Drain = res.QPS, res.P99Ms
@@ -89,16 +89,21 @@ func runE21(cfg Config) (*Table, error) {
 }
 
 // serveOnce runs one engine configuration behind a real HTTP listener,
-// load-generates against it, and reports the result plus the mean
-// dispatcher batch size (cache-missing requests per scored batch).
+// load-generates against it, and reports the result, the mean dispatcher
+// batch size (cache-missing requests per scored batch), and the engine's
+// SLO-aware health verdict after the run — "ok" unless the rolling-window
+// burn rate says the p99 budget is being spent faster than sustainable.
 func serveOnce(m serve.Model, n int, window time.Duration, cache, workers int,
-	dur, slo time.Duration, seed uint64) (*serve.LoadResult, float64, error) {
-	eng := serve.NewEngine(serve.Config{Window: window, MaxBatch: 256, CacheSize: cache})
+	dur, slo time.Duration, seed uint64) (*serve.LoadResult, float64, string, error) {
+	eng := serve.NewEngine(serve.Config{
+		Window: window, MaxBatch: 256, CacheSize: cache,
+		SLO: serve.SLOConfig{Target: slo, Objective: 0.99, Window: dur},
+	})
 	defer eng.Close()
 	eng.Swap(m, serve.SwapInfo{Source: "fit"})
 	srv := serve.NewServer(eng, nil)
 	if err := srv.Start("127.0.0.1:0"); err != nil {
-		return nil, 0, err
+		return nil, 0, "", err
 	}
 	defer func() {
 		//lint:ignore unchecked-error benchmark teardown; the listener dies with the process anyway
@@ -113,10 +118,10 @@ func serveOnce(m serve.Model, n int, window time.Duration, cache, workers int,
 		Seed:        seed,
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", err
 	}
 	if res.Errors > 0 {
-		return nil, 0, fmt.Errorf("load run saw %d request errors", res.Errors)
+		return nil, 0, "", fmt.Errorf("load run saw %d request errors", res.Errors)
 	}
 	res.WindowMicros = float64(window.Nanoseconds()) / 1e3
 	res.MaxBatch = 256
@@ -129,5 +134,5 @@ func serveOnce(m serve.Model, n int, window time.Duration, cache, workers int,
 	if st.Batches > 0 {
 		rqPerBatch = float64(st.CacheMisses) / float64(st.Batches)
 	}
-	return res, rqPerBatch, nil
+	return res, rqPerBatch, eng.Health().Status, nil
 }

@@ -8,14 +8,16 @@ import (
 
 // runSpanEnd enforces the tracing discipline from the observability layer
 // (internal/obs): a span acquired inside a function — obs.Start,
-// obs.StartTimed, a Tracer.Start call, or a Child of another span — must be
-// ended inside that same function (sp.End(), directly or deferred) or must
-// visibly leave the function (returned, stored through an assignment, or
-// captured in a composite literal), which transfers the End obligation to
-// the holder. A span that is started and dropped never reaches the tracer
-// buffer, so the traced timeline silently loses the section — the exact
-// failure mode a timeline exists to prevent. Spans acquired as a bare
-// statement are reported unconditionally: the value is unrecoverable.
+// obs.StartTimed, obs.StartRequest, a Tracer.Start call, or a Child of
+// another span — must be ended inside that same function (sp.End(),
+// directly or deferred) or must visibly leave the function (returned,
+// stored through an assignment, captured in a composite literal, or sent
+// on a channel — the serving dispatcher's hand-off), which transfers the
+// End obligation to the holder. A span that is started and dropped never
+// reaches the tracer buffer, so the traced timeline silently loses the
+// section — the exact failure mode a timeline exists to prevent. Spans
+// acquired as a bare statement are reported unconditionally: the value is
+// unrecoverable.
 func runSpanEnd(p *Package, r *Reporter) {
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
@@ -130,6 +132,15 @@ func checkFuncSpans(p *Package, r *Reporter, fd *ast.FuncDecl) {
 					}
 				}
 			}
+		case *ast.SendStmt:
+			// A channel send is a visible hand-off: the receiver now owns the
+			// End obligation (the request-span pattern — a span crossing the
+			// serving dispatcher's queue is ended by whoever drains it).
+			for obj := range acquired {
+				if usesObj(n.Value, obj) {
+					resolved[obj] = true
+				}
+			}
 		}
 		return true
 	})
@@ -141,9 +152,9 @@ func checkFuncSpans(p *Package, r *Reporter, fd *ast.FuncDecl) {
 }
 
 // isSpanAcquisition reports whether call produces a live obs.Span: the
-// package functions Start/StartTimed, the Tracer.Start method, or the
-// Span.Child method. Detection is by type-checked callee identity, so local
-// helpers that merely share a name are not matched.
+// package functions Start/StartTimed/StartRequest, the Tracer.Start
+// method, or the Span.Child method. Detection is by type-checked callee
+// identity, so local helpers that merely share a name are not matched.
 func isSpanAcquisition(p *Package, call *ast.CallExpr) bool {
 	var id *ast.Ident
 	switch fn := call.Fun.(type) {
@@ -159,7 +170,7 @@ func isSpanAcquisition(p *Package, call *ast.CallExpr) bool {
 		return false
 	}
 	switch obj.Name() {
-	case "Start", "StartTimed", "Child":
+	case "Start", "StartTimed", "StartRequest", "Child":
 		return true
 	}
 	return false

@@ -64,3 +64,27 @@ func suppressed() {
 	sp := obs.Start("process")
 	sp.SetCount(1)
 }
+
+// requestLeak: request-scoped spans carry the same obligation.
+func requestLeak() {
+	sp := obs.StartRequest("req", obs.TraceContext{}) // want "never ended"
+	sp.SetCount(1)
+}
+
+// requestEnd is the request-span happy path.
+func requestEnd() {
+	sp := obs.StartRequest("req", obs.TraceContext{})
+	defer sp.End()
+}
+
+// requestDropped discards the request span outright.
+func requestDropped() {
+	obs.StartRequest("req", obs.TraceContext{}) // want "immediately dropped"
+}
+
+// channelHandoff sends the span across a channel — the dispatcher-queue
+// pattern: the receiving goroutine now owns the End obligation.
+func channelHandoff(ch chan obs.Span) {
+	sp := obs.StartRequest("req", obs.TraceContext{})
+	ch <- sp
+}

@@ -47,6 +47,23 @@ func BenchmarkSpanDisabledDeferred(b *testing.B) {
 	}
 }
 
+// BenchmarkRequestSpanDisabled extends the overhead contract to the
+// request-span path: with no tracer installed, StartRequest must return
+// the disabled span without minting a trace id or reading the clock, and
+// every annotation (Link, SetWait) must be a guarded no-op — 0 allocs/op,
+// enforced by the same check.sh awk guard as BenchmarkSpanDisabled.
+func BenchmarkRequestSpanDisabled(b *testing.B) {
+	obs.SetTracer(nil)
+	tc, _ := obs.ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := obs.StartRequest("bench.request", tc)
+		sp.Link(42)
+		sp.SetWait(1)
+		sp.End()
+	}
+}
+
 func BenchmarkSpanEnabled(b *testing.B) {
 	tr := obs.NewTracer()
 	obs.SetTracer(tr)

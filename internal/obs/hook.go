@@ -12,6 +12,10 @@ type BatchEnd struct {
 	Batch int
 	// Size is the node count of the batch (0 for full-batch steps).
 	Size int
+	// Trace is the training run's trace id (zero when the run is untraced),
+	// so hook consumers can correlate their own output — log lines, emitted
+	// events — with the run's span timeline.
+	Trace TraceID
 }
 
 // EpochEnd is the per-epoch training observation payload.
@@ -23,6 +27,8 @@ type EpochEnd struct {
 	Best     float64
 	// Elapsed is wall-clock time since training started.
 	Elapsed time.Duration
+	// Trace is the training run's trace id (zero when untraced).
+	Trace TraceID
 }
 
 // TrainHook streams engine progress into a Registry. It implements

@@ -29,17 +29,21 @@ func (s *DebugServer) Close() error { return s.srv.Close() }
 // ServeDebug starts an HTTP listener exposing the registry and the runtime
 // profiler:
 //
+//	/metrics       — Prometheus text exposition of the registry (prom.go)
 //	/debug/vars    — expvar JSON, including the registry under "scalegnn"
 //	/debug/pprof/  — net/http/pprof index (profile, heap, goroutine, ...)
 //
-// The registry may be nil (pprof only). The server runs until Close; it is
-// the CLI's -metrics-addr listener, deliberately not wired into any
-// training code path — observation stays out-of-band.
+// The registry may be nil (pprof only, no /metrics). The server runs until
+// Close; it is the CLI's -metrics-addr listener, deliberately not wired
+// into any training code path — observation stays out-of-band.
 func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	if reg != nil {
 		reg.Publish(ExpvarName)
 	}
 	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", MetricsHandler(reg))
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

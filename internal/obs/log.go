@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// log.go is the structured-logging pillar: a thin log/slog setup shared by
+// the CLIs so every event line carries the same shape — and, when the event
+// happened inside a traced request or run, the same trace_id the JSONL
+// timeline and access log use. Correlation is the whole point: grep one
+// trace_id and the log lines, the request span, and the batch span it
+// links to all line up.
+
+// NewLogger builds the process logger. jsonFormat selects slog's JSON
+// handler (one object per line, machine-tailable) over the human text
+// handler; level gates verbosity (pass nil for Info).
+func NewLogger(w io.Writer, jsonFormat bool, level slog.Leveler) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// TraceAttr returns the trace_id attribute for a log line, or the empty
+// Attr — which slog's built-in handlers drop — when there is no trace, so
+// call sites can attach it unconditionally.
+func TraceAttr(tc TraceContext) slog.Attr {
+	if !tc.Valid() {
+		return slog.Attr{}
+	}
+	return slog.String("trace_id", tc.Trace.String())
+}
+
+// SpanAttr is TraceAttr for a live span: the usual call site has the span,
+// not a TraceContext.
+func SpanAttr(sp *Span) slog.Attr {
+	if sp == nil {
+		return slog.Attr{}
+	}
+	return TraceAttr(TraceContext{Trace: sp.TraceID()})
+}

@@ -1,0 +1,101 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"scalegnn/internal/obs"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	obs.NewLogger(&buf, true, nil).Info("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSON handler wrote non-JSON %q: %v", buf.String(), err)
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Errorf("JSON record = %v", rec)
+	}
+
+	buf.Reset()
+	obs.NewLogger(&buf, false, nil).Info("hello", "k", "v")
+	if !strings.Contains(buf.String(), "msg=hello") || !strings.Contains(buf.String(), "k=v") {
+		t.Errorf("text record = %q", buf.String())
+	}
+}
+
+func TestTraceAttrCorrelatesLogs(t *testing.T) {
+	tc, _ := obs.ParseTraceparent(sampleTraceparent)
+	var buf bytes.Buffer
+	obs.NewLogger(&buf, true, nil).Info("served", obs.TraceAttr(tc))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace_id"] != tc.Trace.String() {
+		t.Errorf("trace_id = %v, want %s", rec["trace_id"], tc.Trace)
+	}
+}
+
+func TestTraceAttrEmptyWhenUntraced(t *testing.T) {
+	// slog's built-in handlers drop the empty Attr, so an untraced line has
+	// no trace_id key at all rather than a zero id.
+	var buf bytes.Buffer
+	obs.NewLogger(&buf, true, nil).Info("served", obs.TraceAttr(obs.TraceContext{}))
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Errorf("untraced line leaked trace_id: %q", buf.String())
+	}
+	buf.Reset()
+	obs.NewLogger(&buf, true, nil).Info("served", obs.SpanAttr(nil))
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Errorf("nil-span line leaked trace_id: %q", buf.String())
+	}
+}
+
+func TestSpanAttrUsesSpanTrace(t *testing.T) {
+	tr := obs.NewTracer()
+	obs.SetTracer(tr)
+	defer obs.SetTracer(nil)
+	sp := obs.StartRequest("req", obs.TraceContext{})
+	defer sp.End()
+
+	var buf bytes.Buffer
+	obs.NewLogger(&buf, true, nil).Info("served", obs.SpanAttr(&sp))
+	if !strings.Contains(buf.String(), sp.TraceID().String()) {
+		t.Errorf("log line %q missing span trace %s", buf.String(), sp.TraceID())
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	reg := obs.NewRegistry()
+	stop := obs.StartRuntimeSampler(reg, time.Hour) // eager first sample only
+	if v := reg.Gauge("runtime.goroutines").Value(); v <= 0 {
+		t.Errorf("runtime.goroutines = %v after eager sample, want > 0", v)
+	}
+	if v := reg.Gauge("runtime.heap_alloc_bytes").Value(); v <= 0 {
+		t.Errorf("runtime.heap_alloc_bytes = %v, want > 0", v)
+	}
+	stop()
+	stop() // idempotent
+
+	// Sampled gauges must render as valid Prometheus output.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("runtime gauges invalid: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "runtime_heap_sys_bytes") {
+		t.Errorf("scrape missing runtime gauges:\n%s", buf.String())
+	}
+}
+
+func TestRuntimeSamplerNilRegistry(t *testing.T) {
+	stop := obs.StartRuntimeSampler(nil, time.Second)
+	stop() // must be a safe no-op
+}

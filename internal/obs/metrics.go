@@ -20,6 +20,12 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+
+	// gen counts registrations; the Prometheus exposition caches its
+	// sorted, name-sanitized sample layout until gen moves, so a scrape
+	// allocates no per-sample state (prom.go).
+	gen  atomic.Uint64
+	prom atomic.Pointer[promLayout]
 }
 
 // NewRegistry returns an empty registry.
@@ -190,6 +196,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+		r.gen.Add(1)
 	}
 	return c
 }
@@ -202,6 +209,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.gen.Add(1)
 	}
 	return g
 }
@@ -216,6 +224,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if !ok {
 		h = newHistogram(bounds)
 		r.histograms[name] = h
+		r.gen.Add(1)
 	}
 	return h
 }

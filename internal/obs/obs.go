@@ -57,7 +57,12 @@ func NewTracer() *Tracer {
 
 // SpanRecord is one completed span. Start is the offset from the tracer's
 // construction; Count is the span's optional work measure (rows gathered,
-// pushes performed, batch size — 0 when unset).
+// pushes performed, batch size — 0 when unset). Request-scoped spans
+// (StartRequest) additionally carry the 128-bit trace id they belong to,
+// the remote parent span id from an inbound W3C traceparent header, span
+// links to correlated-but-not-nested spans (a request span links to the
+// batch-forward span it was scored in), and the time the work spent queued
+// before it ran.
 type SpanRecord struct {
 	ID     uint64        `json:"id"`
 	Parent uint64        `json:"parent,omitempty"`
@@ -66,6 +71,10 @@ type SpanRecord struct {
 	Start  time.Duration `json:"start_ns"`
 	Dur    time.Duration `json:"dur_ns"`
 	Count  int64         `json:"count,omitempty"`
+	Trace  string        `json:"trace_id,omitempty"`
+	Remote string        `json:"remote_parent,omitempty"`
+	Links  []uint64      `json:"links,omitempty"`
+	Wait   time.Duration `json:"wait_ns,omitempty"`
 }
 
 // Span is an in-flight timing section. The zero Span is the disabled span:
@@ -81,6 +90,10 @@ type Span struct {
 	label  string
 	count  int64
 	start  time.Time
+	trace  TraceID
+	remote uint64
+	links  []uint64
+	wait   time.Duration
 	// on marks a live (traced or timed) span; the zero Span is off. A plain
 	// bool keeps the End/Child/Active guards within the inlining budget,
 	// which is what makes the disabled fast path a few nanoseconds.
@@ -105,8 +118,10 @@ func (s *Span) Child(name string) Span {
 }
 
 // child is the traced slow path of Child, outlined so the nil guard inlines.
+// Children inherit the parent's trace id, so every span under a request (or
+// a traced training run) can be grouped by one trace_id.
 func (s *Span) child(name string) Span {
-	return Span{tr: s.tr, id: s.tr.ids.Add(1), parent: s.id, name: name, start: s.tr.now(), on: true}
+	return Span{tr: s.tr, id: s.tr.ids.Add(1), parent: s.id, name: name, start: s.tr.now(), trace: s.trace, on: true}
 }
 
 // now is a clock read; split out so timed-but-untraced spans share it.
@@ -141,6 +156,34 @@ func (s *Span) AddCount(n int64) {
 	}
 }
 
+// SpanID returns the span's tracer-local id (0 on a disabled span). It is
+// what Link targets and what an outbound traceparent header advertises as
+// the parent span id.
+func (s *Span) SpanID() uint64 { return s.id }
+
+// TraceID returns the 128-bit trace id the span belongs to (the zero
+// TraceID on disabled or non-request spans).
+func (s *Span) TraceID() TraceID { return s.trace }
+
+// Link records a correlation to another span that is neither parent nor
+// child — the fan-in edge: a request span links to the shared
+// batch-forward span that scored it, and the batch span links back to
+// every request span it served. No-op when the span is disabled or the
+// target id is 0 (a disabled span's SpanID).
+func (s *Span) Link(id uint64) {
+	if s.tr != nil && id != 0 {
+		s.links = append(s.links, id)
+	}
+}
+
+// SetWait records how long the span's work sat queued before running (a
+// serving request's time in the dispatcher queue). No-op when disabled.
+func (s *Span) SetWait(d time.Duration) {
+	if s.tr != nil {
+		s.wait = d
+	}
+}
+
 // End completes the span, returning its wall-clock duration. On a tracer
 // span the record is appended to the tracer's buffer; on a timed-only span
 // (StartTimed with no tracer installed) only the duration is returned; on a
@@ -160,6 +203,13 @@ func (s *Span) end() time.Duration {
 		rec := SpanRecord{
 			ID: s.id, Parent: s.parent, Name: s.name, Label: s.label,
 			Start: s.start.Sub(t.epoch), Dur: d, Count: s.count,
+			Links: s.links, Wait: s.wait,
+		}
+		if !s.trace.IsZero() {
+			rec.Trace = s.trace.String()
+		}
+		if s.remote != 0 {
+			rec.Remote = hexUint64(s.remote)
 		}
 		t.mu.Lock()
 		t.spans = append(t.spans, rec)

@@ -1,0 +1,161 @@
+package obs_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"scalegnn/internal/obs"
+)
+
+// promDump renders reg and fails the test on a write error.
+func promDump(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+func TestWritePrometheusValidatesAndNames(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.requests").Add(42)
+	reg.Counter("serve.cache_hits_total").Add(7) // already suffixed: no double _total
+	reg.Gauge("runtime.goroutines").Set(12)
+	h := reg.Histogram("serve.request_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5) // lands in +Inf only
+
+	out := promDump(t, reg)
+	if err := obs.ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	for _, needle := range []string{
+		"# TYPE serve_requests_total counter",
+		"serve_requests_total 42",
+		"serve_cache_hits_total 7",
+		"# TYPE runtime_goroutines gauge",
+		"runtime_goroutines 12",
+		"# TYPE serve_request_seconds histogram",
+		`serve_request_seconds_bucket{le="0.001"} 1`,
+		`serve_request_seconds_bucket{le="0.01"} 1`,
+		`serve_request_seconds_bucket{le="0.1"} 2`,
+		`serve_request_seconds_bucket{le="+Inf"} 3`,
+		"serve_request_seconds_count 3",
+		"serve_request_seconds_sum ",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("exposition missing %q\n%s", needle, out)
+		}
+	}
+	if strings.Contains(out, "serve_cache_hits_total_total") {
+		t.Errorf("double _total suffix:\n%s", out)
+	}
+}
+
+func TestWritePrometheusSanitizesDigitFirstNames(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("9lives").Add(1)
+	out := promDump(t, reg)
+	if !strings.Contains(out, "_9lives_total 1") {
+		t.Errorf("digit-first name not prefixed:\n%s", out)
+	}
+	if err := obs.ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+func TestWritePrometheusLayoutTracksRegistrations(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("first.metric").Add(1)
+	if out := promDump(t, reg); !strings.Contains(out, "first_metric_total 1") {
+		t.Fatalf("first scrape missing metric:\n%s", out)
+	}
+	// A registration after the first scrape must invalidate the cached
+	// layout (the gen counter), not disappear into it.
+	reg.Gauge("second.metric").Set(2)
+	out := promDump(t, reg)
+	if !strings.Contains(out, "second_metric 2") {
+		t.Errorf("post-scrape registration missing:\n%s", out)
+	}
+	if err := obs.ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("http.reqs").Add(3)
+	srv := httptest.NewServer(obs.MetricsHandler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.PrometheusContentType)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("scrape invalid: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "http_reqs_total 3") {
+		t.Errorf("scrape missing counter:\n%s", buf.String())
+	}
+}
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := map[string]string{
+		"counter":          "# TYPE a counter\na 1\n",
+		"gauge with inf":   "# TYPE g gauge\ng +Inf\n",
+		"gauge with nan":   "# TYPE g gauge\ng NaN\n",
+		"help comment":     "# HELP a something\n# TYPE a counter\na 1\n",
+		"labels":           "# TYPE a counter\na{job=\"x\",quote=\"a\\\"b\"} 1\n",
+		"timestamp":        "# TYPE a counter\na 1 1700000000000\n",
+		"blank lines":      "\n# TYPE a counter\n\na 1\n",
+		"no trailing newl": "# TYPE a counter\na 1",
+		"histogram": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1.5\nh_count 2\n",
+	}
+	for name, in := range good {
+		if err := obs.ValidateExposition([]byte(in)); err != nil {
+			t.Errorf("%s: rejected valid exposition: %v", name, err)
+		}
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	bad := map[string]string{
+		"sample without TYPE":   "a 1\n",
+		"illegal name":          "# TYPE 1bad counter\n",
+		"unknown kind":          "# TYPE a widget\na 1\n",
+		"duplicate TYPE":        "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"malformed comment":     "# NOPE a counter\n",
+		"no value":              "# TYPE a counter\na\n",
+		"bad value":             "# TYPE a counter\na abc\n",
+		"bad timestamp":         "# TYPE a counter\na 1 soon\n",
+		"unterminated label":    "# TYPE a counter\na{job=\"x} 1\n",
+		"illegal label name":    "# TYPE a counter\na{1j=\"x\"} 1\n",
+		"bucket without le":     "# TYPE h histogram\nh_bucket 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"non-ascending bounds":  "# TYPE h histogram\nh_bucket{le=\"0.5\"} 1\nh_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"non-cumulative counts": "# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"0.5\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf bucket":   "# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\nh_sum 1\nh_count 1\n",
+		"missing _sum":          "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"missing _count":        "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"count != +Inf":         "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	}
+	for name, in := range bad {
+		if err := obs.ValidateExposition([]byte(in)); err == nil {
+			t.Errorf("%s: accepted invalid exposition:\n%s", name, in)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtime.go is the periodic runtime sampler: Go runtime health (heap, GC,
+// goroutines) folded into the same Registry the serving and training
+// metrics live in, so one /metrics scrape answers "is the process sick"
+// next to "is the model slow". Gauges cost one atomic store to set, so the
+// sampler's steady-state overhead is a handful of stores every period.
+
+// StartRuntimeSampler samples runtime.MemStats and goroutine counts into
+// reg every period (minimum 1s; 0 or negative defaults to 10s) and returns
+// a stop function. The first sample is taken synchronously so gauges are
+// populated before the first scrape. stop is idempotent and waits for the
+// sampler goroutine to exit.
+func StartRuntimeSampler(reg *Registry, every time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	if every < time.Second {
+		every = time.Second
+	}
+	s := &runtimeSampler{
+		goroutines:   reg.Gauge("runtime.goroutines"),
+		heapAlloc:    reg.Gauge("runtime.heap_alloc_bytes"),
+		heapSys:      reg.Gauge("runtime.heap_sys_bytes"),
+		heapObjects:  reg.Gauge("runtime.heap_objects"),
+		gcCycles:     reg.Gauge("runtime.gc_cycles"),
+		gcPauseTotal: reg.Gauge("runtime.gc_pause_total_seconds"),
+		gcPauseLast:  reg.Gauge("runtime.gc_pause_last_ns"),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	s.sample()
+	//lint:ignore naked-go periodic sampler, not data-parallel work; lifetime bounded by the returned stop function
+	go s.loop(every)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(s.quit)
+			<-s.done
+		})
+	}
+}
+
+type runtimeSampler struct {
+	goroutines   *Gauge
+	heapAlloc    *Gauge
+	heapSys      *Gauge
+	heapObjects  *Gauge
+	gcCycles     *Gauge
+	gcPauseTotal *Gauge
+	gcPauseLast  *Gauge
+	quit         chan struct{}
+	done         chan struct{}
+}
+
+func (s *runtimeSampler) loop(every time.Duration) {
+	defer close(s.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sample()
+		case <-s.quit:
+			s.sample() // final sample so a flush-then-scrape sees fresh values
+			return
+		}
+	}
+}
+
+func (s *runtimeSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.goroutines.Set(float64(runtime.NumGoroutine()))
+	s.heapAlloc.Set(float64(ms.HeapAlloc))
+	s.heapSys.Set(float64(ms.HeapSys))
+	s.heapObjects.Set(float64(ms.HeapObjects))
+	s.gcCycles.Set(float64(ms.NumGC))
+	s.gcPauseTotal.Set(float64(ms.PauseTotalNs) / 1e9)
+	if ms.NumGC > 0 {
+		s.gcPauseLast.Set(float64(ms.PauseNs[(ms.NumGC+255)%256]))
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"os"
+	"time"
 )
 
 // Options selects which observability outputs a process run wants. The zero
@@ -18,6 +19,10 @@ type Options struct {
 	// CPUProfile, when non-empty, captures a CPU profile of the run into
 	// this path (stopped on Close).
 	CPUProfile string
+	// RuntimeEvery sets the runtime sampler period (heap, GC, goroutine
+	// gauges). Zero defaults to 10s whenever any output is enabled; negative
+	// disables the sampler.
+	RuntimeEvery time.Duration
 }
 
 // Session is the process-level observability state a CLI run owns: the
@@ -30,9 +35,10 @@ type Session struct {
 	// the per-package EnableMetrics hooks (tensor, par, train).
 	Registry *Registry
 
-	traceFile *os.File
-	srv       *DebugServer
-	stopProf  func() error
+	traceFile   *os.File
+	srv         *DebugServer
+	stopProf    func() error
+	stopRuntime func()
 }
 
 // StartSession activates the selected outputs. On error, anything already
@@ -43,6 +49,9 @@ func StartSession(opt Options) (*Session, error) {
 		return s, nil
 	}
 	s.Registry = NewRegistry()
+	if opt.RuntimeEvery >= 0 {
+		s.stopRuntime = StartRuntimeSampler(s.Registry, opt.RuntimeEvery)
+	}
 	if opt.TraceOut != "" {
 		// Open eagerly so a bad path fails before the run, not after it.
 		f, err := os.Create(opt.TraceOut)
@@ -94,6 +103,10 @@ func (s *Session) Close() error {
 		keep(s.stopProf())
 		s.stopProf = nil
 	}
+	if s.stopRuntime != nil {
+		s.stopRuntime()
+		s.stopRuntime = nil
+	}
 	if s.Tracer != nil {
 		SetTracer(nil)
 		keep(s.Tracer.WriteJSONL(s.traceFile))
@@ -111,6 +124,10 @@ func (s *Session) Close() error {
 // listener (shared by Close and StartSession's error paths; Close writes the
 // trace and nils traceFile before calling teardown).
 func (s *Session) teardown() error {
+	if s.stopRuntime != nil {
+		s.stopRuntime()
+		s.stopRuntime = nil
+	}
 	if s.Tracer != nil {
 		SetTracer(nil)
 		s.Tracer = nil

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"scalegnn/internal/ckpt"
+	"scalegnn/internal/obs"
 )
 
 // Loader materializes a Model from a source string (a snapshot path or
@@ -24,14 +27,24 @@ type Loader func(source string) (Model, SwapInfo, error)
 // Server is the HTTP front end over an Engine:
 //
 //	GET/POST /predict     — class predictions (and logits) for node ids
-//	GET      /healthz     — 200 + model info once a model is loaded
+//	GET      /healthz     — serving health: model info + SLO burn status
 //	GET      /stats       — engine counters and latency quantiles
+//	GET      /metrics     — Prometheus text exposition of the registry
 //	POST     /admin/swap  — hot-swap the model from a new snapshot
+//
+// Any other verb on these routes answers 405 with an Allow header.
+//
+// /predict is trace-aware: an inbound W3C traceparent header continues the
+// caller's trace, otherwise a fresh trace id is minted (when tracing is
+// on); the response carries the outbound traceparent naming the request
+// span as parent, and the span is attached to the request context so the
+// engine can link it to the batch-forward span it is scored in.
 type Server struct {
 	eng    *Engine
 	loader Loader
 	srv    *http.Server
 	ln     net.Listener
+	log    *slog.Logger // nil disables access logging
 }
 
 // NewServer wires the handlers. loader may be nil, which disables
@@ -39,10 +52,11 @@ type Server struct {
 func NewServer(eng *Engine, loader Loader) *Server {
 	s := &Server{eng: eng, loader: loader}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/admin/swap", s.handleSwap)
+	mux.HandleFunc("/predict", methods(s.handlePredict, http.MethodGet, http.MethodPost))
+	mux.HandleFunc("/healthz", methods(s.handleHealth, http.MethodGet))
+	mux.HandleFunc("/stats", methods(s.handleStats, http.MethodGet))
+	mux.HandleFunc("/metrics", methods(obs.MetricsHandler(eng.Registry()).ServeHTTP, http.MethodGet))
+	mux.HandleFunc("/admin/swap", methods(s.handleSwap, http.MethodPost))
 	s.srv = &http.Server{
 		Handler: mux,
 		// A stalled client must not wedge a serving thread; predictions are
@@ -53,6 +67,28 @@ func NewServer(eng *Engine, loader Loader) *Server {
 		IdleTimeout:       2 * time.Minute,
 	}
 	return s
+}
+
+// SetAccessLog installs a structured access logger: one line per /predict
+// request (method, status, node count, latency) correlated by trace_id
+// when tracing is on. Call before Start; nil (the default) disables.
+func (s *Server) SetAccessLog(l *slog.Logger) { s.log = l }
+
+// methods gates a handler to the given verbs; anything else is answered
+// with 405 Method Not Allowed and an Allow header listing what is.
+func methods(h http.HandlerFunc, allow ...string) http.HandlerFunc {
+	allowHeader := strings.Join(allow, ", ")
+	return func(w http.ResponseWriter, r *http.Request) {
+		for _, m := range allow {
+			if r.Method == m {
+				h(w, r)
+				return
+			}
+		}
+		w.Header().Set("Allow", allowHeader)
+		writeError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("method %s not allowed (allow: %s)", r.Method, allowHeader))
+	}
 }
 
 // Start binds addr (":0" picks a free port) and serves until Close.
@@ -147,26 +183,49 @@ func parseNodes(r *http.Request) ([]int, bool, error) {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	// An inbound traceparent continues the caller's trace; a malformed or
+	// absent one mints a fresh id (ParseTraceparent's zero value). With no
+	// tracer installed the span is disabled and all of this no-ops.
+	tc, _ := obs.ParseTraceparent(r.Header.Get("Traceparent"))
+	sp := obs.StartRequest("serve.request", tc)
+	defer sp.End()
+	if sp.Active() {
+		w.Header().Set("Traceparent", obs.FormatTraceparent(sp.TraceID(), sp.SpanID()))
+	}
+	status := s.predict(obs.ContextWithSpan(r.Context(), &sp), w, r, &sp)
+	if s.log != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "predict",
+			slog.String("method", r.Method),
+			slog.Int("status", status),
+			slog.Duration("dur", time.Since(start)),
+			obs.SpanAttr(&sp),
+		)
+	}
+}
+
+// predict is handlePredict's body, split out so the handler can log the
+// response status it returns.
+func (s *Server) predict(ctx context.Context, w http.ResponseWriter, r *http.Request, sp *obs.Span) int {
 	nodes, wantLogits, err := parseNodes(r)
 	if err != nil {
-		status := http.StatusBadRequest
-		if r.Method != http.MethodGet && r.Method != http.MethodPost {
-			status = http.StatusMethodNotAllowed
-		}
-		writeError(w, status, err)
-		return
+		writeError(w, http.StatusBadRequest, err)
+		return http.StatusBadRequest
 	}
-	pred, err := s.eng.Predict(r.Context(), nodes)
+	sp.SetCount(int64(len(nodes)))
+	pred, err := s.eng.Predict(ctx, nodes)
 	if err != nil {
+		var status int
 		switch {
 		case errors.Is(err, ErrNoModel), errors.Is(err, ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, err)
+			status = http.StatusServiceUnavailable
 		case errors.Is(err, ErrBadNode):
-			writeError(w, http.StatusBadRequest, err)
+			status = http.StatusBadRequest
 		default:
-			writeError(w, http.StatusInternalServerError, err)
+			status = http.StatusInternalServerError
 		}
-		return
+		writeError(w, status, err)
+		return status
 	}
 	resp := predictResponse{
 		Model:       pred.Model,
@@ -178,15 +237,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Logits = pred.Logits
 	}
 	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	info, ok := s.eng.Current()
-	if !ok {
-		writeError(w, http.StatusServiceUnavailable, ErrNoModel)
+	h := s.eng.Health()
+	if h.Status == "unavailable" {
+		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	// "degraded" still answers 200: the model is serving, the burn-rate
+	// trend is the signal, and the status field carries it.
+	writeJSON(w, http.StatusOK, h)
 }
 
 // Stats is the /stats payload: model info plus engine counters and
@@ -195,6 +257,7 @@ type Stats struct {
 	Info        *Info   `json:"info,omitempty"`
 	Requests    int64   `json:"requests"`
 	Errors      int64   `json:"request_errors"`
+	Failed      int64   `json:"requests_failed"`
 	Batches     int64   `json:"batches"`
 	CacheHits   int64   `json:"cache_hits"`
 	CacheMisses int64   `json:"cache_misses"`
@@ -209,6 +272,7 @@ func (e *Engine) Stats() Stats {
 	st := Stats{
 		Requests:    e.mRequests.Value(),
 		Errors:      e.mErrors.Value(),
+		Failed:      e.mFailed.Value(),
 		Batches:     e.mBatches.Value(),
 		CacheHits:   e.mCacheHits.Value(),
 		CacheMisses: e.mCacheMiss.Value(),
@@ -241,10 +305,6 @@ type swapResponse struct {
 }
 
 func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
-		return
-	}
 	if s.loader == nil {
 		writeError(w, http.StatusNotImplemented, fmt.Errorf("no snapshot loader configured"))
 		return

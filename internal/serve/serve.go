@@ -66,6 +66,9 @@ type Config struct {
 	// batch sizes, cache hit counters). Nil allocates a private registry;
 	// pass an obs session registry to expose them via expvar.
 	Registry *obs.Registry
+	// SLO configures the rolling-window latency SLO tracker (slo.go). The
+	// zero value disables it; Health then never reports "degraded".
+	SLO SLOConfig
 }
 
 // SwapInfo describes where a model state came from, for /healthz and logs.
@@ -86,12 +89,22 @@ type state struct {
 }
 
 // request is one Predict's cache-miss remainder, queued to the dispatcher.
+// The trace fields carry the request span across the coalescing fan-in:
+// Predict stamps spanID/enq before the channel send, scoreGroup fills
+// batchSpan/queueNS before the done send, and each side reads only what
+// the channel hand-off ordered before it — the request span itself is
+// never touched off its owning goroutine.
 type request struct {
 	st      *state
 	miss    []int       // node ids needing computation
 	missPos []int       // position of each miss in the caller's node list
 	scores  [][]float64 // caller-owned, len(original nodes); filled at missPos
 	done    chan error  // buffered(1); dispatcher never blocks sending
+
+	enq       time.Time // when Predict queued the request
+	spanID    uint64    // the caller's request span id (0 when untraced)
+	batchSpan uint64    // set by scoreGroup: the shared batch-forward span id
+	queueNS   int64     // set by scoreGroup: time spent queued, ns
 }
 
 // Prediction is one answered request.
@@ -120,12 +133,15 @@ type Engine struct {
 	reg        *obs.Registry
 	mRequests  *obs.Counter
 	mErrors    *obs.Counter
+	mFailed    *obs.Counter
 	mBatches   *obs.Counter
 	mCacheHits *obs.Counter
 	mCacheMiss *obs.Counter
 	mSwaps     *obs.Counter
 	hLatency   *obs.Histogram
 	hBatchRows *obs.Histogram
+
+	slo *sloTracker // nil when Config.SLO is unset
 }
 
 // batchRowBuckets is the bucket layout for batch-size histograms.
@@ -151,12 +167,15 @@ func NewEngine(cfg Config) *Engine {
 		reg:        cfg.Registry,
 		mRequests:  cfg.Registry.Counter("serve.requests"),
 		mErrors:    cfg.Registry.Counter("serve.request_errors"),
+		mFailed:    cfg.Registry.Counter("serve.requests_failed"),
 		mBatches:   cfg.Registry.Counter("serve.batches"),
 		mCacheHits: cfg.Registry.Counter("serve.cache_hits"),
 		mCacheMiss: cfg.Registry.Counter("serve.cache_misses"),
 		mSwaps:     cfg.Registry.Counter("serve.swaps"),
 		hLatency:   cfg.Registry.Histogram("serve.request_seconds", obs.DefaultDurationBuckets),
 		hBatchRows: cfg.Registry.Histogram("serve.batch_rows", batchRowBuckets),
+
+		slo: newSLOTracker(cfg.SLO, cfg.Registry),
 	}
 	//lint:ignore naked-go serving dispatcher, not data-parallel work; lifetime bounded by Close
 	go e.dispatch()
@@ -209,10 +228,44 @@ func (e *Engine) Current() (Info, bool) {
 	}, true
 }
 
+// Health is the engine's operational status, served by /healthz. Info is
+// embedded flat so consumers that only understand the model description
+// (the load generator's serverModel) keep decoding it unchanged.
+type Health struct {
+	// Status is "ok", "degraded" (the SLO burn rate crossed its threshold),
+	// or "unavailable" (no model loaded).
+	Status string `json:"status"`
+	*Info
+	SLO *SLOStatus `json:"slo,omitempty"`
+}
+
+// Health reports the engine's current serving health, folding in the SLO
+// tracker's rolling-window burn rate when one is configured. Degradation is
+// predictive: the flip happens when the error budget is being spent faster
+// than the objective sustains, not when the objective is already blown.
+func (e *Engine) Health() Health {
+	info, ok := e.Current()
+	if !ok {
+		return Health{Status: "unavailable"}
+	}
+	h := Health{Status: "ok", Info: &info, SLO: e.slo.status(time.Now())}
+	if h.SLO != nil && h.SLO.Degraded {
+		h.Status = "degraded"
+	}
+	return h
+}
+
 // Predict answers class predictions (and logits) for the given nodes. The
 // whole answer comes from one model generation. Safe for concurrent use.
+//
+// When the context carries a request span (obs.ContextWithSpan — the HTTP
+// handler attaches one), the span is annotated with the dispatcher fan-in:
+// a link to the shared batch-forward span that scored this request's
+// misses, and the time the request sat queued. With no span attached every
+// annotation is a guarded no-op.
 func (e *Engine) Predict(ctx context.Context, nodes []int) (*Prediction, error) {
 	start := time.Now()
+	sp := obs.SpanFromContext(ctx)
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("serve: empty node list")
 	}
@@ -244,7 +297,10 @@ func (e *Engine) Predict(ctx context.Context, nodes []int) (*Prediction, error) 
 	e.mCacheMiss.Add(int64(len(miss)))
 
 	if len(miss) > 0 {
-		r := &request{st: st, miss: miss, missPos: missPos, scores: scores, done: make(chan error, 1)}
+		r := &request{
+			st: st, miss: miss, missPos: missPos, scores: scores,
+			done: make(chan error, 1), enq: time.Now(), spanID: sp.SpanID(),
+		}
 		select {
 		case e.reqs <- r:
 		case <-e.quit:
@@ -258,6 +314,9 @@ func (e *Engine) Predict(ctx context.Context, nodes []int) (*Prediction, error) 
 				e.mErrors.Add(1)
 				return nil, err
 			}
+			// The done receive ordered scoreGroup's writes before these reads.
+			sp.Link(r.batchSpan)
+			sp.SetWait(time.Duration(r.queueNS))
 		case <-e.quit:
 			return nil, ErrClosed
 		case <-ctx.Done():
@@ -277,7 +336,11 @@ func (e *Engine) Predict(ctx context.Context, nodes []int) (*Prediction, error) 
 		}
 		preds[i] = best
 	}
-	e.hLatency.Observe(time.Since(start).Seconds())
+	lat := time.Since(start)
+	e.hLatency.Observe(lat.Seconds())
+	// Only answered requests feed the latency SLO; failures are visible in
+	// serve.request_errors / serve.requests_failed instead.
+	e.slo.observe(lat, time.Now())
 	return &Prediction{
 		Model:       st.m.Name(),
 		Generation:  st.gen,
@@ -365,11 +428,31 @@ func (e *Engine) runBatch(batch []*request) {
 
 // scoreGroup runs one batched Score for every miss in the group, fills
 // caller score slots and the state's cache, and signals completion.
+//
+// This is the fan-in point of the trace model: one batch-forward span is
+// shared by every coalesced request. Parent/child can't express that (a
+// span has one parent), so the correlation is bidirectional links — the
+// batch span links every request span it served, and each request struct
+// carries the batch span id back so Predict can link the other direction.
 // lint:confine score-path
 func (e *Engine) scoreGroup(st *state, group []*request) {
 	total := 0
 	for _, r := range group {
 		total += len(r.miss)
+	}
+	bsp := obs.Start("serve.batch_forward")
+	if bsp.Active() {
+		bsp.SetCount(int64(total))
+		for _, r := range group {
+			bsp.Link(r.spanID)
+		}
+	}
+	now := time.Now()
+	for _, r := range group {
+		// Written before the done send below, which is what publishes them
+		// to the waiting Predict goroutine.
+		r.batchSpan = bsp.SpanID()
+		r.queueNS = now.Sub(r.enq).Nanoseconds()
 	}
 	nodes := make([]int, 0, total)
 	for _, r := range group {
@@ -389,6 +472,7 @@ func (e *Engine) scoreGroup(st *state, group []*request) {
 		}
 	}
 	tensor.PutBuf(out)
+	bsp.End()
 	for _, r := range group {
 		r.done <- err
 	}
@@ -396,13 +480,16 @@ func (e *Engine) scoreGroup(st *state, group []*request) {
 	e.hBatchRows.Observe(float64(total))
 }
 
-// failQueued drains whatever is still queued at shutdown. Racing senders
-// are safe: Predict also selects on the closed quit channel.
+// failQueued drains whatever is still queued at shutdown, counting each
+// failed request into serve.requests_failed so drained-on-shutdown errors
+// are visible in metrics. Racing senders are safe: Predict also selects on
+// the closed quit channel.
 func (e *Engine) failQueued() {
 	for {
 		select {
 		case r := <-e.reqs:
 			r.done <- ErrClosed
+			e.mFailed.Add(1)
 		default:
 			return
 		}

@@ -215,7 +215,10 @@ func Run[T tensor.Elem](cfg Config, spec SpecOf[T]) (*Report, error) {
 	// below is a guarded no-op (see the obs overhead contract), so the hot
 	// path is unchanged; with one installed, observation still never touches
 	// cfg.RNG or model state, keeping outputs bitwise identical.
-	runSp := obs.Start("train.run")
+	// The run roots a trace (a fresh id per run, crypto/rand — never
+	// cfg.RNG): every epoch/batch span inherits it, and the hook payloads
+	// carry it so log lines correlate with the JSONL timeline by trace_id.
+	runSp := obs.StartRequest("train.run", obs.TraceContext{})
 	defer runSp.End()
 	finish := func(reason StopReason) {
 		rep.Stopped = reason
@@ -297,7 +300,7 @@ func Run[T tensor.Elem](cfg Config, spec SpecOf[T]) (*Report, error) {
 				return nil, fmt.Errorf("train: step (epoch %d batch %d): %w", epoch, i, err)
 			}
 			for _, h := range cfg.Hooks {
-				h.OnBatch(BatchEnd{Epoch: epoch, Batch: i, Size: b.Size()})
+				h.OnBatch(BatchEnd{Epoch: epoch, Batch: i, Size: b.Size(), Trace: runSp.TraceID()})
 			}
 		}
 		vSp := epSp.Child("train.validate")
@@ -318,6 +321,7 @@ func Run[T tensor.Elem](cfg Config, spec SpecOf[T]) (*Report, error) {
 			h.OnEpoch(EpochEnd{
 				Epoch: epoch, ValAcc: val, Improved: improved,
 				Best: stopper.best, Elapsed: time.Since(start),
+				Trace: runSp.TraceID(),
 			})
 		}
 		if ck != nil && ck.boundary(epoch, cfg.Epochs, stop) {

@@ -73,15 +73,28 @@ go test -race -count=1 -run 'TestCrash' ./cmd/gnntrain
 
 # Serving smoke gate: gnnserve -selftest trains, snapshots, restores,
 # verifies the served path answers byte-equal to offline Predict, hot-swaps
-# once, and load-tests over real HTTP. The report must land non-empty —
-# a served-prediction mismatch or any request error fails the run.
+# once, scrapes and validates /metrics, round-trips an inbound traceparent,
+# verifies request-span/batch-span links, degrades /healthz under injected
+# latency, and load-tests over real HTTP. The report must land non-empty —
+# a served-prediction mismatch or any request error fails the run — and the
+# trace timeline and Prometheus scrape must carry the request-scoped fields.
 echo "== serve smoke (gnnserve -selftest)"
 SERVE_TMP=$(mktemp -d)
 trap 'rm -rf "$SERVE_TMP"' EXIT
 go run ./cmd/gnnserve -selftest -nodes 2000 -epochs 5 -duration 500ms \
-  -bench-out "$SERVE_TMP/BENCH_serve.json"
+  -bench-out "$SERVE_TMP/BENCH_serve.json" \
+  -trace-out "$SERVE_TMP/trace.jsonl" \
+  -metrics-out "$SERVE_TMP/metrics.prom"
 [ -s "$SERVE_TMP/BENCH_serve.json" ] || {
   echo "serve smoke failed: BENCH_serve.json missing or empty"; exit 1; }
+grep -q '"trace_id"' "$SERVE_TMP/trace.jsonl" || {
+  echo "serve smoke failed: trace.jsonl has no trace_id fields"; exit 1; }
+grep -q '"links"' "$SERVE_TMP/trace.jsonl" || {
+  echo "serve smoke failed: trace.jsonl has no span links"; exit 1; }
+grep -q 'serve.batch_forward' "$SERVE_TMP/trace.jsonl" || {
+  echo "serve smoke failed: trace.jsonl has no batch-forward spans"; exit 1; }
+grep -q 'serve_request_seconds_bucket{le="+Inf"}' "$SERVE_TMP/metrics.prom" || {
+  echo "serve smoke failed: metrics.prom missing request latency histogram"; exit 1; }
 
 # Kernel perf-regression gate: run the kernel microbench suite at quick
 # scale and compare allocs/op against the checked-in baseline. The *Into
@@ -99,9 +112,9 @@ go run ./cmd/gnnperfgate -report "$KERNELS_TMP/kernels.json" \
 # allocations (DESIGN.md "Observability", overhead contract). Any allocation
 # on a disabled span or unbound counter ref means every instrumentation
 # point in the hot path pays it — fail loudly.
-echo "== trace-overhead guard (BenchmarkSpanDisabled*, BenchmarkCounterRefDisabled)"
+echo "== trace-overhead guard (BenchmarkSpanDisabled*, BenchmarkRequestSpanDisabled, BenchmarkCounterRefDisabled)"
 BENCH_OUT=$(go test ./internal/obs -run '^$' \
-  -bench 'BenchmarkSpanDisabled|BenchmarkCounterRefDisabled' -benchmem -benchtime 100000x)
+  -bench 'BenchmarkSpanDisabled|BenchmarkCounterRefDisabled|BenchmarkRequestSpanDisabled' -benchmem -benchtime 100000x)
 echo "$BENCH_OUT"
 echo "$BENCH_OUT" | awk '
   /^Benchmark/ {
