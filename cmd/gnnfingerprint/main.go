@@ -15,10 +15,8 @@
 package main
 
 import (
-	"encoding/binary"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 
@@ -93,20 +91,8 @@ func main() {
 			fatal("%s: predict: %v", e.name, err)
 		}
 		fmt.Printf("%-12s pred=%016x epochs=%d train=%.17g val=%.17g test=%.17g f1=%.17g\n",
-			e.name, fingerprint(pred), rep.Epochs, rep.TrainAcc, rep.ValAcc, rep.TestAcc, rep.TestF1)
+			e.name, models.PredictionFingerprint(pred), rep.Epochs, rep.TrainAcc, rep.ValAcc, rep.TestAcc, rep.TestF1)
 	}
-}
-
-// fingerprint hashes an integer prediction vector with FNV-1a.
-func fingerprint(pred []int) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, p := range pred {
-		binary.LittleEndian.PutUint64(buf[:], uint64(p))
-		//lint:ignore unchecked-error fnv Hash.Write never returns an error
-		h.Write(buf[:])
-	}
-	return h.Sum64()
 }
 
 func fatal(format string, args ...any) {

@@ -24,6 +24,7 @@ import (
 
 	"scalegnn/internal/ckpt"
 	"scalegnn/internal/dataset"
+	"scalegnn/internal/distnet"
 	"scalegnn/internal/models"
 	"scalegnn/internal/obs"
 	"scalegnn/internal/par"
@@ -134,14 +135,44 @@ func main() {
 		cfg.Hooks = append(cfg.Hooks, epochLogger{})
 	}
 
-	rep, err := m.Fit(ds, cfg)
+	// -shard turns this process into one member of a distnet cluster; see
+	// dist.go and DESIGN.md "Distributed training".
+	var cluster *distnet.Cluster
+	if *distFlags.shard != "" {
+		if sess.Registry != nil {
+			distnet.EnableMetrics(sess.Registry)
+		}
+		cluster, err = setupDist(ctx, ds, &cfg, *model, *hops, *ckptEvery)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer func() {
+			if err := cluster.Close(); err != nil {
+				logger.Error("cluster teardown", "err", err)
+			}
+		}()
+	}
+
+	rep, err := fitModel(m, ds, cfg)
 	if err != nil {
 		fatal("fit: %v", err)
 	}
 	// The report stays on stdout as the run's machine-consumable result
-	// (the crash-recovery gate greps it); everything else is structured
-	// logging on stderr.
+	// (the crash-recovery and distributed smoke gates grep it); everything
+	// else is structured logging on stderr.
 	fmt.Println(rep)
+	if *distFlags.printFP {
+		pred, err := predictModel(m, ds)
+		if err != nil {
+			fatal("predict: %v", err)
+		}
+		fmt.Printf("fingerprint=%016x\n", models.PredictionFingerprint(pred))
+	}
+	if cluster != nil {
+		s := cluster.Stats()
+		fmt.Printf("dist rounds=%d stale_hits=%d reconnects=%d replays=%d frames_corrupt=%d\n",
+			s.Rounds, s.StaleHits, s.Reconnects, s.Replays, s.FramesCorrupt)
+	}
 }
 
 // logger is the process-wide structured logger, installed in main before

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"scalegnn/internal/distnet"
+	"scalegnn/internal/graph"
+	"scalegnn/internal/partition"
+	"scalegnn/internal/tensor"
+)
+
+// dist.go benchmarks the multi-process boundary-exchange protocol in a
+// single process: k in-memory shards over real unix sockets, each running
+// the partitioned 2-hop propagation that dominates a distributed GNN
+// epoch. Reported per configuration: wall-clock per epoch, wire volume,
+// and stale substitutions — epoch time vs shard count, synchronous vs
+// stale-bounded, which is the §4 scaling story in one table.
+
+// DistResult is one row of the BENCH_dist.json report.
+type DistResult struct {
+	Name         string  `json:"name"`
+	Shards       int     `json:"shards"`
+	Mode         string  `json:"mode"` // "sync" or "stale"
+	Epochs       int     `json:"epochs"`
+	EpochSeconds float64 `json:"epoch_seconds"`
+	WireBytes    int64   `json:"wire_bytes"` // frame bytes sent, all shards
+	StaleHits    int64   `json:"stale_hits"`
+	Rounds       int64   `json:"rounds"`
+}
+
+// DistBenchReport is the BENCH_dist.json document.
+type DistBenchReport struct {
+	Bench   string        `json:"bench"`
+	Results []*DistResult `json:"results"`
+}
+
+// WriteDistBenchJSON writes the machine-readable distributed-exchange
+// report.
+func WriteDistBenchJSON(path string, results []*DistResult) error {
+	data, err := json.MarshalIndent(DistBenchReport{Bench: "dist", Results: results}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: dist report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: dist report: %w", err)
+	}
+	return nil
+}
+
+// RunDistBench runs the shard-count × staleness-mode matrix.
+func RunDistBench(quick bool, seed uint64) ([]*DistResult, error) {
+	nodes, dim, epochs := 20000, 32, 5
+	if quick {
+		nodes, dim, epochs = 3000, 16, 2
+	}
+	var results []*DistResult
+	for _, shards := range []int{1, 2, 4} {
+		for _, mode := range []string{"sync", "stale"} {
+			if shards == 1 && mode == "stale" {
+				continue // staleness is meaningless without peers
+			}
+			r, err := runDistConfig(shards, mode, nodes, dim, epochs, seed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: dist %d-shard %s: %w", shards, mode, err)
+			}
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}
+
+func runDistConfig(shards int, mode string, nodes, dim, epochs int, seed uint64) (*DistResult, error) {
+	addrs := make([]string, shards)
+	if shards > 1 {
+		dir, err := os.MkdirTemp("", "dnbench")
+		if err != nil {
+			return nil, err
+		}
+		//lint:ignore unchecked-error best-effort socket-dir cleanup
+		defer os.RemoveAll(dir)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("unix:%s/s%d.sock", dir, i)
+		}
+	}
+	clusters := make([]*distnet.Cluster, shards)
+	for i := 0; i < shards; i++ {
+		cfg := distnet.Config{
+			Shard: i, N: shards, Addrs: addrs, Fingerprint: seed,
+			PeerTimeout: 60 * time.Second,
+		}
+		if mode == "stale" {
+			cfg.MaxStaleness = 2
+			cfg.ExchangeTimeout = 100 * time.Millisecond
+		}
+		c, err := distnet.Open(cfg)
+		if err != nil {
+			for _, open := range clusters[:i] {
+				//lint:ignore unchecked-error teardown on the error path
+				open.Close()
+			}
+			return nil, err
+		}
+		clusters[i] = c
+	}
+	defer func() {
+		for _, c := range clusters {
+			//lint:ignore unchecked-error bench teardown
+			c.Close()
+		}
+	}()
+
+	sentBefore, _ := distnet.WireBytes()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for i, c := range clusters {
+		wg.Add(1)
+		//lint:ignore naked-go each goroutine simulates one shard process, joined via wg
+		go func(i int, c *distnet.Cluster) {
+			defer wg.Done()
+			errs[i] = runDistShard(c, nodes, dim, epochs, seed)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	sentAfter, _ := distnet.WireBytes()
+
+	res := &DistResult{
+		Name:         fmt.Sprintf("dist/2hop-propagate/%dshard/%s", shards, mode),
+		Shards:       shards,
+		Mode:         mode,
+		Epochs:       epochs,
+		EpochSeconds: elapsed.Seconds() / float64(epochs),
+		WireBytes:    sentAfter - sentBefore,
+	}
+	for _, c := range clusters {
+		s := c.Stats()
+		res.StaleHits += s.StaleHits
+		res.Rounds += s.Rounds
+	}
+	return res, nil
+}
+
+// runDistShard is one simulated shard process: it derives the shared
+// deterministic dataset and partition from the seed (exactly as real
+// lockstep shards do), then runs the per-epoch 2-hop halo-exchange
+// propagation.
+func runDistShard(c *distnet.Cluster, nodes, dim, epochs int, seed uint64) error {
+	rng := tensor.NewRand(seed)
+	g := graph.ErdosRenyi(nodes, 10*nodes, rng)
+	parts, err := partition.LDG(g, c.N(), 1.05, tensor.NewRand(seed^0xbe_ac4))
+	if err != nil {
+		return err
+	}
+	x := tensor.RandNormal(nodes, dim, 1.0, rng)
+	op := graph.NewOperator(g, graph.NormSymmetric, true)
+	plan, err := distnet.PlanBoundary(g, parts, c.Shard())
+	if err != nil {
+		return err
+	}
+	for e := 0; e < epochs; e++ {
+		c.SetEpoch(e)
+		if _, err := distnet.Propagate(c, op, plan, x, 2); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDistBenchQuick runs the smallest shard matrix end to end: every
+// configuration must complete, shard counts above 1 must move real frame
+// bytes, and strict sync mode must never substitute a stale row.
+func TestDistBenchQuick(t *testing.T) {
+	// No -short skip: this is the only test exercising the bench package's
+	// shard goroutines, so the check.sh race pass must cover it.
+	results, err := RunDistBench(true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d results, want 5 (1 shard sync + {2,4} shards × {sync,stale})", len(results))
+	}
+	for _, r := range results {
+		if r.EpochSeconds <= 0 {
+			t.Errorf("%s: epoch_seconds %v", r.Name, r.EpochSeconds)
+		}
+		if r.Shards > 1 && r.WireBytes == 0 {
+			t.Errorf("%s: no wire traffic across %d shards", r.Name, r.Shards)
+		}
+		if r.Mode == "sync" && r.StaleHits != 0 {
+			t.Errorf("%s: %d stale hits in strict sync mode", r.Name, r.StaleHits)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_dist.json")
+	if err := WriteDistBenchJSON(path, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep DistBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Bench != "dist" || len(rep.Results) != len(results) {
+		t.Fatalf("report bench=%q results=%d, want dist/%d", rep.Bench, len(rep.Results), len(results))
+	}
+}

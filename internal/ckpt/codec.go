@@ -5,7 +5,7 @@
 // a keep-last-N Manager that falls back past torn or corrupt files on
 // resume.
 //
-// Snapshot layout (little-endian, version 2):
+// Snapshot layout (little-endian, version 3):
 //
 //	offset  size  field
 //	0       8     magic "SGNNCKPT"
@@ -15,14 +15,19 @@
 //	60      8     bestVal (float64 bits)
 //	...           RNG state        (uint32 length + bytes)
 //	...           epoch RNG state  (uint32 length + bytes)
+//	...           auxiliary state  (uint32 length + bytes)
 //	...           block count (uint32), then per block:
 //	                name (uint16 length + bytes), dtype (uint8),
 //	                rows (uint32), cols (uint32), rows*cols values
 //	                (8 bytes each for Float64 blocks, 4 for Float32)
 //	end-4   4     CRC32 (IEEE) over every preceding byte
 //
-// Version 1 differs only in the per-block header: no dtype byte, every
-// payload float64. Decode reads both; Encode always writes version 2.
+// Version 2 lacks the auxiliary-state blob (it decodes as empty); version 1
+// additionally has no per-block dtype byte (every payload float64). Decode
+// reads all three; Encode always writes version 3. The auxiliary blob is
+// opaque to this package — the training engine uses it to carry subsystem
+// state that must travel with the cursor (e.g. the distributed runtime's
+// exchange-round counter).
 //
 // The trailing checksum makes truncation and bit flips indistinguishable
 // from "not a checkpoint" at read time; the fingerprint rejects resuming
@@ -40,7 +45,10 @@ import (
 // Format constants.
 const (
 	magic   = "SGNNCKPT"
-	Version = 2
+	Version = 3
+	// versionV2 is the pre-aux format: no auxiliary-state blob. Still
+	// readable (Aux decodes as nil).
+	versionV2 = 2
 	// versionV1 is the pre-dtype format: no per-block dtype byte, all
 	// payloads float64. Still readable.
 	versionV1 = 1
@@ -151,6 +159,7 @@ type Snapshot struct {
 
 	RNG      []byte // serialized PCG state at the cursor
 	RNGEpoch []byte // serialized PCG state just before this epoch's shuffle
+	Aux      []byte // opaque subsystem state riding with the cursor (may be nil)
 
 	Blocks []Block
 }
@@ -159,7 +168,7 @@ type Snapshot struct {
 // including the trailing checksum.
 func (s *Snapshot) Encode() []byte {
 	n := len(magic) + 4 + 8 + 5*8 + 8 +
-		4 + len(s.RNG) + 4 + len(s.RNGEpoch) + 4
+		4 + len(s.RNG) + 4 + len(s.RNGEpoch) + 4 + len(s.Aux) + 4
 	for _, b := range s.Blocks {
 		n += 2 + len(b.Name) + 1 + 4 + 4 + b.Dtype.elemSize()*b.Len()
 	}
@@ -175,6 +184,7 @@ func (s *Snapshot) Encode() []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.BestVal))
 	buf = appendBytes(buf, s.RNG)
 	buf = appendBytes(buf, s.RNGEpoch)
+	buf = appendBytes(buf, s.Aux)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Blocks)))
 	for _, b := range s.Blocks {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(b.Name)))
@@ -208,7 +218,7 @@ func Decode(data []byte) (*Snapshot, error) {
 		return nil, ErrBadMagic
 	}
 	version := binary.LittleEndian.Uint32(data[len(magic):])
-	if version != Version && version != versionV1 {
+	if version != Version && version != versionV2 && version != versionV1 {
 		return nil, fmt.Errorf("%w: got %d, want <= %d", ErrVersion, version, Version)
 	}
 	// Verify the trailing checksum before trusting any length field.
@@ -231,6 +241,9 @@ func Decode(data []byte) (*Snapshot, error) {
 	s.BestVal = math.Float64frombits(r.u64())
 	s.RNG = r.bytes()
 	s.RNGEpoch = r.bytes()
+	if version >= Version {
+		s.Aux = r.bytes()
+	}
 	nblocks := int(r.u32())
 	if r.err == nil && nblocks >= 0 && nblocks <= (len(body)-r.off)/10 {
 		s.Blocks = make([]Block, 0, nblocks)
@@ -238,7 +251,7 @@ func Decode(data []byte) (*Snapshot, error) {
 	for i := 0; i < nblocks && r.err == nil; i++ {
 		var b Block
 		b.Name = string(r.short())
-		if version >= Version {
+		if version >= versionV2 {
 			b.Dtype = Dtype(r.u8())
 		}
 		b.Rows = int(r.u32())

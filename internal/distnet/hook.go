@@ -1,0 +1,156 @@
+package distnet
+
+import (
+	"fmt"
+	"strings"
+
+	"scalegnn/internal/graph"
+	"scalegnn/internal/partition"
+	"scalegnn/internal/tensor"
+)
+
+// ExchangeError is the panic payload thrown by the propagation hook when a
+// round fails terminally (peer timeout, staleness bound exceeded,
+// cancellation). graph.ApplyHook has no error return — propagation is deep
+// inside model forward/backward passes — so the hook unwinds with a typed
+// panic that the process driving training recovers at the Fit boundary and
+// converts into a clean fatal error.
+type ExchangeError struct{ Err error }
+
+func (e *ExchangeError) Error() string {
+	msg := e.Err.Error()
+	if strings.HasPrefix(msg, "distnet: ") {
+		return msg // RoundError already carries the package prefix
+	}
+	return "distnet: " + msg
+}
+func (e *ExchangeError) Unwrap() error { return e.Err }
+
+// Hook partitions every ApplyInto of a graph across the cluster: the local
+// shard computes its owned destination rows with ApplyRowsInto and receives
+// every other row from the peer that owns it, assembling the full product.
+//
+// Because the per-row SpMM kernel is shared with the single-process path
+// and rows travel as raw IEEE-754 bits, the assembled matrix — and with
+// lockstep-replicated dense math, the entire training trajectory — is
+// bitwise identical to a single-process run in synchronous mode.
+//
+// Install with Attach; it covers every model whose propagation routes
+// through Operator.ApplyInto.
+type Hook struct {
+	c     *Cluster
+	owned []int32
+}
+
+// NewHook builds the propagation hook for this shard's partition. The
+// assignment must have exactly one part per cluster shard.
+func NewHook(c *Cluster, a *partition.Assignment) (*Hook, error) {
+	if a.K != c.N() {
+		return nil, fmt.Errorf("distnet: partition has %d parts for %d shards", a.K, c.N())
+	}
+	h := &Hook{c: c}
+	for u, part := range a.Parts {
+		if part < 0 || part >= a.K {
+			return nil, fmt.Errorf("distnet: node %d assigned to part %d of %d", u, part, a.K)
+		}
+		if part == c.Shard() {
+			h.owned = append(h.owned, int32(u))
+		}
+	}
+	return h, nil
+}
+
+// Owned returns the destination rows this shard computes locally.
+func (h *Hook) Owned() []int32 { return h.owned }
+
+// Attach installs the hook on g; detach by attaching nil via g.SetApplyHook.
+func (h *Hook) Attach(g *graph.CSR) { g.SetApplyHook(h) }
+
+// Apply64 implements graph.ApplyHook for the float64 reference tier.
+func (h *Hook) Apply64(op *graph.Operator, x, dst *tensor.Mat[float64]) {
+	hookApply(h, op, x, dst)
+}
+
+// Apply32 implements graph.ApplyHook for the float32 speed tier.
+func (h *Hook) Apply32(op *graph.OperatorOf[float32], x, dst *tensor.Mat[float32]) {
+	hookApply(h, op, x, dst)
+}
+
+// hookApply is the shared exchange step: compute owned rows, allgather them
+// (every shard's dense stage consumes the full matrix), and fill the rest
+// from the received blocks.
+func hookApply[T tensor.Elem](h *Hook, op *graph.OperatorOf[T], x, dst *tensor.Mat[T]) {
+	op.ApplyRowsInto(x, dst, h.owned)
+	if h.c.N() == 1 {
+		return
+	}
+	blk := gatherRows(dst, h.owned)
+	out := make(map[int]*RowBlock, h.c.N()-1)
+	for id := range h.c.peer {
+		if h.c.peer[id] != nil {
+			out[id] = blk // allgather: every peer gets our owned rows
+		}
+	}
+	recv, err := h.c.Exchange(h.c.nextSite(), out)
+	if err != nil {
+		panic(&ExchangeError{Err: err})
+	}
+	filled := len(h.owned)
+	for id, b := range recv {
+		if err := scatterRows(dst, b); err != nil {
+			panic(&ExchangeError{Err: fmt.Errorf("rows from shard %d: %w", id, err)})
+		}
+		filled += len(b.IDs)
+	}
+	if filled != dst.Rows {
+		panic(&ExchangeError{Err: fmt.Errorf("round assembled %d of %d rows", filled, dst.Rows)})
+	}
+}
+
+// gatherRows copies the listed rows of m into a contiguous RowBlock.
+func gatherRows[T tensor.Elem](m *tensor.Mat[T], ids []int32) *RowBlock {
+	flat := make([]T, len(ids)*m.Cols)
+	for i, id := range ids {
+		copy(flat[i*m.Cols:(i+1)*m.Cols], m.Row(int(id)))
+	}
+	b := &RowBlock{IDs: ids, Cols: m.Cols}
+	switch d := any(flat).(type) {
+	case []float64:
+		b.F64 = d
+	case []float32:
+		b.F32 = d
+	}
+	return b
+}
+
+// scatterRows copies a received block's rows into their positions in m,
+// validating shape and element type against the destination.
+func scatterRows[T tensor.Elem](m *tensor.Mat[T], b *RowBlock) error {
+	if b.Cols != m.Cols {
+		return fmt.Errorf("block has %d cols, want %d", b.Cols, m.Cols)
+	}
+	var flat []T
+	if b.F64 != nil {
+		d, ok := any(b.F64).([]T)
+		if !ok {
+			return fmt.Errorf("block is float64, destination is not")
+		}
+		flat = d
+	} else {
+		d, ok := any(b.F32).([]T)
+		if !ok {
+			return fmt.Errorf("block is float32, destination is not")
+		}
+		flat = d
+	}
+	if len(flat) != len(b.IDs)*b.Cols {
+		return fmt.Errorf("block has %d values for %d rows of %d", len(flat), len(b.IDs), b.Cols)
+	}
+	for i, id := range b.IDs {
+		if id < 0 || int(id) >= m.Rows {
+			return fmt.Errorf("row id %d out of range [0,%d)", id, m.Rows)
+		}
+		copy(m.Row(int(id)), flat[i*b.Cols:(i+1)*b.Cols])
+	}
+	return nil
+}

@@ -1,0 +1,398 @@
+package distnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"scalegnn/internal/fault"
+)
+
+// logEntry is one round's encoded rows frame for one peer, retained for
+// replay until its epoch ages out of the retention window.
+type logEntry struct {
+	seq   uint64
+	epoch int64
+	buf   []byte
+}
+
+// peer is the state machine for one remote shard: the live connection (if
+// any), the demand-gated send log, the per-round inbox, and the stale
+// cache. One sender goroutine owns all post-handshake writes; exactly one
+// read loop runs per live connection.
+type peer struct {
+	c     *Cluster
+	id    int
+	dials bool // we dial (our shard id is higher); otherwise we accept
+
+	mu        sync.Mutex
+	conn      net.Conn
+	hadConn   bool   // a connection has been installed at least once
+	sendFrom  uint64 // replay gate: first seq the peer wants; 0 = paused
+	sent      uint64 // highest seq transmitted since the last rewind
+	maxSent   uint64 // highest seq ever transmitted (replay accounting)
+	requested bool   // our resumeAt has been issued on the current conn
+	resumeAt  uint64 // pending resumeAt want-seq to send; 0 = none
+	log       []logEntry
+	inbox     map[uint64]*rowsMsg
+	consumed  uint64 // highest round seq consumed from this peer
+	cache     map[string]*rowsMsg
+
+	wake       chan struct{} // sender kick
+	note       chan struct{} // waiter kick (inbox insert / connection change)
+	senderDone chan struct{} // closed when sendLoop exits (after its final drain)
+}
+
+func newPeer(c *Cluster, id int) *peer {
+	return &peer{
+		c:     c,
+		id:    id,
+		dials: c.cfg.Shard > id,
+		inbox:      make(map[uint64]*rowsMsg),
+		cache:      make(map[string]*rowsMsg),
+		wake:       make(chan struct{}, 1),
+		note:       make(chan struct{}, 1),
+		senderDone: make(chan struct{}),
+	}
+}
+
+// kick makes a non-blocking wakeup signal on a capacity-1 channel.
+func kick(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// install makes conn the peer's live connection, displacing (and closing)
+// any previous one. The sender stays paused until the peer's resumeAt
+// arrives; our own resumeAt request is reset so the next await re-issues it
+// on the new connection.
+func (p *peer) install(conn net.Conn) {
+	p.mu.Lock()
+	old := p.conn
+	p.conn = conn
+	p.sendFrom = 0
+	p.sent = 0
+	p.requested = false
+	p.resumeAt = 0
+	if p.hadConn {
+		p.c.stats.reconnects.Add(1)
+		reconnectsC.Add(1)
+	}
+	p.hadConn = true
+	p.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	kick(p.wake)
+	kick(p.note)
+}
+
+// lose retires conn if it is still the live connection (a stale loser of an
+// install race is just closed). The waiter is kicked so it can notice the
+// outage and re-request once a new connection lands.
+func (p *peer) lose(conn net.Conn) {
+	p.mu.Lock()
+	if p.conn == conn {
+		p.conn = nil
+		p.sendFrom = 0
+		p.requested = false
+		p.resumeAt = 0
+	}
+	p.mu.Unlock()
+	_ = conn.Close()
+	kick(p.note)
+}
+
+// shutdown severs the live connection during Close so blocked reads and
+// writes fail immediately.
+func (p *peer) shutdown() {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// enqueue appends one round's encoded frame to the send log, prunes entries
+// older than the retention window, and (on the first round after start or
+// resume) schedules our resumeAt request telling the peer which round we
+// need next.
+func (p *peer) enqueue(seq uint64, epoch int64, buf []byte) {
+	p.mu.Lock()
+	p.log = append(p.log, logEntry{seq: seq, epoch: epoch, buf: buf})
+	floor := epoch - int64(p.c.cfg.RetainEpochs)
+	cut := 0
+	for cut < len(p.log) && p.log[cut].epoch < floor {
+		cut++
+	}
+	if cut > 0 {
+		p.log = append(p.log[:0:0], p.log[cut:]...)
+	}
+	if !p.requested {
+		p.resumeAt = seq
+		p.requested = true
+	}
+	p.mu.Unlock()
+	kick(p.wake)
+}
+
+// sendLoop is the peer's single writer: it drains the pending resumeAt and
+// every unsent log entry at or past the peer's replay gate, and heartbeats
+// on idle ticks so the remote failure detector sees a live connection.
+func (p *peer) sendLoop() {
+	defer p.c.wg.Done()
+	defer close(p.senderDone)
+	hb := time.NewTicker(p.c.cfg.HeartbeatEvery)
+	defer hb.Stop()
+	heartbeat := encodeFrame(typeHeartbeat, p.c.cfg.Shard, nil)
+	for {
+		beat := false
+		select {
+		case <-p.wake:
+		case <-hb.C:
+			beat = true
+		case <-p.c.done:
+			// Final drain: a round enqueued just before Close (the last
+			// Exchange of a run) must still reach the peer, which may be one
+			// frame behind us. The write deadline bounds the attempt.
+			p.flush()
+			return
+		}
+		conn := p.flush()
+		if beat && conn != nil {
+			if err := writeFrame(conn, p.c.cfg.WriteTimeout, heartbeat); err != nil {
+				p.lose(conn)
+			}
+		}
+	}
+}
+
+// flush writes everything currently sendable, looping until the log is
+// drained or the connection dies. It returns the live connection (nil if
+// down) for the caller's heartbeat. Frames are staged under the lock and
+// written outside it, so a slow write never blocks the read loop's routing.
+func (p *peer) flush() net.Conn {
+	for {
+		p.mu.Lock()
+		conn := p.conn
+		var bufs [][]byte
+		replayed := int64(0)
+		if conn != nil {
+			if p.resumeAt != 0 {
+				bufs = append(bufs, encodeResumeAt(p.c.cfg.Shard, p.resumeAt))
+				p.resumeAt = 0
+			}
+			if p.sendFrom != 0 {
+				for _, e := range p.log {
+					if e.seq >= p.sendFrom && e.seq > p.sent {
+						bufs = append(bufs, e.buf)
+						p.sent = e.seq
+						if e.seq <= p.maxSent {
+							replayed++
+						} else {
+							p.maxSent = e.seq
+						}
+					}
+				}
+			}
+		}
+		p.mu.Unlock()
+		if replayed > 0 {
+			p.c.stats.replays.Add(replayed)
+			replaysC.Add(replayed)
+		}
+		if conn == nil || len(bufs) == 0 {
+			return conn
+		}
+		for _, b := range bufs {
+			if err := writeFrame(conn, p.c.cfg.WriteTimeout, b); err != nil {
+				p.lose(conn)
+				return nil
+			}
+		}
+	}
+}
+
+// readLoop consumes frames from conn until it dies: heartbeats refresh the
+// failure detector implicitly (the next read re-arms the deadline),
+// resumeAt rewinds the send gate, and rows land in the inbox and stale
+// cache. Any corruption severs the connection — replay re-delivers.
+func (p *peer) readLoop(conn net.Conn) {
+	for {
+		f, err := readFrame(conn, p.c.cfg.FailAfter)
+		if err != nil {
+			if errors.Is(err, errCorrupt) || errors.Is(err, fault.ErrPartial) {
+				p.c.stats.framesCorrupt.Add(1)
+				framesCorruptC.Add(1)
+			}
+			p.lose(conn)
+			return
+		}
+		switch f.typ {
+		case typeHeartbeat:
+			// Liveness only; the read deadline was already re-armed.
+		case typeResumeAt:
+			want, err := decodeResumeAt(f)
+			if err != nil {
+				p.c.stats.framesCorrupt.Add(1)
+				framesCorruptC.Add(1)
+				p.lose(conn)
+				return
+			}
+			p.mu.Lock()
+			p.sendFrom = want
+			p.sent = want - 1
+			p.mu.Unlock()
+			kick(p.wake)
+		case typeRows:
+			m, err := decodeRows(f)
+			if err != nil {
+				p.c.stats.framesCorrupt.Add(1)
+				framesCorruptC.Add(1)
+				p.lose(conn)
+				return
+			}
+			p.mu.Lock()
+			if m.seq > p.consumed && len(p.inbox) < maxInbox {
+				p.inbox[m.seq] = m
+			}
+			// Even a duplicate or late round refreshes the stale cache:
+			// newest epoch per site wins.
+			if cur := p.cache[m.site]; cur == nil || m.epoch >= cur.epoch {
+				p.cache[m.site] = m
+			}
+			p.mu.Unlock()
+			kick(p.note)
+		}
+	}
+}
+
+// await blocks until the peer's rows for round seq arrive (fresh), the
+// stale cache can stand in for them (stale), or the round fails. It reports
+// how long it waited for the round span's wait attribution.
+func (p *peer) await(seq uint64, site string, epoch int64, deadline, staleAt time.Time) (blk *RowBlock, stale bool, waited time.Duration, err error) {
+	start := time.Now()
+	for {
+		p.mu.Lock()
+		if m, ok := p.inbox[seq]; ok {
+			for s := range p.inbox {
+				if s <= seq {
+					delete(p.inbox, s)
+				}
+			}
+			p.consumed = seq
+			p.mu.Unlock()
+			return m.block, false, time.Since(start), nil
+		}
+		// If the connection churned since our last resumeAt, re-issue it
+		// for exactly the round we are stuck on.
+		if p.conn != nil && !p.requested {
+			p.resumeAt = seq
+			p.requested = true
+			kick(p.wake)
+		}
+		var sub *rowsMsg
+		if !staleAt.IsZero() && time.Now().After(staleAt) {
+			if cm := p.cache[site]; cm != nil && epoch-cm.epoch <= int64(p.c.cfg.MaxStaleness) {
+				sub = cm
+				p.consumed = seq
+				for s := range p.inbox {
+					if s <= seq {
+						delete(p.inbox, s)
+					}
+				}
+			}
+		}
+		p.mu.Unlock()
+		if sub != nil {
+			return sub.block, true, time.Since(start), nil
+		}
+		if time.Now().After(deadline) {
+			why := "no rows within the peer timeout"
+			if p.c.cfg.MaxStaleness > 0 {
+				why = fmt.Sprintf("max staleness exceeded: no rows within the peer timeout and no cached rows within %d epochs", p.c.cfg.MaxStaleness)
+			}
+			return nil, false, time.Since(start), &RoundError{Site: site, Seq: seq, Peer: p.id, Why: why}
+		}
+		select {
+		case <-p.note:
+		case <-time.After(25 * time.Millisecond):
+		case <-p.c.ctxDone():
+			return nil, false, time.Since(start), &RoundError{Site: site, Seq: seq, Peer: p.id, Why: "exchange cancelled", Err: p.c.ctxErr()}
+		case <-p.c.done:
+			return nil, false, time.Since(start), &RoundError{Site: site, Seq: seq, Peer: p.id, Why: "cluster closed"}
+		}
+	}
+}
+
+// dialLoop maintains the outbound connection to a lower-numbered shard:
+// dial, handshake, install, and run the read loop; on any failure, back off
+// exponentially (bounded) and try again until the cluster closes.
+//
+// Failpoint "distnet.dial" is evaluated before every attempt; any injected
+// error counts as a failed dial.
+func (p *peer) dialLoop() {
+	defer p.c.wg.Done()
+	backoff := p.c.cfg.DialBackoff
+	for {
+		select {
+		case <-p.c.done:
+			return
+		default:
+		}
+		conn, err := p.dialOnce()
+		if err != nil {
+			p.c.stats.dialRetries.Add(1)
+			dialRetriesC.Add(1)
+			select {
+			case <-p.c.done:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > p.c.cfg.MaxBackoff {
+				backoff = p.c.cfg.MaxBackoff
+			}
+			continue
+		}
+		backoff = p.c.cfg.DialBackoff
+		p.install(conn)
+		p.readLoop(conn) // returns when the connection dies
+	}
+}
+
+// dialOnce performs one dial + handshake attempt.
+func (p *peer) dialOnce() (net.Conn, error) {
+	if err := fault.Inject("distnet.dial"); err != nil {
+		return nil, err
+	}
+	network, address := splitAddr(p.c.cfg.Addrs[p.id])
+	conn, err := net.DialTimeout(network, address, p.c.cfg.FailAfter)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &p.c.cfg
+	if err := writeFrame(conn, cfg.WriteTimeout, encodeHello(cfg.Shard, cfg.N, cfg.Fingerprint)); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	f, err := readFrame(conn, cfg.FailAfter)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	n, fp, err := decodeHello(f)
+	if err != nil || f.from != p.id || n != cfg.N || fp != cfg.Fingerprint {
+		p.c.stats.framesCorrupt.Add(1)
+		framesCorruptC.Add(1)
+		_ = conn.Close()
+		return nil, fmt.Errorf("distnet: handshake with shard %d rejected (cluster %d fingerprint %016x, want %d/%016x)",
+			p.id, n, fp, cfg.N, cfg.Fingerprint)
+	}
+	return conn, nil
+}

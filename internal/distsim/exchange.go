@@ -1,6 +1,7 @@
 package distsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -42,7 +43,11 @@ type transfer struct{ node, to int }
 // missing rows instead of hanging the step; "sleep:<ms>" delays delivery;
 // "error" aborts the sending worker. timeout <= 0 means
 // DefaultExchangeTimeout.
-func Exchange(g *graph.CSR, a *partition.Assignment, x *tensor.Matrix, timeout time.Duration) (*tensor.Matrix, error) {
+//
+// Cancelling ctx releases every worker goroutine promptly (a worker blocked
+// waiting for boundary rows returns ctx.Err() instead of running out its
+// timeout); a nil ctx means "never cancelled".
+func Exchange(ctx context.Context, g *graph.CSR, a *partition.Assignment, x *tensor.Matrix, timeout time.Duration) (*tensor.Matrix, error) {
 	if len(a.Parts) != g.N {
 		return nil, fmt.Errorf("distsim: assignment covers %d of %d nodes", len(a.Parts), g.N)
 	}
@@ -94,7 +99,7 @@ func Exchange(g *graph.CSR, a *partition.Assignment, x *tensor.Matrix, timeout t
 		//lint:ignore naked-go simulated cluster workers are long-lived message-passing actors, not data-parallel chunks for par.Range
 		go func(w int) {
 			defer func() { done <- w }()
-			errs[w] = runWorker(g, a, x, out, w, sends[w], expect[w], inbox, timeout)
+			errs[w] = runWorker(ctx, g, a, x, out, w, sends[w], expect[w], inbox, timeout)
 		}(w)
 	}
 	for i := 0; i < a.K; i++ {
@@ -108,8 +113,14 @@ func Exchange(g *graph.CSR, a *partition.Assignment, x *tensor.Matrix, timeout t
 
 // runWorker is one simulated worker's synchronous step: send boundary
 // rows, collect the expected remote rows (or time out loudly), aggregate.
-func runWorker(g *graph.CSR, a *partition.Assignment, x, out *tensor.Matrix, w int,
+func runWorker(ctx context.Context, g *graph.CSR, a *partition.Assignment, x, out *tensor.Matrix, w int,
 	sends []transfer, expect int, inbox []chan boundaryMsg, timeout time.Duration) error {
+	// A nil channel blocks forever, so a nil ctx degrades to the pure
+	// timer-bounded behaviour.
+	var cancelled <-chan struct{}
+	if ctx != nil {
+		cancelled = ctx.Done()
+	}
 	dropped := 0
 	for _, tr := range sends {
 		if err := fault.Inject("distsim.send"); err != nil {
@@ -130,6 +141,8 @@ func runWorker(g *graph.CSR, a *partition.Assignment, x, out *tensor.Matrix, w i
 			select {
 			case m := <-inbox[w]:
 				remote[m.node] = m.row
+			case <-cancelled:
+				return fmt.Errorf("worker %d: exchange cancelled: %w", w, ctx.Err())
 			case <-deadline.C:
 				return fmt.Errorf("worker %d: received %d of %d boundary rows within %v (messages lost)",
 					w, len(remote), expect, timeout)

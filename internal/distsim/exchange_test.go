@@ -1,6 +1,8 @@
 package distsim
 
 import (
+	"context"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -57,7 +59,7 @@ func assertSameMatrix(t *testing.T, got, want *tensor.Matrix) {
 func TestExchangeMatchesSequential(t *testing.T) {
 	for _, k := range []int{1, 2, 4, 7} {
 		g, a, x := exchangeFixture(t, 60, k)
-		got, err := Exchange(g, a, x, 0)
+		got, err := Exchange(context.Background(), g, a, x, 0)
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -74,7 +76,7 @@ func TestExchangeFailsLoudlyUnderDrop(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	_, err := Exchange(g, a, x, 150*time.Millisecond)
+	_, err := Exchange(context.Background(), g, a, x, 150*time.Millisecond)
 	if err == nil {
 		t.Fatal("exchange with a dropped message reported success")
 	}
@@ -97,7 +99,7 @@ func TestExchangeSendErrorAborts(t *testing.T) {
 	if err := fault.Set("distsim.send", "error@1"); err != nil {
 		t.Fatal(err)
 	}
-	_, err := Exchange(g, a, x, 200*time.Millisecond)
+	_, err := Exchange(context.Background(), g, a, x, 200*time.Millisecond)
 	if err == nil {
 		t.Fatal("exchange with failing send reported success")
 	}
@@ -114,9 +116,52 @@ func TestExchangeConvergesUnderDelay(t *testing.T) {
 	if err := fault.Set("distsim.send", "sleep:20@2"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Exchange(g, a, x, 0)
+	got, err := Exchange(context.Background(), g, a, x, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	assertSameMatrix(t, got, sequentialAggregate(g, x))
+}
+
+// TestExchangeCancelReleasesWorkers: cancelling the context must abort a
+// blocked exchange promptly — well before its receive timeout — and release
+// every worker goroutine (leak-checked against the pre-call goroutine
+// count).
+func TestExchangeCancelReleasesWorkers(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	g, a, x := exchangeFixture(t, 60, 4)
+	// Drop every boundary message: without cancellation each worker would
+	// block for the full receive timeout.
+	if err := fault.Set("distsim.send", "drop"); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	//lint:ignore naked-go timed cancel helper; the cancelled Exchange below synchronizes the test
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Exchange(ctx, g, a, x, 30*time.Second)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled exchange reported success")
+	}
+	if !strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("error does not reflect cancellation: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled exchange took %v; workers ignored ctx", elapsed)
+	}
+	// Exchange joins its workers before returning, so the goroutine count
+	// must settle back to the baseline (poll briefly: the cancel helper
+	// goroutine above may still be winding down).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d running, %d before the exchange", n, before)
+	}
 }

@@ -12,6 +12,7 @@
 //
 //	error        Inject returns ErrInjected
 //	drop         Inject returns ErrDrop (callers treat as "message lost")
+//	partial      Inject returns ErrPartial (callers emit a torn write)
 //	sleep:<ms>   Inject blocks for <ms> milliseconds, then returns nil
 //	delay:<ms>   alias for sleep
 //	crash        the process exits immediately with status 137
@@ -35,6 +36,12 @@ var ErrInjected = errors.New("fault: injected error")
 // ErrDrop is returned for sites armed with the "drop" action. It models a
 // lost message: callers decide whether to retry, skip, or fail loudly.
 var ErrDrop = errors.New("fault: injected drop")
+
+// ErrPartial is returned for sites armed with the "partial" action. It
+// models a torn write: the caller is expected to emit a deliberately
+// truncated frame (then sever the connection), so receivers' corruption
+// handling is exercised with real half-written bytes on the wire.
+var ErrPartial = errors.New("fault: injected partial write")
 
 // EnvVar is the environment variable parsed at init to arm failpoints.
 const EnvVar = "SCALEGNN_FAILPOINTS"

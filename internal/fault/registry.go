@@ -20,6 +20,7 @@ type action int
 const (
 	actError action = iota
 	actDrop
+	actPartial
 	actSleep
 	actCrash
 	actPanic
@@ -91,6 +92,8 @@ func Set(site, spec string) error {
 		p.action = actError
 	case "drop":
 		p.action = actDrop
+	case "partial":
+		p.action = actPartial
 	case "sleep", "delay":
 		p.action = actSleep
 		ms, err := strconv.Atoi(arg)
@@ -156,6 +159,8 @@ func Inject(site string) error {
 		return fmt.Errorf("%w at %s", ErrInjected, site)
 	case actDrop:
 		return fmt.Errorf("%w at %s", ErrDrop, site)
+	case actPartial:
+		return fmt.Errorf("%w at %s", ErrPartial, site)
 	case actSleep:
 		time.Sleep(p.sleep)
 		return nil

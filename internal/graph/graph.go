@@ -28,7 +28,18 @@ type CSR struct {
 	Weights []float64 // nil, or length M
 
 	undirected bool
+
+	// applyHook, when non-nil, intercepts ApplyInto on every operator
+	// derived from this graph (see ApplyHook). It is runtime wiring for
+	// the distributed trainer, not graph data: the topology above stays
+	// immutable.
+	applyHook ApplyHook
 }
+
+// SetApplyHook installs (or, with nil, removes) the propagation hook for
+// this graph. Not safe to call concurrently with propagation; install the
+// hook before training starts.
+func (g *CSR) SetApplyHook(h ApplyHook) { g.applyHook = h }
 
 // NumEdges returns the number of stored directed edges (arcs). For an
 // undirected graph this is twice the number of undirected edges.

@@ -150,6 +150,24 @@ func (op *OperatorOf[T]) NNZ() int {
 	return n
 }
 
+// ApplyHook intercepts ApplyInto on every operator derived from a graph it
+// is attached to (see CSR.SetApplyHook). The distributed runtime installs
+// one to partition the SpMM across processes: the hook computes its shard's
+// rows via ApplyRowsInto and fills the rest from peer exchanges, so models
+// whose propagation routes through ApplyInto distribute with no model-code
+// changes. The two methods cover the element-type tiers; interfaces cannot
+// carry generic methods, so dispatch is by concrete instantiation.
+//
+// A hook must fully overwrite dst (ApplyInto's contract) and must not call
+// ApplyInto on an operator of the same graph (ApplyRowsInto is the
+// re-entrancy-safe primitive). Hooks have no error return: a hook that
+// cannot complete the exchange should panic with a typed error for the
+// caller that installed it to recover.
+type ApplyHook interface {
+	Apply64(op *Operator, x, dst *tensor.Mat[float64])
+	Apply32(op *OperatorOf[float32], x, dst *tensor.Mat[float32])
+}
+
 // Apply computes P*X for a dense feature matrix X (rows = nodes), i.e. one
 // round of message passing / graph propagation, parallelized over
 // destination nodes. The result is a new matrix.
@@ -181,6 +199,16 @@ func (op *OperatorOf[T]) ApplyInto(x, dst *tensor.Mat[T]) {
 	if tensor.Overlaps(x.Data, dst.Data) {
 		panic("graph: ApplyInto dst must not overlap x")
 	}
+	if h := op.G.applyHook; h != nil {
+		switch o := any(op).(type) {
+		case *Operator:
+			h.Apply64(o, any(x).(*tensor.Mat[float64]), any(dst).(*tensor.Mat[float64]))
+			return
+		case *OperatorOf[float32]:
+			h.Apply32(o, any(x).(*tensor.Mat[float32]), any(dst).(*tensor.Mat[float32]))
+			return
+		}
+	}
 	if tensor.FastF32() {
 		if fop, ok := any(op).(*OperatorOf[float32]); ok {
 			applyIntoF32(fop, any(x).(*tensor.Mat[float32]), any(dst).(*tensor.Mat[float32]))
@@ -190,27 +218,74 @@ func (op *OperatorOf[T]) ApplyInto(x, dst *tensor.Mat[T]) {
 	g := op.G
 	par.Range(g.N, minChunkSparse, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
-			orow := dst.Row(u)
-			if op.loopCo != nil && op.loopCo[u] != 0 {
-				c := op.loopCo[u]
-				xrow := x.Row(u)
-				for j, xv := range xrow {
-					orow[j] = c * xv
+			applyRow(op, u, x, dst)
+		}
+	})
+}
+
+// applyRow computes one destination row of P*X into dst.Row(u) — the shared
+// per-row SpMM body of ApplyInto and ApplyRowsInto. A row's value depends
+// only on u's arcs (accumulated in CSR order via scatterAxpy) and the
+// referenced rows of x, never on which other rows are computed alongside it,
+// so any subset of rows is bitwise identical to the same rows of a full
+// ApplyInto.
+func applyRow[T tensor.Elem](op *OperatorOf[T], u int, x, dst *tensor.Mat[T]) {
+	orow := dst.Row(u)
+	if op.loopCo != nil && op.loopCo[u] != 0 {
+		c := op.loopCo[u]
+		xrow := x.Row(u)
+		for j, xv := range xrow {
+			orow[j] = c * xv
+		}
+	} else {
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	g := op.G
+	s, e := g.Offsets[u], g.Offsets[u+1]
+	for k := s; k < e; k++ {
+		c := op.Coef[k]
+		if c == 0 {
+			continue
+		}
+		xrow := x.Row(int(g.Adj[k]))
+		scatterAxpy(c, xrow, orow)
+	}
+}
+
+// ApplyRowsInto computes only the listed destination rows of P*X into dst,
+// leaving every other row of dst untouched. It is the partitioned form of
+// ApplyInto used by the distributed runtime: each shard computes its owned
+// rows and receives the rest over the wire. The per-row kernel is shared
+// with ApplyInto, so on the float64 tier the computed rows are bitwise
+// identical to the same rows of a full local ApplyInto. x must still span
+// the whole graph (a row may aggregate any neighbor). dst must have X's
+// shape and must not share backing memory with X.
+func (op *OperatorOf[T]) ApplyRowsInto(x, dst *tensor.Mat[T], rows []int32) {
+	if x.Rows != op.G.N {
+		panic(fmt.Sprintf("graph: ApplyRowsInto rows %d != n %d", x.Rows, op.G.N))
+	}
+	if dst.Rows != x.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("graph: ApplyRowsInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, x.Cols))
+	}
+	if tensor.Overlaps(x.Data, dst.Data) {
+		panic("graph: ApplyRowsInto dst must not overlap x")
+	}
+	if tensor.FastF32() {
+		if fop, ok := any(op).(*OperatorOf[float32]); ok {
+			fx, fdst := any(x).(*tensor.Mat[float32]), any(dst).(*tensor.Mat[float32])
+			par.Range(len(rows), minChunkSparse, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					applyRowF32(fop, int(rows[i]), fx, fdst)
 				}
-			} else {
-				for j := range orow {
-					orow[j] = 0
-				}
-			}
-			s, e := g.Offsets[u], g.Offsets[u+1]
-			for k := s; k < e; k++ {
-				c := op.Coef[k]
-				if c == 0 {
-					continue
-				}
-				xrow := x.Row(int(g.Adj[k]))
-				scatterAxpy(c, xrow, orow)
-			}
+			})
+			return
+		}
+	}
+	par.Range(len(rows), minChunkSparse, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			applyRow(op, int(rows[i]), x, dst)
 		}
 	})
 }
@@ -223,28 +298,36 @@ func applyIntoF32(op *OperatorOf[float32], x, dst *tensor.Mat[float32]) {
 	g := op.G
 	par.Range(g.N, minChunkSparse, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
-			orow := dst.Row(u)
-			if op.loopCo != nil && op.loopCo[u] != 0 {
-				c := op.loopCo[u]
-				xrow := x.Row(u)
-				for j, xv := range xrow {
-					orow[j] = c * xv
-				}
-			} else {
-				for j := range orow {
-					orow[j] = 0
-				}
-			}
-			s, e := g.Offsets[u], g.Offsets[u+1]
-			for k := s; k < e; k++ {
-				c := op.Coef[k]
-				if c == 0 {
-					continue
-				}
-				tensor.F32Axpy(c, x.Row(int(g.Adj[k])), orow)
-			}
+			applyRowF32(op, u, x, dst)
 		}
 	})
+}
+
+// applyRowF32 is applyRow with the per-arc update routed through the AVX2
+// axpy — the float32 fast-path row kernel shared by applyIntoF32 and
+// ApplyRowsInto.
+func applyRowF32(op *OperatorOf[float32], u int, x, dst *tensor.Mat[float32]) {
+	orow := dst.Row(u)
+	if op.loopCo != nil && op.loopCo[u] != 0 {
+		c := op.loopCo[u]
+		xrow := x.Row(u)
+		for j, xv := range xrow {
+			orow[j] = c * xv
+		}
+	} else {
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	g := op.G
+	s, e := g.Offsets[u], g.Offsets[u+1]
+	for k := s; k < e; k++ {
+		c := op.Coef[k]
+		if c == 0 {
+			continue
+		}
+		tensor.F32Axpy(c, x.Row(int(g.Adj[k])), orow)
+	}
 }
 
 // scatterAxpy computes orow += c*xrow with a 4-wide unrolled loop — the

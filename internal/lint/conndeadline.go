@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// conndeadline.go implements conn-deadline: in the distributed networking
+// layer, every net.Conn Read/Write must be preceded — on every dataflow
+// path — by a SetReadDeadline/SetWriteDeadline (or SetDeadline) on the
+// same connection. The read deadline IS the peer-failure detector and the
+// write deadline bounds a stalled flush; an unarmed blocking I/O call
+// would hang a shard forever on a dead peer, which is exactly the failure
+// the protocol exists to survive. The analysis is a forward must-pass:
+// each connection object carries "possibly unarmed" bits that a deadline
+// call clears and a fresh conn value (re)sets; union merge keeps the bit
+// set if any incoming path left the deadline unarmed.
+
+const (
+	cdReadUnarmed flowState = 1 << iota
+	cdWriteUnarmed
+	cdBothUnarmed = cdReadUnarmed | cdWriteUnarmed
+)
+
+// connLike reports whether t is a net connection: a named type (or pointer
+// to one) declared in package net that carries SetReadDeadline — net.Conn
+// itself and the concrete TCPConn/UnixConn/UDPConn family.
+func connLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	base := t
+	if ptr, ok := base.(*types.Pointer); ok {
+		base = ptr.Elem()
+	}
+	named, ok := base.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "net" {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, named.Obj().Pkg(), "SetReadDeadline")
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}
+
+// connCall resolves a call of the form conn.M(...) where conn is connLike
+// and M is one of the tracked I/O or deadline methods, returning the
+// connection's object and the method name.
+func connCall(p *Package, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Read", "Write", "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+	default:
+		return nil, ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "net" {
+		return nil, ""
+	}
+	if !connLike(p.Info.TypeOf(sel.X)) {
+		return nil, ""
+	}
+	switch base := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[base], sel.Sel.Name
+	case *ast.SelectorExpr:
+		return p.Info.Uses[base.Sel], sel.Sel.Name
+	}
+	return nil, ""
+}
+
+func runConnDeadline(_ *Program, p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeConnDeadline(p, r, connEntryFact(p, fd.Type), fd.Body)
+			forEachFuncLit(fd.Body, func(lit *ast.FuncLit) {
+				analyzeConnDeadline(p, r, connEntryFact(p, lit.Type), lit.Body)
+			})
+		}
+	}
+}
+
+// connEntryFact marks every connection-typed parameter as fully unarmed at
+// function entry: a callee cannot assume its caller set any deadline.
+func connEntryFact(p *Package, ft *ast.FuncType) flowFact {
+	entry := make(flowFact)
+	if ft == nil || ft.Params == nil {
+		return entry
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil && connLike(obj.Type()) {
+				entry[obj] = cdBothUnarmed
+			}
+		}
+	}
+	return entry
+}
+
+func analyzeConnDeadline(p *Package, r *Reporter, entry flowFact, body *ast.BlockStmt) {
+	// Quick reject: no blocking conn I/O in this function.
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, m := connCall(p, call); m == "Read" || m == "Write" {
+				found = true
+			}
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+	cfg := FuncCFG(body)
+	transfer := func(n ast.Node, fact flowFact) {
+		connDeadlineEvents(p, n, func(obj types.Object, method string, _ *ast.CallExpr) {
+			applyConnEvent(fact, obj, method)
+		})
+	}
+	in := forwardFlow(cfg, entry, transfer)
+	for _, blk := range cfg.Blocks {
+		fact, ok := in[blk]
+		if !ok || blk == cfg.Exit {
+			continue
+		}
+		fact = fact.clone()
+		for _, n := range blk.Nodes {
+			connDeadlineEvents(p, n, func(obj types.Object, method string, call *ast.CallExpr) {
+				switch method {
+				case "Read":
+					if fact[obj]&cdReadUnarmed != 0 {
+						r.Report(call.Pos(), "net.Conn Read on %q without SetReadDeadline on this path; an unarmed read blocks forever on a dead peer — the deadline is the failure detector", obj.Name())
+					}
+				case "Write":
+					if fact[obj]&cdWriteUnarmed != 0 {
+						r.Report(call.Pos(), "net.Conn Write on %q without SetWriteDeadline on this path; an unarmed write hangs a shard when the peer stops draining", obj.Name())
+					}
+				}
+				applyConnEvent(fact, obj, method)
+			})
+		}
+	}
+}
+
+// applyConnEvent updates one connection's armed/unarmed bits for a tracked
+// method call or a fresh conn binding ("" method).
+func applyConnEvent(fact flowFact, obj types.Object, method string) {
+	switch method {
+	case "SetDeadline":
+		fact[obj] &^= cdBothUnarmed
+	case "SetReadDeadline":
+		fact[obj] &^= cdReadUnarmed
+	case "SetWriteDeadline":
+		fact[obj] &^= cdWriteUnarmed
+	case "":
+		fact[obj] = cdBothUnarmed
+	}
+}
+
+// connDeadlineEvents invokes fn, in source order, for every tracked event a
+// node performs: conn method calls, and assignments binding a fresh
+// connection value (which resets its deadline state — a new conn has no
+// deadlines armed).
+func connDeadlineEvents(p *Package, n ast.Node, fn func(obj types.Object, method string, call *ast.CallExpr)) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		connDeadlineEvents(p, rs.X, fn)
+		return
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch node := m.(type) {
+		case *ast.CallExpr:
+			if obj, method := connCall(p, node); obj != nil {
+				fn(obj, method, node)
+			}
+		case *ast.AssignStmt:
+			if node.Tok != token.ASSIGN && node.Tok != token.DEFINE {
+				return true
+			}
+			for _, lhs := range node.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj != nil && connLike(obj.Type()) {
+					fn(obj, "", nil)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -29,6 +29,9 @@
 //     must flow to every callee that accepts one.
 //   - state-bind: serve request paths Load the hot-swap state pointer at
 //     most once, so responses never mix generations.
+//   - conn-deadline: in internal/distnet, every net.Conn Read/Write is
+//     preceded on its dataflow path by a SetRead/WriteDeadline on the same
+//     connection — the deadline is the peer-failure detector.
 //
 // The analyzer is built only on the stdlib go/parser, go/ast, go/types, and
 // go/token packages — the repo has no external dependencies and the linter
@@ -173,6 +176,14 @@ func Checks(modPath string) []*Check {
 				return strings.HasSuffix(pkgPath, "/serve")
 			},
 			Run: runStateBind,
+		},
+		{
+			Name: "conn-deadline",
+			Doc:  "distnet net.Conn Read/Write must be preceded by SetRead/WriteDeadline on every path; the deadline is the failure detector",
+			Applies: func(pkgPath string) bool {
+				return strings.HasSuffix(pkgPath, "/distnet")
+			},
+			Run: runConnDeadline,
 		},
 	}
 }

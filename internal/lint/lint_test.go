@@ -109,6 +109,7 @@ func TestDurableWriteFixture(t *testing.T)   { runFixture(t, "ckpt", "durable-wr
 func TestConfineFixture(t *testing.T)        { runFixture(t, "confine", "goroutine-confine") }
 func TestCtxFlowFixture(t *testing.T)        { runFixture(t, "ctxflow", "ctx-flow") }
 func TestStateBindFixture(t *testing.T)      { runFixture(t, "serve", "state-bind") }
+func TestConnDeadlineFixture(t *testing.T)   { runFixture(t, "distnet", "conn-deadline") }
 
 // TestServeScorePathConfined pins the confinement contract of the serving
 // hot path at its source: both Score interface contracts (serve.Model and

@@ -1,0 +1,114 @@
+// Package distnet is a gnnlint test fixture for the conn-deadline check:
+// every net.Conn Read/Write must be preceded on its dataflow path by a
+// SetReadDeadline/SetWriteDeadline (or SetDeadline) on the same
+// connection. The directory is named distnet because the check applies
+// only to the distributed networking layer.
+package distnet
+
+import (
+	"net"
+	"time"
+)
+
+// readArmed is the correct shape: the deadline is armed immediately before
+// the blocking read.
+func readArmed(conn net.Conn, buf []byte) (int, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return conn.Read(buf)
+}
+
+// writeArmed mirrors it for the write side.
+func writeArmed(conn net.Conn, buf []byte) (int, error) {
+	if err := conn.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return conn.Write(buf)
+}
+
+// combinedDeadline arms both directions at once.
+func combinedDeadline(conn net.Conn, buf []byte) error {
+	if err := conn.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	if _, err := conn.Read(buf); err != nil {
+		return err
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+// nakedRead blocks forever on a dead peer: no failure detector.
+func nakedRead(conn net.Conn, buf []byte) (int, error) {
+	return conn.Read(buf) // want "without SetReadDeadline"
+}
+
+// nakedWrite hangs when the peer stops draining its socket.
+func nakedWrite(conn net.Conn, buf []byte) (int, error) {
+	return conn.Write(buf) // want "without SetWriteDeadline"
+}
+
+// wrongDirection arms only the write side, then blocks in a read.
+func wrongDirection(conn net.Conn, buf []byte) (int, error) {
+	if err := conn.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return conn.Read(buf) // want "without SetReadDeadline"
+}
+
+// oneBranchUnarmed is the must-analysis case: the deadline is set on one
+// branch only, so the merge point may still be unarmed.
+func oneBranchUnarmed(conn net.Conn, buf []byte, fast bool) (int, error) {
+	if fast {
+		if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+			return 0, err
+		}
+	}
+	return conn.Read(buf) // want "without SetReadDeadline"
+}
+
+// rebindResets: a fresh connection value has no deadlines armed, whatever
+// the variable's previous state.
+func rebindResets(conn net.Conn, buf []byte) (int, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	var err error
+	conn, err = net.Dial("unix", "/tmp/x.sock")
+	if err != nil {
+		return 0, err
+	}
+	return conn.Read(buf) // want "without SetReadDeadline"
+}
+
+// loopReArmed arms the deadline at the top of every iteration — the
+// canonical read-loop shape.
+func loopReArmed(conn net.Conn, buf []byte) error {
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+			return err
+		}
+		if _, err := conn.Read(buf); err != nil {
+			return err
+		}
+	}
+}
+
+// twoConnsIndependent: arming one connection says nothing about the other.
+func twoConnsIndependent(a, b net.Conn, buf []byte) (int, error) {
+	if err := a.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	if _, err := a.Read(buf); err != nil {
+		return 0, err
+	}
+	return b.Read(buf) // want "without SetReadDeadline"
+}
+
+// suppressed documents the escape hatch: a connection that is known
+// non-blocking may opt out with an explicit justification.
+func suppressed(conn net.Conn, buf []byte) (int, error) {
+	//lint:ignore conn-deadline fixture: exercising the suppression path
+	return conn.Read(buf)
+}

@@ -37,6 +37,21 @@ type CheckpointConfig struct {
 	// marshaled, and restoring the source restores every rand.Rand view
 	// of it at once.
 	RNG RNGState
+	// Aux, when non-nil, is subsystem state that must travel with the
+	// training cursor: it is marshaled into every snapshot and restored on
+	// resume before training continues (the distributed runtime uses it to
+	// carry its exchange-round counter). Resuming with Aux set from a
+	// snapshot written without auxiliary state is an error — the subsystem
+	// would silently restart from its zero state while the cursor moved.
+	Aux AuxState
+}
+
+// AuxState is the serializable auxiliary state a snapshot can carry on
+// behalf of a subsystem riding along with the run (same contract as
+// RNGState).
+type AuxState interface {
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
 }
 
 // RNGState is the serializable random source a checkpointed run must
@@ -92,6 +107,7 @@ type ckptRunner[T tensor.Elem] struct {
 	mgr      *ckpt.Manager
 	spec     *SpecOf[T]
 	rng      RNGState
+	aux      AuxState
 	fp       uint64
 	every    int
 	epochRNG []byte // RNG state captured just before the current epoch's shuffle
@@ -117,7 +133,7 @@ func newCkptRunner[T tensor.Elem](cfg *Config, spec *SpecOf[T]) (*ckptRunner[T],
 	if err != nil {
 		return nil, err
 	}
-	return &ckptRunner[T]{mgr: mgr, spec: spec, rng: c.RNG, fp: c.Fingerprint, every: every}, nil
+	return &ckptRunner[T]{mgr: mgr, spec: spec, rng: c.RNG, aux: c.Aux, fp: c.Fingerprint, every: every}, nil
 }
 
 // beginEpoch records the RNG state before the epoch's shuffle consumes it.
@@ -145,6 +161,12 @@ func (c *ckptRunner[T]) save(epoch, batch int, stopper *earlyStop, rep *Report, 
 	if err != nil {
 		return fmt.Errorf("train: marshal rng: %w", err)
 	}
+	var auxState []byte
+	if c.aux != nil {
+		if auxState, err = c.aux.MarshalBinary(); err != nil {
+			return fmt.Errorf("train: marshal aux state: %w", err)
+		}
+	}
 	step, moments := c.spec.Optimizer.ExportMoments(c.spec.Params)
 	s := &ckpt.Snapshot{
 		Fingerprint:    c.fp,
@@ -156,6 +178,7 @@ func (c *ckptRunner[T]) save(epoch, batch int, stopper *earlyStop, rep *Report, 
 		BestVal:        stopper.best,
 		RNG:            rngState,
 		RNGEpoch:       c.epochRNG,
+		Aux:            auxState,
 	}
 	nb := 2*len(c.spec.Params) + len(moments)/2 + len(best)
 	s.Blocks = make([]ckpt.Block, 0, nb)
@@ -190,6 +213,14 @@ func (c *ckptRunner[T]) resume(stopper *earlyStop, rep *Report) (*ckpt.Snapshot,
 	s, path, err := c.mgr.Latest(c.fp)
 	if err != nil || s == nil {
 		return nil, nil, err
+	}
+	if c.aux != nil {
+		if len(s.Aux) == 0 {
+			return nil, nil, fmt.Errorf("train: resume %s: snapshot carries no auxiliary state but Checkpoint.Aux is set (snapshot from a run without the subsystem?)", path)
+		}
+		if err := c.aux.UnmarshalBinary(s.Aux); err != nil {
+			return nil, nil, fmt.Errorf("train: resume %s: restore aux state: %w", path, err)
+		}
 	}
 	blocks := make(map[string]ckpt.Block, len(s.Blocks))
 	for _, b := range s.Blocks {

@@ -39,7 +39,9 @@ RACE_PKGS=(
   ./internal/ckpt
   ./internal/fault
   ./internal/distsim
+  ./internal/distnet
   ./internal/serve
+  ./internal/bench
 )
 # Race-list sync gate: any internal/ package that spawns goroutines
 # directly carries a //lint:ignore naked-go suppression per allowed site;
@@ -67,9 +69,37 @@ go test -race -short "${RACE_PKGS[@]}"
 # Crash-recovery gate: SIGKILL a real training subprocess in the middle of
 # a checkpoint write and require a clean, bitwise-identical resume (torn
 # temps ignored, corrupt snapshots rejected, previous snapshot used). Runs
-# under -race per the fault-tolerance acceptance contract.
+# under -race per the fault-tolerance acceptance contract. TestCrashDist*
+# additionally SIGKILLs one shard of a two-process cluster mid-epoch and
+# requires the -resume rejoin to reach the same final fingerprint.
 echo "== crash recovery (go test -race -run 'TestCrash' ./cmd/gnntrain)"
 go test -race -count=1 -run 'TestCrash' ./cmd/gnntrain
+
+# Distributed smoke gate: two real gnntrain processes over unix sockets
+# must produce prediction fingerprints bitwise identical to the
+# single-process run, with zero stale substitutions (strict sync mode).
+echo "== distributed smoke (2-shard gnntrain vs single-process fingerprint)"
+DIST_TMP=$(mktemp -d)
+trap 'rm -rf "$DIST_TMP"' EXIT
+go build -o "$DIST_TMP/gnntrain" ./cmd/gnntrain
+DIST_ARGS=(-model gcn -nodes 300 -epochs 4 -patience 0 -seed 9 -fingerprint)
+"$DIST_TMP/gnntrain" "${DIST_ARGS[@]}" 2>/dev/null > "$DIST_TMP/single.out"
+PEERS="unix:$DIST_TMP/s0.sock,unix:$DIST_TMP/s1.sock"
+"$DIST_TMP/gnntrain" "${DIST_ARGS[@]}" -shard 0/2 -peers "$PEERS" \
+  2>/dev/null > "$DIST_TMP/shard0.out" &
+DIST_PID=$!
+"$DIST_TMP/gnntrain" "${DIST_ARGS[@]}" -shard 1/2 -peers "$PEERS" \
+  2>/dev/null > "$DIST_TMP/shard1.out"
+wait "$DIST_PID"
+FP_SINGLE=$(grep -o 'fingerprint=[0-9a-f]*' "$DIST_TMP/single.out")
+FP_S0=$(grep -o 'fingerprint=[0-9a-f]*' "$DIST_TMP/shard0.out")
+FP_S1=$(grep -o 'fingerprint=[0-9a-f]*' "$DIST_TMP/shard1.out")
+[ -n "$FP_SINGLE" ] && [ "$FP_S0" = "$FP_SINGLE" ] && [ "$FP_S1" = "$FP_SINGLE" ] || {
+  echo "distributed smoke failed: fingerprints diverge"
+  echo "  single: $FP_SINGLE  shard0: $FP_S0  shard1: $FP_S1"; exit 1; }
+grep -q 'stale_hits=0' "$DIST_TMP/shard0.out" && grep -q 'stale_hits=0' "$DIST_TMP/shard1.out" || {
+  echo "distributed smoke failed: sync mode reported stale substitutions"; exit 1; }
+echo "   fingerprints match: $FP_SINGLE (2 shards, sync, 0 stale)"
 
 # Serving smoke gate: gnnserve -selftest trains, snapshots, restores,
 # verifies the served path answers byte-equal to offline Predict, hot-swaps
@@ -80,7 +110,7 @@ go test -race -count=1 -run 'TestCrash' ./cmd/gnntrain
 # trace timeline and Prometheus scrape must carry the request-scoped fields.
 echo "== serve smoke (gnnserve -selftest)"
 SERVE_TMP=$(mktemp -d)
-trap 'rm -rf "$SERVE_TMP"' EXIT
+trap 'rm -rf "$DIST_TMP" "$SERVE_TMP"' EXIT
 go run ./cmd/gnnserve -selftest -nodes 2000 -epochs 5 -duration 500ms \
   -bench-out "$SERVE_TMP/BENCH_serve.json" \
   -trace-out "$SERVE_TMP/trace.jsonl" \
@@ -103,7 +133,7 @@ grep -q 'serve_request_seconds_bucket{le="+Inf"}' "$SERVE_TMP/metrics.prom" || {
 # here; ns/op is machine-dependent and intentionally not gated.
 echo "== kernel perf gate (gnnbench -kernels-out + gnnperfgate)"
 KERNELS_TMP=$(mktemp -d)
-trap 'rm -rf "$SERVE_TMP" "$KERNELS_TMP"' EXIT
+trap 'rm -rf "$DIST_TMP" "$SERVE_TMP" "$KERNELS_TMP"' EXIT
 go run ./cmd/gnnbench -quick -kernels-out "$KERNELS_TMP/kernels.json" > /dev/null
 go run ./cmd/gnnperfgate -report "$KERNELS_TMP/kernels.json" \
   -baseline scripts/kernel_allocs_baseline.json
